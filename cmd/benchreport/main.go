@@ -1,0 +1,52 @@
+// Command benchreport runs every experiment in the reproduction
+// (E1..E25, see DESIGN.md section 4) and prints the paper-style result
+// tables.
+//
+// Usage:
+//
+//	benchreport            # run everything
+//	benchreport -only E6   # run one experiment
+//	benchreport -list      # list experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"fpcc/internal/experiments"
+)
+
+func main() {
+	only := flag.String("only", "", "run only the experiment with this id (e.g. E6)")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	all := experiments.All()
+	if *list {
+		for _, r := range all {
+			fmt.Printf("%-4s %s\n", r.ID, r.Name)
+		}
+		return
+	}
+	ran := 0
+	for _, r := range all {
+		if *only != "" && r.ID != *only {
+			continue
+		}
+		ran++
+		start := time.Now()
+		tb, err := r.Run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", r.ID, err)
+			os.Exit(1)
+		}
+		fmt.Println(tb.String())
+		fmt.Printf("(%s completed in %v)\n\n", r.ID, time.Since(start).Round(time.Millisecond))
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "no experiment matches %q (use -list)\n", *only)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,159 @@
+// Command ccsim runs the packet-level congestion-control simulator:
+// N adaptive sources sharing one bottleneck queue, with per-source
+// feedback delays. It prints per-source throughput, fairness, and
+// optionally the queue trace as TSV.
+//
+// Examples:
+//
+//	ccsim -mu 60 -n 3 -t 1000                      # three equal sources
+//	ccsim -mu 60 -n 2 -delays 0.1,2.0 -trace q.tsv # unequal delays
+//	ccsim -buffer 40 -implicit                     # TCP-style loss feedback
+//	ccsim -gateway red -buffer 40                  # RED early marking
+//	ccsim -burst 4                                 # on/off bursts (peak 4x)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"fpcc"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ccsim: ")
+
+	mu := flag.Float64("mu", 60, "bottleneck service rate μ (packets/s)")
+	n := flag.Int("n", 2, "number of sources")
+	c0 := flag.Float64("c0", 10, "additive increase rate C0")
+	c1 := flag.Float64("c1", 2, "multiplicative decrease constant C1")
+	qHat := flag.Float64("qhat", 12, "target queue length q̂")
+	interval := flag.Float64("interval", 0.05, "control update period Δ (s)")
+	delays := flag.String("delays", "", "comma-separated per-source feedback delays (default all 0)")
+	horizon := flag.Float64("t", 1000, "simulation horizon (s)")
+	warmup := flag.Float64("warmup", 100, "warmup excluded from statistics (s)")
+	seed := flag.Uint64("seed", 1, "RNG seed")
+	tracePath := flag.String("trace", "", "write queue trace TSV to this file")
+	buffer := flag.Int("buffer", 0, "finite buffer size in packets (0 = infinite)")
+	implicit := flag.Bool("implicit", false, "use implicit loss feedback instead of queue observation (needs -buffer)")
+	gateway := flag.String("gateway", "", "gateway discipline: '', 'ewma' or 'red'")
+	burst := flag.Float64("burst", 0, "on/off burstiness factor β > 1 (0 = smooth Poisson)")
+	flag.Parse()
+
+	if *n < 1 {
+		log.Fatal("need at least one source")
+	}
+	law, err := fpcc.NewAIMD(*c0, *c1, *qHat)
+	if err != nil {
+		log.Fatal(err)
+	}
+	delayList := make([]float64, *n)
+	if *delays != "" {
+		parts := strings.Split(*delays, ",")
+		if len(parts) != *n {
+			log.Fatalf("-delays has %d entries for %d sources", len(parts), *n)
+		}
+		for i, p := range parts {
+			d, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+			if err != nil {
+				log.Fatalf("bad delay %q: %v", p, err)
+			}
+			delayList[i] = d
+		}
+	}
+	var mod fpcc.Modulator
+	if *burst > 1 {
+		const cycle = 2.0
+		m, err := fpcc.NewOnOff(cycle / *burst, cycle - cycle / *burst)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mod = m
+	} else if *burst != 0 {
+		log.Fatal("-burst must be > 1 (or 0 for smooth Poisson)")
+	}
+	srcs := make([]fpcc.PacketSource, *n)
+	for i := range srcs {
+		srcs[i] = fpcc.PacketSource{
+			Law:          law,
+			Delay:        delayList[i],
+			Interval:     *interval,
+			Lambda0:      *mu / float64(2**n),
+			MinRate:      0.5,
+			Burst:        mod,
+			ImplicitLoss: *implicit,
+		}
+	}
+	var gw fpcc.Gateway
+	switch *gateway {
+	case "":
+	case "ewma":
+		g, err := fpcc.NewEWMAGateway(1.0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		gw = g
+	case "red":
+		g, err := fpcc.NewREDGateway(*qHat/3, 2**qHat, 0.3, 0.5)
+		if err != nil {
+			log.Fatal(err)
+		}
+		gw = g
+	default:
+		log.Fatalf("unknown gateway %q (want '', 'ewma' or 'red')", *gateway)
+	}
+	sampleEvery := 0.0
+	if *tracePath != "" {
+		sampleEvery = 0.1
+	}
+	sim, err := fpcc.NewPacketSim(fpcc.PacketSimConfig{
+		Mu: *mu, Seed: *seed, Sources: srcs, SampleEvery: sampleEvery,
+		Buffer: *buffer, Gateway: gw,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := sim.Run(*horizon, *warmup)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var total float64
+	for _, tp := range res.Throughput {
+		total += tp
+	}
+	fmt.Printf("horizon %.0fs (warmup %.0fs), mu=%.1f, %d sources\n", *horizon, *warmup, *mu, *n)
+	fmt.Printf("%-8s %-10s %-12s %-8s\n", "source", "delay(s)", "throughput", "share")
+	for i, tp := range res.Throughput {
+		fmt.Printf("S%-7d %-10.2f %-12.3f %-8.3f\n", i+1, delayList[i], tp, tp/total)
+	}
+	fmt.Printf("utilization %.3f, Jain fairness %.4f\n", total / *mu, fpcc.JainIndex(res.Throughput))
+	fmt.Printf("mean queue %.3f (std %.3f), target q̂ = %.1f\n",
+		res.QueueStats.Mean(), res.QueueStats.StdDev(), *qHat)
+	if *buffer > 0 {
+		var dropped, delivered int64
+		for i := range res.Dropped {
+			dropped += res.Dropped[i]
+			delivered += res.Delivered[i]
+		}
+		fmt.Printf("buffer %d: dropped %d of %d offered (loss rate %.4f)\n",
+			*buffer, dropped, dropped+delivered, float64(dropped)/float64(dropped+delivered))
+	}
+
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		fmt.Fprintln(f, "# t\tqueue")
+		for i := range res.TraceT {
+			fmt.Fprintf(f, "%.3f\t%.0f\n", res.TraceT[i], res.TraceQ[i])
+		}
+		log.Printf("queue trace written to %s (%d samples)", *tracePath, len(res.TraceT))
+	}
+}

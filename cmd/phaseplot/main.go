@@ -1,0 +1,92 @@
+// Command phaseplot traces characteristic trajectories of the reduced
+// (σ = 0) system in the (q, λ) phase plane — the curves of Figures 2
+// and 3 — and prints them as TSV for plotting. For the AIMD law the
+// closed-form tracer is used (no time-stepping error); with -delay a
+// DDE trace shows the delay-induced limit cycle of Section 7.
+//
+// Example:
+//
+//	phaseplot -mu 10 -c0 2 -c1 0.8 -qhat 20 -q0 0 -lambda0 2 -t 200
+//	phaseplot -delay 2 -t 400        # limit cycle instead of spiral
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"fpcc"
+	"fpcc/internal/characteristics"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("phaseplot: ")
+
+	mu := flag.Float64("mu", 10, "bottleneck service rate μ")
+	c0 := flag.Float64("c0", 2, "additive increase rate C0")
+	c1 := flag.Float64("c1", 0.8, "multiplicative decrease constant C1")
+	qHat := flag.Float64("qhat", 20, "target queue length q̂")
+	q0 := flag.Float64("q0", 0, "initial queue")
+	l0 := flag.Float64("lambda0", 2, "initial rate")
+	horizon := flag.Float64("t", 200, "trace horizon (s)")
+	delay := flag.Float64("delay", 0, "feedback delay τ (uses the DDE tracer when > 0)")
+	samples := flag.Int("samples", 2000, "number of output samples")
+	portrait := flag.Bool("portrait", false, "trace a lattice of initial conditions (full Figure 2 picture)")
+	flag.Parse()
+
+	law, err := fpcc.NewAIMD(*c0, *c1, *qHat)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *portrait {
+		p, err := characteristics.Portrait(law, characteristics.PortraitConfig{
+			Mu: *mu, QMaxInit: 2 * *qHat, LMaxInit: 2 * *mu,
+			GridQ: 4, GridL: 4, Horizon: *horizon, Samples: *samples / 10,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("# trajectory blocks separated by blank lines: t\tq\tlambda")
+		for _, traj := range p.Trajectories {
+			for _, s := range traj {
+				fmt.Printf("%.4f\t%.5f\t%.5f\n", s.T, s.Q, s.Lambda)
+			}
+			fmt.Println()
+		}
+		return
+	}
+
+	fmt.Println("# t\tq\tlambda\tv")
+	if *delay > 0 {
+		m := fpcc.FluidModel{
+			Mu: *mu, Q0: *q0,
+			Sources: []fpcc.FluidSource{{Law: law, Delay: *delay, Lambda0: *l0}},
+		}
+		stride := int(*horizon / 1e-3 / float64(*samples))
+		if stride < 1 {
+			stride = 1
+		}
+		sol, err := m.Solve(*horizon, 1e-3, stride)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for i := 0; i < sol.Len(); i++ {
+			t, y := sol.At(i)
+			fmt.Printf("%.4f\t%.5f\t%.5f\t%.5f\n", t, y[0], y[1], y[1]-*mu)
+		}
+		return
+	}
+	path, err := fpcc.TraceExact(law, *mu, fpcc.Point{Q: *q0, Lambda: *l0}, *horizon, 500000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ts, pts := path.Sample(*samples)
+	for i, p := range pts {
+		fmt.Printf("%.4f\t%.5f\t%.5f\t%.5f\n", ts[i], p.Q, p.Lambda, p.Lambda-*mu)
+	}
+	eq := fpcc.EquilibriumPoint(law, *mu)
+	log.Printf("limit point (q̂, μ) = (%.2f, %.2f); final state (%.4f, %.4f)",
+		eq.Q, eq.Lambda, pts[len(pts)-1].Q, pts[len(pts)-1].Lambda)
+}

@@ -1,0 +1,89 @@
+// Bursty traffic: what the Fokker-Planck view sees that a fluid model
+// cannot.
+//
+// The paper closes by noting its model "addresses traffic variability
+// (to some extent) that fluid approximation techniques do not
+// address". This example generates that variability: the same AIMD
+// controller, the same long-run offered load, but increasingly bursty
+// on/off arrival envelopes. A fluid model — which only carries mean
+// rates — predicts identical behaviour in every run. The packet
+// system disagrees: queue spread explodes and utilization collapses
+// with burstiness, and the measured index of dispersion for counts
+// (IDC) quantifies how far from Poisson the input is.
+//
+// Run with: go run ./examples/bursty-traffic
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fpcc"
+	"fpcc/internal/rng"
+	"fpcc/internal/traffic"
+)
+
+func main() {
+	log.SetFlags(0)
+	law, err := fpcc.NewAIMD(2, 0.5, 15)
+	if err != nil {
+		log.Fatal(err)
+	}
+	const (
+		mu      = 30.0
+		cycle   = 2.0 // on+off cycle length in seconds
+		horizon = 4000.0
+		warmup  = 500.0
+	)
+
+	fmt.Println("AIMD source into a μ=30 bottleneck; on/off bursts with mean factor 1")
+	fmt.Printf("%12s %10s %12s %12s %10s %8s\n",
+		"burstiness", "IDC(10s)", "throughput", "utilization", "mean Q", "std Q")
+
+	for _, beta := range []float64{1, 2, 4, 8} {
+		var mod fpcc.Modulator
+		if beta > 1 {
+			m, err := fpcc.NewOnOff(cycle/beta, cycle-cycle/beta)
+			if err != nil {
+				log.Fatal(err)
+			}
+			mod = m
+		}
+
+		// Measure the input burstiness on an open-loop sample of the
+		// modulated process at a fixed base rate.
+		idc := 1.0
+		if mod != nil {
+			times, err := traffic.Arrivals(mod, rng.New(7), 25, 20000)
+			if err != nil {
+				log.Fatal(err)
+			}
+			idc, err = fpcc.IDC(times, 10, 20000)
+			if err != nil {
+				log.Fatal(err)
+			}
+		}
+
+		sim, err := fpcc.NewPacketSim(fpcc.PacketSimConfig{
+			Mu:   mu,
+			Seed: 33,
+			Sources: []fpcc.PacketSource{{
+				Law: law, Interval: 0.25, Lambda0: 10, MinRate: 0.5, Burst: mod,
+			}},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := sim.Run(horizon, warmup)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%12.0f %10.1f %12.2f %12.2f %10.2f %8.2f\n",
+			beta, idc, res.Throughput[0], res.Throughput[0]/mu,
+			res.QueueStats.Mean(), res.QueueStats.StdDev())
+	}
+
+	fmt.Println("\nevery row offers the same average load; only the variability")
+	fmt.Println("changes. The queue spread (and the lost utilization) is exactly")
+	fmt.Println("the dimension the σ²·f_qq term of Eq. 14 exists to carry.")
+}

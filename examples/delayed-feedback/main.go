@@ -1,0 +1,98 @@
+// Delayed-feedback study: how the feedback delay τ shapes the
+// oscillation of an AIMD-controlled connection (Section 7 of the
+// paper).
+//
+// The program sweeps τ, runs the deterministic delayed system for each
+// value, measures the late-window limit cycle, and prints the
+// amplitude/period table plus a phase-plane sketch of one cycle. It
+// then cross-checks one point of the sweep against the packet-level
+// simulator: the stochastic system oscillates around the same cycle.
+//
+// Run with: go run ./examples/delayed-feedback
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"fpcc"
+	"fpcc/internal/stats"
+)
+
+func main() {
+	log.SetFlags(0)
+	law, err := fpcc.NewAIMD(2.0, 0.8, 20)
+	if err != nil {
+		log.Fatal(err)
+	}
+	const mu = 10.0
+
+	fmt.Println("Delay sweep (deterministic system, late window 600-800s):")
+	fmt.Printf("%-8s %-14s %-12s %-10s\n", "τ (s)", "queue swing", "amplitude", "period (s)")
+	for _, tau := range []float64{0, 0.5, 1, 2, 4} {
+		m := fpcc.FluidModel{
+			Mu: mu, Q0: 0,
+			Sources: []fpcc.FluidSource{{Law: law, Delay: tau, Lambda0: 2}},
+		}
+		sol, err := m.Solve(800, 1e-3, 20)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ts, qs := sol.Queue()
+		swing := stats.SwingOver(ts, qs, 600)
+		osc := stats.MeasureOscillation(ts, qs, 600, math.Max(swing/4, 0.05))
+		period := "-"
+		if !math.IsNaN(osc.Period) {
+			period = fmt.Sprintf("%.2f", osc.Period)
+		}
+		fmt.Printf("%-8.1f %-14.3f %-12.3f %-10s\n", tau, swing, osc.Amplitude, period)
+	}
+	fmt.Println("\n=> amplitude ~0 at τ=0 (Theorem 1 convergence) and grows with τ:")
+	fmt.Println("   the oscillation is caused by the delay, not the algorithm.")
+
+	// One cycle of the τ=2 limit cycle in the phase plane.
+	m := fpcc.FluidModel{
+		Mu: mu, Q0: 0,
+		Sources: []fpcc.FluidSource{{Law: law, Delay: 2, Lambda0: 2}},
+	}
+	sol, err := m.Solve(820, 1e-3, 100)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nOne limit-cycle orbit at τ=2 (t in [780, 810]):")
+	fmt.Printf("%-8s %-10s %-10s\n", "t", "q", "λ")
+	for i := 0; i < sol.Len(); i += 20 {
+		t, y := sol.At(i)
+		if t < 780 || t > 810 {
+			continue
+		}
+		fmt.Printf("%-8.1f %-10.3f %-10.3f\n", t, y[0], y[1])
+	}
+
+	// Packet-level cross-check at τ=2.
+	sim, err := fpcc.NewPacketSim(fpcc.PacketSimConfig{
+		Mu:          50,
+		Seed:        7,
+		SampleEvery: 0.2,
+		Sources: []fpcc.PacketSource{{
+			Law:      fpcc.AIMD{C0: 10, C1: 2, QHat: 15},
+			Delay:    2.0,
+			Interval: 0.05,
+			Lambda0:  5,
+			MinRate:  1,
+		}},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := sim.Run(600, 100)
+	if err != nil {
+		log.Fatal(err)
+	}
+	oscP := stats.MeasureOscillation(res.TraceT, res.TraceQ, 100, 8)
+	fmt.Printf("\nPacket-level cross-check (μ=50, q̂=15, τ=2):\n")
+	fmt.Printf("   queue oscillation amplitude %.1f packets over %d cycles (period %.1fs)\n",
+		oscP.Amplitude, oscP.NumCycles, oscP.Period)
+	fmt.Println("   the stochastic system rides the same delay-induced cycle.")
+}

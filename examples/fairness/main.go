@@ -1,0 +1,131 @@
+// Fairness study: how competing AIMD senders split a bottleneck
+// (Section 6 of the paper) and how feedback delay breaks the split
+// (Section 7).
+//
+// Three scenarios:
+//
+//  1. Equal parameters, wildly unequal starting rates — shares
+//     equalize (Jain index -> 1).
+//  2. Heterogeneous (C0, C1) — shares match the closed-form law
+//     λᵢ ∝ C0ᵢ/C1ᵢ.
+//  3. Equal parameters but unequal feedback delays — the longer-delay
+//     sender loses.
+//
+// Run with: go run ./examples/fairness
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fpcc"
+)
+
+func main() {
+	log.SetFlags(0)
+	const mu = 12.0
+	base, err := fpcc.NewAIMD(2.0, 0.8, 20)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// --- 1. Equal parameters => equal shares -----------------------
+	srcs := []fpcc.FluidSource{
+		{Law: base, Lambda0: 0},
+		{Law: base, Lambda0: 4},
+		{Law: base, Lambda0: 8},
+	}
+	m := fpcc.FluidModel{Mu: mu, Q0: 0, Sources: srcs}
+	sol, err := m.Solve(2000, 1e-3, 200)
+	if err != nil {
+		log.Fatal(err)
+	}
+	means := sol.MeanRates(1500)
+	fmt.Println("1. Equal parameters, starts 0/4/8 packets/s:")
+	for i, r := range means {
+		fmt.Printf("   S%d mean rate %.3f (share %.3f)\n", i+1, r, r/sum(means))
+	}
+	fmt.Printf("   Jain fairness index: %.4f  (Section 6: provably fair)\n\n", fpcc.JainIndex(means))
+
+	// --- 2. Heterogeneous parameters => C0/C1 shares ----------------
+	laws := []fpcc.AIMD{
+		{C0: 2, C1: 0.8, QHat: 20},
+		{C0: 1, C1: 0.8, QHat: 20},
+		{C0: 2, C1: 1.6, QHat: 20},
+	}
+	pred, err := fpcc.PredictedShares(laws)
+	if err != nil {
+		log.Fatal(err)
+	}
+	hsrcs := make([]fpcc.FluidSource, len(laws))
+	for i, l := range laws {
+		hsrcs[i] = fpcc.FluidSource{Law: l, Lambda0: 1}
+	}
+	hm := fpcc.FluidModel{Mu: 10, Q0: 0, Sources: hsrcs}
+	hsol, err := hm.Solve(4000, 1e-3, 200)
+	if err != nil {
+		log.Fatal(err)
+	}
+	hmeans := hsol.MeanRates(3000)
+	fmt.Println("2. Heterogeneous parameters (C0, C1):")
+	fmt.Printf("   %-6s %-6s %-6s %-12s %-10s\n", "src", "C0", "C1", "predicted", "measured")
+	for i, l := range laws {
+		fmt.Printf("   S%-5d %-6.1f %-6.1f %-12.4f %-10.4f\n",
+			i+1, l.C0, l.C1, pred[i], hmeans[i]/sum(hmeans))
+	}
+	fmt.Println("   => shares follow λᵢ ∝ C0ᵢ/C1ᵢ (Section 6's exact-share law)")
+
+	// --- 3. Connection length => unfair ------------------------------
+	// A subtle point our reproduction surfaced: with the SAME law and
+	// only the observation delay differing, average shares stay equal
+	// (a time-shifted copy of one source's sawtooth solves the
+	// other's equation). The unfairness Jacobson measured comes from
+	// the full round-trip coupling: a longer path delays the signal
+	// AND slows the additive probe (one window step per RTT, i.e.
+	// C0 ∝ 1/RTT in the rate analogue).
+	fmt.Println("\n3a. Same law, observation delays 0.5s vs 4s only:")
+	dm := fpcc.FluidModel{
+		Mu: 10, Q0: 0,
+		Sources: []fpcc.FluidSource{
+			{Law: base, Delay: 0.5, Lambda0: 5},
+			{Law: base, Delay: 4.0, Lambda0: 5},
+		},
+	}
+	dsol, err := dm.Solve(2000, 5e-3, 100)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dmeans := dsol.MeanRates(1000)
+	fmt.Printf("   shares %.3f vs %.3f — still (almost) equal: pure signal\n",
+		dmeans[0]/sum(dmeans), dmeans[1]/sum(dmeans))
+	fmt.Println("   staleness does not bias the long-run average by itself.")
+
+	fmt.Println("\n3b. Full connection-length coupling (RTT 0.5s vs 2s):")
+	const rtt1, rtt2 = 0.5, 2.0
+	short := fpcc.AIMD{C0: 2, C1: 0.8, QHat: 20}
+	long := fpcc.AIMD{C0: 2 * rtt1 / rtt2, C1: 0.8, QHat: 20}
+	cm := fpcc.FluidModel{
+		Mu: 10, Q0: 0,
+		Sources: []fpcc.FluidSource{
+			{Law: short, Delay: rtt1, Lambda0: 5},
+			{Law: long, Delay: rtt2, Lambda0: 5},
+		},
+	}
+	csol, err := cm.Solve(2000, 5e-3, 100)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cmeans := csol.MeanRates(1000)
+	fmt.Printf("   short connection: %.3f packets/s (share %.3f)\n", cmeans[0], cmeans[0]/sum(cmeans))
+	fmt.Printf("   long  connection: %.3f packets/s (share %.3f)\n", cmeans[1], cmeans[1]/sum(cmeans))
+	fmt.Println("   => the longer connection loses decisively (Section 7), matching")
+	fmt.Println("      Jacobson's observation that long-haul connections fare worse.")
+}
+
+func sum(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}

@@ -1,0 +1,104 @@
+// Fokker-Planck density study: evolve the joint density f(t, q, v) of
+// Eq. 14 through the convergence transient, print snapshots of the
+// queue marginal as ASCII profiles, and validate each snapshot against
+// a Monte-Carlo particle ensemble of the same system (the package's
+// experiment E9 in miniature).
+//
+// This is the artifact the paper's abstract highlights: unlike a fluid
+// model, the density view shows how traffic variability spreads the
+// operating point into a distribution — including the overflow mass
+// P(Q > B) that a deterministic model cannot see.
+//
+// Run with: go run ./examples/fp-density
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"strings"
+
+	"fpcc"
+)
+
+func main() {
+	log.SetFlags(0)
+	law, err := fpcc.NewAIMD(2.0, 0.8, 20)
+	if err != nil {
+		log.Fatal(err)
+	}
+	const (
+		mu    = 10.0
+		sigma = 1.5
+		qMax  = 60.0
+		nq    = 120
+	)
+	solver, err := fpcc.NewFokkerPlanck(fpcc.FokkerPlanckConfig{
+		Law: law, Mu: mu, Sigma: sigma,
+		QMax: qMax, NQ: nq, VMin: -12, VMax: 12, NV: 96,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := solver.SetGaussian(5, -2, 1.5, 1); err != nil {
+		log.Fatal(err)
+	}
+	ens, err := fpcc.NewEnsemble(fpcc.EnsembleConfig{
+		Law: law, Mu: mu, Sigma: sigma,
+		Particles: 20000, Dt: 5e-3, Seed: 42,
+		Q0: 5, Lambda0: 8, InitStdQ: 1.5, InitStdL: 1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, t := range []float64{0, 3, 10, 30, 80} {
+		if err := solver.Advance(t, 0); err != nil {
+			log.Fatal(err)
+		}
+		ens.Run(t)
+		fp := solver.Moments()
+		mc := ens.Moments()
+		fmt.Printf("t = %-4.0f  E[Q]: FP %6.2f / MC %6.2f    Std[Q]: FP %5.2f / MC %5.2f    P(Q>25): FP %.3f / MC %.3f\n",
+			t, fp.MeanQ, mc.MeanQ, math.Sqrt(fp.VarQ), math.Sqrt(mc.VarQ),
+			solver.TailProb(25), ens.TailFraction(25))
+		printProfile(solver.MarginalQ(), qMax)
+		fmt.Println()
+	}
+	fmt.Println("The blob starts at q=5, overshoots the target while the rate")
+	fmt.Println("spirals in, and settles as a stationary distribution centred on")
+	fmt.Println("q̂=20 whose width is set by σ — the variability a fluid model")
+	fmt.Println("collapses to a single point.")
+}
+
+// printProfile renders the q-marginal density as a coarse ASCII
+// profile: 30 columns covering [0, qMax].
+func printProfile(density []float64, qMax float64) {
+	const cols = 30
+	buckets := make([]float64, cols)
+	per := len(density) / cols
+	var peak float64
+	for c := 0; c < cols; c++ {
+		var sum float64
+		for i := c * per; i < (c+1)*per && i < len(density); i++ {
+			sum += density[i]
+		}
+		buckets[c] = sum
+		if sum > peak {
+			peak = sum
+		}
+	}
+	if peak == 0 {
+		return
+	}
+	var b strings.Builder
+	b.WriteString("   q: 0")
+	b.WriteString(strings.Repeat(" ", cols-8))
+	fmt.Fprintf(&b, "%4.0f\n", qMax)
+	b.WriteString("      ")
+	for _, v := range buckets {
+		idx := int(v / peak * 8)
+		b.WriteString([]string{" ", ".", ":", "-", "=", "+", "*", "#", "#"}[idx])
+	}
+	fmt.Println(b.String())
+}

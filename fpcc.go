@@ -1,0 +1,381 @@
+// Package fpcc is a library for analysing dynamic congestion-control
+// protocols with the Fokker-Planck approximation of Mukherjee &
+// Strikwerda (SIGCOMM '91 / UPenn TR MS-CIS-91-18), "Analysis of
+// Dynamic Congestion Control Protocols: A Fokker-Planck
+// Approximation".
+//
+// The paper models a bottleneck queue with service rate μ whose
+// sources adjust their sending rate λ(t) from (possibly delayed)
+// queue-length feedback, dλ/dt = g(Q, λ), and derives the extended
+// Fokker-Planck equation for the joint density f(t, q, v) of queue
+// length and queue growth rate v = λ − μ:
+//
+//	f_t + v·f_q + (g·f)_v = (σ²/2)·f_qq        (Eq. 14)
+//
+// The package exposes four complementary views of the same system:
+//
+//   - FokkerPlanck: a finite-difference solver for Eq. 14 (the paper's
+//     primary contribution) with moments, marginals and overflow
+//     probabilities.
+//   - Characteristics: the σ = 0 phase-plane analysis of Section 5 —
+//     exact piecewise trajectories, Poincaré sections, and the
+//     Theorem 1 convergence classification.
+//   - Fluid: the deterministic Bolot-Shankar baseline with N sources
+//     and per-source feedback delays (Sections 6-7).
+//   - PacketSim: a packet-level discrete-event simulator of the real
+//     stochastic system the analysis approximates.
+//
+// # Quick start
+//
+//	law := fpcc.AIMD{C0: 2, C1: 0.8, QHat: 20} // the JRJ algorithm
+//	solver, err := fpcc.NewFokkerPlanck(fpcc.FokkerPlanckConfig{
+//		Law: law, Mu: 10, Sigma: 1,
+//		QMax: 60, NQ: 120, VMin: -12, VMax: 12, NV: 96,
+//	})
+//	if err != nil { ... }
+//	_ = solver.SetGaussian(5, -2, 1.5, 1) // initial density blob
+//	_ = solver.Advance(50, 0)             // integrate Eq. 14 to t=50
+//	m := solver.Moments()                 // E[Q] ≈ q̂, E[v] ≈ 0
+//
+// See the examples directory for runnable programs and EXPERIMENTS.md
+// for the reproduction of every table and figure in the paper.
+package fpcc
+
+import (
+	"fpcc/internal/characteristics"
+	"fpcc/internal/control"
+	"fpcc/internal/des"
+	"fpcc/internal/fluid"
+	"fpcc/internal/fokkerplanck"
+	"fpcc/internal/markov"
+	"fpcc/internal/sde"
+	"fpcc/internal/stability"
+	"fpcc/internal/stats"
+	"fpcc/internal/traffic"
+)
+
+// Law is a rate-control law g(q, λ): the drift of the sending rate
+// given the observed queue length. The paper's Equation 4.
+type Law = control.Law
+
+// AIMD is the paper's linear-increase/exponential-decrease law
+// (Equation 2), the rate analogue of the Jacobson / Ramakrishnan-Jain
+// window algorithm: dλ/dt = +C0 when Q ≤ QHat, −C1·λ when Q > QHat.
+type AIMD = control.AIMD
+
+// AIAD is the linear-increase/linear-decrease variant, which
+// oscillates even without feedback delay (Section 7).
+type AIAD = control.AIAD
+
+// MIMD is the multiplicative-increase/multiplicative-decrease variant.
+type MIMD = control.MIMD
+
+// CustomLaw wraps an arbitrary drift function as a Law.
+type CustomLaw = control.Custom
+
+// SmoothAIMD is AIMD with the hard threshold replaced by a logistic
+// blend — the differentiable variant the linear stability analysis
+// (Linearize, CriticalDelay) requires.
+type SmoothAIMD = control.SmoothAIMD
+
+// LinearLaw is the proportional-derivative rate law
+// g = −Kq·(q−q̂) − Kl·(λ−MuRef), whose damping — and with it the
+// delay budget τ* — is a free design parameter (experiment E23).
+type LinearLaw = control.Linear
+
+// Window is the original window-based algorithm (Equation 1) with its
+// rate-law correspondence.
+type Window = control.Window
+
+// NewAIMD validates and returns the paper's AIMD law.
+func NewAIMD(c0, c1, qHat float64) (AIMD, error) { return control.NewAIMD(c0, c1, qHat) }
+
+// NewAIAD validates and returns an AIAD law.
+func NewAIAD(c0, c1, qHat float64) (AIAD, error) { return control.NewAIAD(c0, c1, qHat) }
+
+// NewMIMD validates and returns a MIMD law.
+func NewMIMD(c0, c1, qHat float64) (MIMD, error) { return control.NewMIMD(c0, c1, qHat) }
+
+// NewWindow validates and returns a window law.
+func NewWindow(a, d, qHat float64) (Window, error) { return control.NewWindow(a, d, qHat) }
+
+// NewSmoothAIMD validates and returns a smooth AIMD law of the given
+// blend width.
+func NewSmoothAIMD(c0, c1, qHat, width float64) (SmoothAIMD, error) {
+	return control.NewSmoothAIMD(c0, c1, qHat, width)
+}
+
+// NewLinearLaw validates and returns a PD law.
+func NewLinearLaw(kq, kl, qHat, muRef float64) (LinearLaw, error) {
+	return control.NewLinear(kq, kl, qHat, muRef)
+}
+
+// FokkerPlanckConfig configures the Eq. 14 solver.
+type FokkerPlanckConfig = fokkerplanck.Config
+
+// FokkerPlanck is the finite-difference solver for Eq. 14.
+type FokkerPlanck = fokkerplanck.Solver
+
+// FPMoments are the low-order moments of the FP density.
+type FPMoments = fokkerplanck.Moments
+
+// NewFokkerPlanck builds an Eq. 14 solver.
+func NewFokkerPlanck(cfg FokkerPlanckConfig) (*FokkerPlanck, error) {
+	return fokkerplanck.New(cfg)
+}
+
+// Point is a phase-plane state (Q, λ).
+type Point = characteristics.Point
+
+// ExactPath is a closed-form AIMD characteristic trajectory.
+type ExactPath = characteristics.ExactPath
+
+// Behavior classifies a trajectory: Converging (Theorem 1 spiral),
+// NeutralCycle, Diverging, or Inconclusive.
+type Behavior = characteristics.Behavior
+
+// Behavior values.
+const (
+	Converging   = characteristics.Converging
+	NeutralCycle = characteristics.NeutralCycle
+	Diverging    = characteristics.Diverging
+	Inconclusive = characteristics.Inconclusive
+)
+
+// TraceExact integrates the AIMD characteristic system in closed form
+// (Section 5): parabolic arcs below q̂, exponential arcs above,
+// switching times located analytically.
+func TraceExact(law AIMD, mu float64, p0 Point, maxTime float64, maxSegments int) (*ExactPath, error) {
+	return characteristics.TraceExact(law, mu, p0, maxTime, maxSegments)
+}
+
+// DelayedPath is an exactly traced trajectory of the delayed system
+// (Section 7): closed-form arcs with branch switches at the q̂-crossing
+// times shifted by the feedback delay τ.
+type DelayedPath = characteristics.DelayedPath
+
+// CycleMetrics summarizes a delay-induced limit cycle.
+type CycleMetrics = characteristics.CycleMetrics
+
+// TraceExactDelayed integrates the delayed AIMD system exactly; its
+// Cycle method measures the Section 7 limit cycle to machine
+// precision.
+func TraceExactDelayed(law AIMD, mu, tau float64, p0 Point, tEnd float64, maxSegments int) (*DelayedPath, error) {
+	return characteristics.TraceExactDelayed(law, mu, tau, p0, tEnd, maxSegments)
+}
+
+// ReturnMap evaluates one revolution of the Poincaré map of the AIMD
+// spiral at the section q = q̂ (Theorem 1's contraction; the small-
+// amplitude law is a′ = a − (2/3)a²/μ).
+func ReturnMap(law AIMD, mu, a float64) (float64, error) {
+	return characteristics.ReturnMap(law, mu, a)
+}
+
+// EquilibriumPoint returns Theorem 1's limit point (q̂, μ).
+func EquilibriumPoint(law Law, mu float64) Point {
+	return characteristics.EquilibriumPoint(law, mu)
+}
+
+// FluidSource is one sender in the deterministic fluid model.
+type FluidSource = fluid.Source
+
+// FluidModel is the Bolot-Shankar deterministic baseline: coupled
+// (delay) differential equations for Q and each λᵢ.
+type FluidModel = fluid.Model
+
+// FluidSolution is a solved fluid trajectory.
+type FluidSolution = fluid.Solution
+
+// PredictedShares returns Section 6's closed-form share law
+// λᵢ ∝ C0ᵢ/C1ᵢ for AIMD sources sharing a bottleneck.
+func PredictedShares(laws []AIMD) ([]float64, error) { return fluid.PredictedShares(laws) }
+
+// PacketSimConfig configures the packet-level simulator.
+type PacketSimConfig = des.Config
+
+// PacketSource describes one sender in the packet simulator.
+type PacketSource = des.SourceConfig
+
+// PacketSim is the discrete-event packet-level simulator.
+type PacketSim = des.Sim
+
+// PacketSimResult summarizes a packet simulation run.
+type PacketSimResult = des.Result
+
+// NewPacketSim builds a packet-level simulator.
+func NewPacketSim(cfg PacketSimConfig) (*PacketSim, error) { return des.New(cfg) }
+
+// WindowSource describes a sender running the original window
+// algorithm (Equation 1) in the packet simulator.
+type WindowSource = des.WindowSourceConfig
+
+// NewWindowSim builds a packet simulator whose sources run the window
+// algorithm of Equation 1 (one update per RTT, rate = window/RTT).
+func NewWindowSim(mu float64, seed uint64, sources []WindowSource, sampleEvery float64) (*PacketSim, error) {
+	return des.NewWindowSim(mu, seed, sources, sampleEvery)
+}
+
+// TandemConfig describes a multi-hop tandem network simulation.
+type TandemConfig = des.TandemConfig
+
+// TandemSource is one flow through the tandem network.
+type TandemSource = des.TandemSource
+
+// TandemSim simulates flows over a path of store-and-forward hops —
+// the setting of the Zhang/Jacobson multi-hop unfairness observation.
+type TandemSim = des.TandemSim
+
+// NewTandemSim builds a tandem-network simulator.
+func NewTandemSim(cfg TandemConfig) (*TandemSim, error) { return des.NewTandem(cfg) }
+
+// EnsembleConfig configures an SDE particle ensemble of the Eq. 14
+// diffusion (the Monte-Carlo ground truth for the PDE).
+type EnsembleConfig = sde.Config
+
+// Ensemble is a reflected-SDE particle ensemble.
+type Ensemble = sde.Ensemble
+
+// NewEnsemble builds a particle ensemble.
+func NewEnsemble(cfg EnsembleConfig) (*Ensemble, error) { return sde.New(cfg) }
+
+// JainIndex is Jain's fairness index (1 = perfectly fair).
+func JainIndex(alloc []float64) float64 { return stats.JainIndex(alloc) }
+
+// KSTwoSample returns the two-sample Kolmogorov-Smirnov statistic and
+// asymptotic p-value — a whole-distribution comparison used to test
+// FP marginals against simulated queue samples.
+func KSTwoSample(a, b []float64) (d, pValue float64, err error) { return stats.KSTwoSample(a, b) }
+
+// BatchMeans estimates the mean of a correlated stationary series
+// with a batch-means confidence half-width (z = 1.96 for 95%).
+func BatchMeans(xs []float64, nBatches int, z float64) (mean, halfWidth float64, err error) {
+	return stats.BatchMeans(xs, nBatches, z)
+}
+
+// Loop stability analysis (Section 7, made quantitative).
+
+// Linearization holds the delayed feedback loop linearized at its
+// equilibrium: dx/dt = y, dy/dt = A·x(t−τ) + B·y.
+type Linearization = stability.Linearization
+
+// Linearize computes the equilibrium and partial derivatives of a law
+// at service rate mu, bracketing the equilibrium queue in [lo, hi].
+func Linearize(law Law, mu, lo, hi float64) (*Linearization, error) {
+	return stability.Linearize(law, mu, lo, hi)
+}
+
+// CriticalDelay returns the Hopf delay τ* and crossing frequency ω*
+// of the linearized loop: stable for τ < τ*, oscillatory beyond.
+func CriticalDelay(a, b float64) (tau, omega float64, err error) {
+	return stability.CriticalDelay(a, b)
+}
+
+// DominantRoot returns the rightmost characteristic root of the
+// delayed loop — its real part is the growth rate of disturbances.
+func DominantRoot(a, b, tau float64) (complex128, error) {
+	return stability.DominantRoot(a, b, tau)
+}
+
+// MultiSourceLinearize linearizes the symmetric (aggregate) mode of n
+// identical delayed sources sharing the bottleneck; the result feeds
+// CriticalDelay/DominantRoot directly. The n−1 difference modes are
+// delay-free and damped at DifferenceModeRate.
+func MultiSourceLinearize(law Law, mu float64, n int, lo, hi float64) (*Linearization, error) {
+	return stability.MultiSourceLinearize(law, mu, n, lo, hi)
+}
+
+// DifferenceModeRate returns the decay rate of pairwise rate
+// differences between equal-parameter, equal-delay sources (negative
+// means fairness is restored exponentially even under delay).
+func DifferenceModeRate(law Law, mu float64, n int, lo, hi float64) (float64, error) {
+	return stability.DifferenceModeRate(law, mu, n, lo, hi)
+}
+
+// Exact Markov ground truth for Eq. 14.
+
+// MarkovChain is a sparse finite-state CTMC with a uniformization
+// transient solver.
+type MarkovChain = markov.Chain
+
+// BirthDeath is a one-dimensional birth-death chain (M/M/1/K and
+// state-dependent variants) with product-form stationary laws.
+type BirthDeath = markov.BirthDeath
+
+// ControlledQueue is the exact CTMC on (queue length, discretized
+// sending rate) induced by a control law — the finite-state analogue
+// of the joint density f(t, q, v).
+type ControlledQueue = markov.ControlledQueue
+
+// NewControlledQueue builds the controlled-queue chain.
+func NewControlledQueue(law Law, mu float64, qMax int, rateMin, rateMax float64, nRate int) (*ControlledQueue, error) {
+	return markov.NewControlledQueue(law, mu, qMax, rateMin, rateMax, nRate)
+}
+
+// NewMM1K returns the birth-death chain of an M/M/1/K queue.
+func NewMM1K(lambda, mu float64, k int) (*BirthDeath, error) { return markov.NewMM1K(lambda, mu, k) }
+
+// Bursty traffic models (the "traffic variability" of the paper's
+// closing claim).
+
+// Modulator is a piecewise-constant rate-modulation process applied
+// to a packet source (see PacketSource.Burst).
+type Modulator = traffic.Modulator
+
+// MMPP is a Markov-modulated Poisson process modulator.
+type MMPP = traffic.MMPP
+
+// NewOnOff returns an on/off burst modulator with mean factor 1
+// (burstiness = (meanOn+meanOff)/meanOn).
+func NewOnOff(meanOn, meanOff float64) (*MMPP, error) { return traffic.NewOnOff(meanOn, meanOff) }
+
+// NewMMPP2 returns a two-state MMPP modulator with closed-form
+// burstiness (MMPP.IDCInfinity).
+func NewMMPP2(f1, f2, r12, r21 float64) (*MMPP, error) { return traffic.NewMMPP2(f1, f2, r12, r21) }
+
+// IDC measures the index of dispersion for counts of an arrival-time
+// series at the given window width (Poisson = 1).
+func IDC(times []float64, window, horizon float64) (float64, error) {
+	return traffic.IDC(times, window, horizon)
+}
+
+// Gateway feedback disciplines for the packet simulator.
+
+// Gateway transforms the bottleneck queue into the congestion signal
+// sources receive (see PacketSimConfig.Gateway).
+type Gateway = des.Gateway
+
+// ThresholdGateway is the paper's transparent raw-queue feedback.
+type ThresholdGateway = des.ThresholdGateway
+
+// EWMAGateway feeds back a DECbit-style averaged queue.
+type EWMAGateway = des.EWMAGateway
+
+// REDGateway marks observations probabilistically on an averaged
+// queue (random early detection).
+type REDGateway = des.REDGateway
+
+// NewEWMAGateway returns an averaging gateway with time constant tc.
+func NewEWMAGateway(tc float64) (*EWMAGateway, error) { return des.NewEWMAGateway(tc) }
+
+// NewREDGateway returns a RED marking gateway.
+func NewREDGateway(minTh, maxTh, maxP, tc float64) (*REDGateway, error) {
+	return des.NewREDGateway(minTh, maxTh, maxP, tc)
+}
+
+// Ack-clocked window protocol (TCP Tahoe style).
+
+// TahoeConfig configures the ack-clocked Tahoe simulator.
+type TahoeConfig = des.TahoeConfig
+
+// TahoeFlowConfig describes one Tahoe flow.
+type TahoeFlowConfig = des.TahoeFlowConfig
+
+// TahoeSim simulates slow start / congestion avoidance / timeout
+// recovery against a finite drop-tail buffer.
+type TahoeSim = des.TahoeSim
+
+// TahoeResult summarizes a Tahoe run.
+type TahoeResult = des.TahoeResult
+
+// NewTahoeSim builds a Tahoe simulator.
+func NewTahoeSim(cfg TahoeConfig) (*TahoeSim, error) { return des.NewTahoe(cfg) }

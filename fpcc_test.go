@@ -1,0 +1,281 @@
+package fpcc_test
+
+import (
+	"math"
+	"testing"
+
+	"fpcc"
+)
+
+// TestFacadeQuickstart exercises the documented quick-start flow end
+// to end through the public API only.
+func TestFacadeQuickstart(t *testing.T) {
+	law, err := fpcc.NewAIMD(2, 0.8, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	solver, err := fpcc.NewFokkerPlanck(fpcc.FokkerPlanckConfig{
+		Law: law, Mu: 10, Sigma: 1,
+		QMax: 60, NQ: 100, VMin: -12, VMax: 12, NV: 80,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := solver.SetGaussian(5, -2, 1.5, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := solver.Advance(60, 0); err != nil {
+		t.Fatal(err)
+	}
+	m := solver.Moments()
+	if math.Abs(m.MeanQ-20) > 4 {
+		t.Fatalf("mean queue %v, want near q̂ = 20", m.MeanQ)
+	}
+	if math.Abs(m.MeanV) > 2 {
+		t.Fatalf("mean v %v, want near 0", m.MeanV)
+	}
+}
+
+func TestFacadeCharacteristics(t *testing.T) {
+	law, err := fpcc.NewAIMD(2, 0.8, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path, err := fpcc.TraceExact(law, 10, fpcc.Point{Q: 0, Lambda: 2}, 1000, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	end := path.At(path.TotalTime())
+	eq := fpcc.EquilibriumPoint(law, 10)
+	if math.Abs(end.Q-eq.Q) > 1 || math.Abs(end.Lambda-eq.Lambda) > 1 {
+		t.Fatalf("end %+v, want equilibrium %+v", end, eq)
+	}
+}
+
+func TestFacadeFluidAndShares(t *testing.T) {
+	law, err := fpcc.NewAIMD(2, 0.8, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := fpcc.FluidModel{
+		Mu: 10, Q0: 0,
+		Sources: []fpcc.FluidSource{{Law: law, Lambda0: 2}},
+	}
+	sol, err := m.Solve(500, 1e-3, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, y := sol.Last()
+	if math.Abs(y[0]-20) > 1.5 {
+		t.Fatalf("fluid queue %v, want ~20", y[0])
+	}
+	shares, err := fpcc.PredictedShares([]fpcc.AIMD{{C0: 2, C1: 1, QHat: 20}, {C0: 1, C1: 1, QHat: 20}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(shares[0]-2.0/3) > 1e-12 {
+		t.Fatalf("share[0] = %v, want 2/3", shares[0])
+	}
+}
+
+func TestFacadePacketSim(t *testing.T) {
+	law, err := fpcc.NewAIMD(20, 2, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := fpcc.NewPacketSim(fpcc.PacketSimConfig{
+		Mu:   50,
+		Seed: 1,
+		Sources: []fpcc.PacketSource{
+			{Law: law, Interval: 0.05, Lambda0: 5, MinRate: 1},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(300, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Throughput[0] < 35 || res.Throughput[0] > 55 {
+		t.Fatalf("throughput %v, want near μ = 50", res.Throughput[0])
+	}
+}
+
+func TestFacadeEnsemble(t *testing.T) {
+	law, err := fpcc.NewAIMD(2, 0.8, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ens, err := fpcc.NewEnsemble(fpcc.EnsembleConfig{
+		Law: law, Mu: 10, Sigma: 1,
+		Particles: 2000, Dt: 2e-3, Seed: 5,
+		Q0: 5, Lambda0: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ens.Run(50)
+	m := ens.Moments()
+	if math.Abs(m.MeanQ-20) > 4 {
+		t.Fatalf("ensemble mean q %v, want near 20", m.MeanQ)
+	}
+}
+
+func TestFacadeJain(t *testing.T) {
+	if got := fpcc.JainIndex([]float64{1, 1}); got != 1 {
+		t.Fatalf("JainIndex = %v, want 1", got)
+	}
+}
+
+func TestFacadeLawConstructorsValidate(t *testing.T) {
+	if _, err := fpcc.NewAIMD(0, 1, 1); err == nil {
+		t.Error("NewAIMD accepted zero C0")
+	}
+	if _, err := fpcc.NewAIAD(1, 0, 1); err == nil {
+		t.Error("NewAIAD accepted zero C1")
+	}
+	if _, err := fpcc.NewMIMD(1, 1, -1); err == nil {
+		t.Error("NewMIMD accepted negative qHat")
+	}
+	if _, err := fpcc.NewWindow(1, 2, 1); err == nil {
+		t.Error("NewWindow accepted d >= 1")
+	}
+}
+
+func TestFacadeStabilityPipeline(t *testing.T) {
+	law, err := fpcc.NewSmoothAIMD(2, 0.8, 20, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lin, err := fpcc.Linearize(law, 10, 0, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tauStar, omega, err := fpcc.CriticalDelay(lin.A, lin.B)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(tauStar > 0) || !(omega > 0) {
+		t.Fatalf("degenerate Hopf point τ*=%v ω=%v", tauStar, omega)
+	}
+	root, err := fpcc.DominantRoot(lin.A, lin.B, tauStar/2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if real(root) >= 0 {
+		t.Errorf("below τ* the loop must be stable, root %v", root)
+	}
+}
+
+func TestFacadeMarkovGroundTruth(t *testing.T) {
+	bd, err := fpcc.NewMM1K(4, 5, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi, err := bd.Stationary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, p := range pi {
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Errorf("stationary law sums to %v", sum)
+	}
+	law, err := fpcc.NewAIMD(2, 0.8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cq, err := fpcc.NewControlledQueue(law, 10, 30, 0, 20, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p0, err := cq.InitialPoint(0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := cq.Transient(p0, 5, 1e-8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mq, _, err := cq.QueueMoments(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(mq > 0) {
+		t.Errorf("mean queue %v after 5s of probing", mq)
+	}
+}
+
+func TestFacadeBurstyPacketSim(t *testing.T) {
+	law, err := fpcc.NewAIMD(2, 0.5, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := fpcc.NewOnOff(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	red, err := fpcc.NewREDGateway(5, 25, 0.3, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := fpcc.NewPacketSim(fpcc.PacketSimConfig{
+		Mu: 30, Seed: 7, Gateway: red,
+		Sources: []fpcc.PacketSource{{
+			Law: law, Interval: 0.25, Lambda0: 10, MinRate: 0.5, Burst: mod,
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(400, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Throughput[0] <= 0 || res.Throughput[0] > 31 {
+		t.Errorf("throughput %v out of range", res.Throughput[0])
+	}
+}
+
+func TestFacadeTahoe(t *testing.T) {
+	sim, err := fpcc.NewTahoeSim(fpcc.TahoeConfig{
+		Mu: 100, Buffer: 20, Seed: 3,
+		Flows: []fpcc.TahoeFlowConfig{{PropDelay: 0.05, RTO: 1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(120, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Throughput[0] < 50 {
+		t.Errorf("Tahoe throughput %v too low", res.Throughput[0])
+	}
+}
+
+func TestFacadeStatsHelpers(t *testing.T) {
+	a := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	b := []float64{1.1, 2.1, 2.9, 4.2, 5.1, 5.9, 7.2, 8.1}
+	if _, p, err := fpcc.KSTwoSample(a, b); err != nil || p < 0.2 {
+		t.Errorf("KS on near-identical samples: p=%v err=%v", p, err)
+	}
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = float64(i % 10)
+	}
+	mean, hw, err := fpcc.BatchMeans(xs, 10, 1.96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mean-4.5) > 1e-9 || hw < 0 {
+		t.Errorf("batch means %v ± %v, want 4.5", mean, hw)
+	}
+	times := []float64{0.5, 1.5, 2.5, 3.5, 4.5, 5.5, 6.5, 7.5}
+	if idc, err := fpcc.IDC(times, 2, 8); err != nil || math.Abs(idc) > 1e-9 {
+		t.Errorf("deterministic train IDC = %v err=%v, want 0", idc, err)
+	}
+}

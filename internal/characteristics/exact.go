@@ -1,0 +1,372 @@
+package characteristics
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"fpcc/internal/control"
+)
+
+// SegmentKind identifies the closed-form piece of an exact AIMD
+// trajectory.
+type SegmentKind int
+
+const (
+	// SegIncrease is a parabolic arc in the region q <= q̂:
+	// λ(t) = λ0 + C0·t, q(t) = q0 + v0·t + C0·t²/2.
+	SegIncrease SegmentKind = iota
+	// SegDecrease is an exponential arc in the region q > q̂:
+	// λ(t) = λ0·e^(−C1·t), q(t) = q0 + (λ0/C1)(1−e^(−C1·t)) − μ·t.
+	SegDecrease
+	// SegBoundary is the sticky empty-queue piece: q ≡ 0 while
+	// λ(t) = λ0 + C0·t climbs back to μ (the paper's convention
+	// η = 0 when Q = 0, λ < μ).
+	SegBoundary
+	// SegSteady is the fixed point (q̂, μ): the trajectory has reached
+	// Theorem 1's limit and stays put (a Filippov sliding
+	// equilibrium of the piecewise field).
+	SegSteady
+)
+
+// String implements fmt.Stringer.
+func (k SegmentKind) String() string {
+	switch k {
+	case SegIncrease:
+		return "increase"
+	case SegDecrease:
+		return "decrease"
+	case SegBoundary:
+		return "boundary"
+	case SegSteady:
+		return "steady"
+	default:
+		return fmt.Sprintf("SegmentKind(%d)", int(k))
+	}
+}
+
+// Segment is one closed-form piece of an exact trajectory, valid for
+// local time in [0, Dur] measured from absolute time T0.
+type Segment struct {
+	Kind  SegmentKind
+	T0    float64 // absolute start time
+	Dur   float64 // duration (may be +Inf for a final segment)
+	Start Point   // state at T0
+	law   control.AIMD
+	mu    float64
+}
+
+// At evaluates the segment at local time s in [0, Dur].
+func (sg Segment) At(s float64) Point {
+	switch sg.Kind {
+	case SegIncrease:
+		v0 := sg.Start.Lambda - sg.mu
+		return Point{
+			Q:      sg.Start.Q + v0*s + 0.5*sg.law.C0*s*s,
+			Lambda: sg.Start.Lambda + sg.law.C0*s,
+		}
+	case SegDecrease:
+		e := math.Exp(-sg.law.C1 * s)
+		return Point{
+			Q:      sg.Start.Q + sg.Start.Lambda/sg.law.C1*(1-e) - sg.mu*s,
+			Lambda: sg.Start.Lambda * e,
+		}
+	case SegBoundary:
+		return Point{Q: 0, Lambda: sg.Start.Lambda + sg.law.C0*s}
+	case SegSteady:
+		return sg.Start
+	default:
+		panic(fmt.Sprintf("characteristics: unknown segment kind %v", sg.Kind))
+	}
+}
+
+// End returns the state at the end of the segment. It panics for an
+// unbounded final segment.
+func (sg Segment) End() Point {
+	if math.IsInf(sg.Dur, 1) {
+		panic("characteristics: End of unbounded segment")
+	}
+	return sg.At(sg.Dur)
+}
+
+// ExactPath is a piecewise-closed-form AIMD trajectory. Switching
+// times between segments are located analytically (quadratic roots
+// below the line, bracketed Newton/bisection above it), so the path
+// carries no time-discretization error — this mirrors the paper's own
+// Section 5 treatment, which solves d²q/dt² = C0 exactly between
+// crossings.
+type ExactPath struct {
+	Law      control.AIMD
+	Mu       float64
+	Segments []Segment
+}
+
+// TotalTime returns the absolute end time of the path.
+func (p *ExactPath) TotalTime() float64 {
+	if len(p.Segments) == 0 {
+		return 0
+	}
+	last := p.Segments[len(p.Segments)-1]
+	return last.T0 + last.Dur
+}
+
+// At evaluates the path at absolute time t, clamping beyond the ends.
+func (p *ExactPath) At(t float64) Point {
+	if len(p.Segments) == 0 {
+		return Point{}
+	}
+	if t <= p.Segments[0].T0 {
+		return p.Segments[0].Start
+	}
+	for _, sg := range p.Segments {
+		if t <= sg.T0+sg.Dur {
+			return sg.At(t - sg.T0)
+		}
+	}
+	last := p.Segments[len(p.Segments)-1]
+	return last.At(last.Dur)
+}
+
+// Sample evaluates the path at n+1 evenly spaced times covering
+// [0, TotalTime] and returns the times and points.
+func (p *ExactPath) Sample(n int) (ts []float64, pts []Point) {
+	if n < 1 {
+		n = 1
+	}
+	total := p.TotalTime()
+	ts = make([]float64, n+1)
+	pts = make([]Point, n+1)
+	for i := 0; i <= n; i++ {
+		t := total * float64(i) / float64(n)
+		ts[i] = t
+		pts[i] = p.At(t)
+	}
+	return ts, pts
+}
+
+// UpCrossings returns, in order, the states at which the path crosses
+// from the increase region into the decrease region (q rising through
+// q̂ with λ > μ). These are the Poincaré-section hits used by
+// Theorem 1's contraction argument.
+func (p *ExactPath) UpCrossings() []Point {
+	var out []Point
+	for i, sg := range p.Segments {
+		if sg.Kind == SegDecrease && i > 0 {
+			out = append(out, sg.Start)
+		}
+	}
+	return out
+}
+
+// ErrNoProgress is returned when the exact tracer cannot advance
+// (degenerate parameters such as a trajectory starting and staying at
+// the equilibrium).
+var ErrNoProgress = errors.New("characteristics: trajectory made no progress")
+
+// TraceExact integrates the AIMD system from p0 for at most maxTime
+// seconds or maxSegments closed-form pieces, whichever comes first.
+// The initial rate must be non-negative and q0 >= 0.
+func TraceExact(law control.AIMD, mu float64, p0 Point, maxTime float64, maxSegments int) (*ExactPath, error) {
+	switch {
+	case !(mu > 0):
+		return nil, fmt.Errorf("characteristics: service rate must be positive, got %v", mu)
+	case p0.Q < 0 || p0.Lambda < 0:
+		return nil, fmt.Errorf("characteristics: invalid initial state %+v", p0)
+	case !(maxTime > 0):
+		return nil, fmt.Errorf("characteristics: non-positive horizon %v", maxTime)
+	case maxSegments < 1:
+		return nil, fmt.Errorf("characteristics: need at least one segment, got %d", maxSegments)
+	}
+	path := &ExactPath{Law: law, Mu: mu}
+	cur := p0
+	t := 0.0
+	atEquilibrium := func(p Point) bool {
+		return math.Abs(p.Q-law.QHat) < 1e-12*(1+law.QHat) &&
+			math.Abs(p.Lambda-mu) < 1e-12*(1+mu)
+	}
+	for len(path.Segments) < maxSegments && t < maxTime {
+		// At the (Filippov sliding) fixed point the trajectory stays
+		// put forever; emit a single steady segment.
+		if atEquilibrium(cur) {
+			path.Segments = append(path.Segments, Segment{
+				Kind: SegSteady, T0: t, Dur: maxTime - t,
+				Start: Point{Q: law.QHat, Lambda: mu}, law: law, mu: mu,
+			})
+			break
+		}
+		sg, err := nextSegment(law, mu, cur, t)
+		if err != nil {
+			return path, err
+		}
+		if sg.Dur <= 0 {
+			return path, ErrNoProgress
+		}
+		if t+sg.Dur > maxTime {
+			sg.Dur = maxTime - t
+			path.Segments = append(path.Segments, sg)
+			break
+		}
+		path.Segments = append(path.Segments, sg)
+		t += sg.Dur
+		cur = sg.End()
+		// Snap tiny numerical residue onto the switching manifolds so
+		// the next segment classifies cleanly.
+		if math.Abs(cur.Q-law.QHat) < 1e-12*(1+law.QHat) {
+			cur.Q = law.QHat
+		}
+		if cur.Q < 1e-12*(1+law.QHat) {
+			cur.Q = 0
+		}
+		if cur.Lambda < 0 {
+			cur.Lambda = 0
+		}
+	}
+	if len(path.Segments) == 0 {
+		return path, ErrNoProgress
+	}
+	return path, nil
+}
+
+// nextSegment constructs the closed-form segment leaving state cur at
+// absolute time t0, with its exact duration to the next switching
+// event.
+func nextSegment(law control.AIMD, mu float64, cur Point, t0 float64) (Segment, error) {
+	qHat := law.QHat
+	switch {
+	case cur.Q <= 0 && cur.Lambda < mu:
+		// Sticky empty queue: λ climbs at C0 until it reaches μ.
+		dur := (mu - cur.Lambda) / law.C0
+		return Segment{Kind: SegBoundary, T0: t0, Dur: dur, Start: Point{Q: 0, Lambda: cur.Lambda}, law: law, mu: mu}, nil
+
+	case cur.Q < qHat || (cur.Q == qHat && cur.Lambda <= mu):
+		// Increase region: parabola until q = q̂ (rising) or q = 0
+		// (falling with λ < μ). A point exactly on the switching line
+		// moving upward (λ > μ) belongs to the decrease region: for
+		// any t > 0 it has q > q̂.
+		dur, err := increaseExitTime(law, mu, cur)
+		if err != nil {
+			return Segment{}, err
+		}
+		return Segment{Kind: SegIncrease, T0: t0, Dur: dur, Start: cur, law: law, mu: mu}, nil
+
+	default:
+		// Decrease region (q > q̂, or q = q̂ rising): exponential arc
+		// until q falls back to q̂.
+		dur, err := decreaseExitTime(law, mu, cur)
+		if err != nil {
+			return Segment{}, err
+		}
+		return Segment{Kind: SegDecrease, T0: t0, Dur: dur, Start: cur, law: law, mu: mu}, nil
+	}
+}
+
+// increaseExitTime returns the first positive time at which the
+// parabola q(t) = q0 + v0 t + C0 t²/2 exits the increase region:
+// either it rises to q̂ or it falls to 0 with v < 0 (only possible when
+// v0 < 0).
+func increaseExitTime(law control.AIMD, mu float64, cur Point) (float64, error) {
+	c0 := law.C0
+	v0 := cur.Lambda - mu
+	// Candidate 1: q(t) = q̂, i.e. (C0/2)t² + v0 t + (q0 − q̂) = 0.
+	tHat := smallestPositiveRoot(0.5*c0, v0, cur.Q-law.QHat)
+	// Candidate 2 (only when falling): q(t) = 0.
+	tZero := math.Inf(1)
+	if v0 < 0 && cur.Q > 0 {
+		tZero = smallestPositiveRoot(0.5*c0, v0, cur.Q)
+	}
+	dur := math.Min(tHat, tZero)
+	if math.IsInf(dur, 1) {
+		return 0, fmt.Errorf("characteristics: increase segment from %+v never exits", cur)
+	}
+	return dur, nil
+}
+
+// smallestPositiveRoot returns the smallest strictly positive root of
+// a·t² + b·t + c = 0, or +Inf when none exists. A tiny positive root
+// caused by starting exactly on the manifold is rejected only when the
+// trajectory is moving away from it, which the quadratic handles
+// naturally via root ordering.
+func smallestPositiveRoot(a, b, c float64) float64 {
+	const eps = 1e-14
+	if a == 0 {
+		if b == 0 {
+			return math.Inf(1)
+		}
+		t := -c / b
+		if t > eps {
+			return t
+		}
+		return math.Inf(1)
+	}
+	disc := b*b - 4*a*c
+	if disc < 0 {
+		return math.Inf(1)
+	}
+	sq := math.Sqrt(disc)
+	// Numerically stable quadratic roots.
+	var t1, t2 float64
+	if b >= 0 {
+		t1 = (-b - sq) / (2 * a)
+		t2 = 2 * c / (-b - sq)
+	} else {
+		t1 = 2 * c / (-b + sq)
+		t2 = (-b + sq) / (2 * a)
+	}
+	lo, hi := math.Min(t1, t2), math.Max(t1, t2)
+	if lo > eps {
+		return lo
+	}
+	if hi > eps {
+		return hi
+	}
+	return math.Inf(1)
+}
+
+// decreaseExitTime returns the time for the exponential arc to fall
+// back to q = q̂. The arc is q(t) = q0 + (λ0/C1)(1−e^(−C1 t)) − μ t
+// with q0 >= q̂; q first rises while λ > μ, peaks at
+// t* = ln(λ0/μ)/C1, then decreases without bound, so a crossing
+// always exists. Located by doubling bracket + bisection, polished
+// with Newton steps.
+func decreaseExitTime(law control.AIMD, mu float64, cur Point) (float64, error) {
+	c1 := law.C1
+	q0, l0, qHat := cur.Q, cur.Lambda, law.QHat
+	f := func(t float64) float64 {
+		return q0 + l0/c1*(1-math.Exp(-c1*t)) - mu*t - qHat
+	}
+	// Start the bracket after the peak so f is decreasing on it.
+	var tPeak float64
+	if l0 > mu {
+		tPeak = math.Log(l0/mu) / c1
+	}
+	lo := tPeak
+	if f(lo) < 0 {
+		// Entered the region already past the peak (e.g. started
+		// inside with λ <= μ); the crossing is immediate unless q0 > q̂.
+		if q0 <= qHat {
+			return 0, fmt.Errorf("characteristics: decrease segment started outside its region: %+v", cur)
+		}
+		lo = 0
+	}
+	hi := math.Max(lo, 1/c1)
+	for f(hi) > 0 {
+		hi *= 2
+		if hi > 1e12 {
+			return 0, fmt.Errorf("characteristics: no return crossing found from %+v", cur)
+		}
+	}
+	// Bisection to a tight bracket.
+	for i := 0; i < 200 && hi-lo > 1e-14*(1+hi); i++ {
+		mid := 0.5 * (lo + hi)
+		if f(mid) > 0 {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	t := 0.5 * (lo + hi)
+	if !(t > 0) || math.IsNaN(t) {
+		return 0, fmt.Errorf("characteristics: invalid decrease exit time %v from %+v", t, cur)
+	}
+	return t, nil
+}

@@ -1,0 +1,75 @@
+package characteristics
+
+import (
+	"fmt"
+
+	"fpcc/internal/control"
+)
+
+// PhasePortrait samples trajectories from a grid of initial conditions
+// — the full Figure 2 picture rather than a single spiral. Each
+// trajectory is returned as a sequence of (t, q, λ) samples suitable
+// for a plotting tool; cmd/phaseplot -portrait prints them as TSV
+// blocks.
+type PhasePortrait struct {
+	// Trajectories[i] is the i-th trajectory's samples.
+	Trajectories [][]Sample
+}
+
+// Sample is one point of a portrait trajectory.
+type Sample struct {
+	T      float64
+	Q      float64
+	Lambda float64
+}
+
+// PortraitConfig controls portrait generation.
+type PortraitConfig struct {
+	Mu       float64 // service rate
+	QMaxInit float64 // initial queues are spread over [0, QMaxInit]
+	LMaxInit float64 // initial rates are spread over [0, LMaxInit]
+	GridQ    int     // number of initial queues
+	GridL    int     // number of initial rates
+	Horizon  float64 // trace duration per trajectory
+	Samples  int     // samples recorded per trajectory
+}
+
+// Portrait traces the AIMD characteristic field from a GridQ x GridL
+// lattice of initial conditions using the exact tracer.
+func Portrait(law control.AIMD, cfg PortraitConfig) (*PhasePortrait, error) {
+	switch {
+	case !(cfg.Mu > 0):
+		return nil, fmt.Errorf("characteristics: portrait needs positive μ, got %v", cfg.Mu)
+	case cfg.GridQ < 1 || cfg.GridL < 1:
+		return nil, fmt.Errorf("characteristics: empty portrait grid %dx%d", cfg.GridQ, cfg.GridL)
+	case !(cfg.Horizon > 0):
+		return nil, fmt.Errorf("characteristics: non-positive horizon %v", cfg.Horizon)
+	case !(cfg.QMaxInit >= 0) || !(cfg.LMaxInit > 0):
+		return nil, fmt.Errorf("characteristics: invalid initial ranges (%v, %v)", cfg.QMaxInit, cfg.LMaxInit)
+	}
+	samples := cfg.Samples
+	if samples < 2 {
+		samples = 100
+	}
+	p := &PhasePortrait{}
+	for iq := 0; iq < cfg.GridQ; iq++ {
+		for il := 0; il < cfg.GridL; il++ {
+			q0 := 0.0
+			if cfg.GridQ > 1 {
+				q0 = cfg.QMaxInit * float64(iq) / float64(cfg.GridQ-1)
+			}
+			l0 := cfg.LMaxInit * float64(il+1) / float64(cfg.GridL)
+			path, err := TraceExact(law, cfg.Mu, Point{Q: q0, Lambda: l0}, cfg.Horizon, 100000)
+			if err != nil {
+				return nil, fmt.Errorf("characteristics: portrait trajectory (%v, %v): %w", q0, l0, err)
+			}
+			ts, pts := path.Sample(samples - 1)
+			traj := make([]Sample, len(pts))
+			for k := range pts {
+				traj[k] = Sample{T: ts[k], Q: pts[k].Q, Lambda: pts[k].Lambda}
+			}
+			p.Trajectories = append(p.Trajectories, traj)
+		}
+	}
+	return p, nil
+}

@@ -1,0 +1,72 @@
+package characteristics
+
+import (
+	"math"
+	"testing"
+
+	"fpcc/internal/control"
+)
+
+func TestPortraitValidation(t *testing.T) {
+	law := control.AIMD{C0: 2, C1: 0.8, QHat: 20}
+	bad := []PortraitConfig{
+		{Mu: 0, QMaxInit: 10, LMaxInit: 10, GridQ: 2, GridL: 2, Horizon: 10},
+		{Mu: 10, QMaxInit: 10, LMaxInit: 10, GridQ: 0, GridL: 2, Horizon: 10},
+		{Mu: 10, QMaxInit: 10, LMaxInit: 10, GridQ: 2, GridL: 2, Horizon: 0},
+		{Mu: 10, QMaxInit: -1, LMaxInit: 10, GridQ: 2, GridL: 2, Horizon: 10},
+		{Mu: 10, QMaxInit: 10, LMaxInit: 0, GridQ: 2, GridL: 2, Horizon: 10},
+	}
+	for i, cfg := range bad {
+		if _, err := Portrait(law, cfg); err == nil {
+			t.Errorf("bad portrait config %d accepted", i)
+		}
+	}
+}
+
+func TestPortraitShape(t *testing.T) {
+	law := control.AIMD{C0: 2, C1: 0.8, QHat: 20}
+	cfg := PortraitConfig{
+		Mu: 10, QMaxInit: 40, LMaxInit: 20,
+		GridQ: 3, GridL: 4, Horizon: 100, Samples: 50,
+	}
+	p, err := Portrait(law, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Trajectories) != 12 {
+		t.Fatalf("got %d trajectories, want 12", len(p.Trajectories))
+	}
+	for i, traj := range p.Trajectories {
+		if len(traj) != 50 {
+			t.Fatalf("trajectory %d has %d samples, want 50", i, len(traj))
+		}
+		for k, s := range traj {
+			if s.Q < -1e-9 || s.Lambda < -1e-9 {
+				t.Fatalf("trajectory %d sample %d negative: %+v", i, k, s)
+			}
+			if k > 0 && s.T < traj[k-1].T {
+				t.Fatalf("trajectory %d times not monotone at %d", i, k)
+			}
+		}
+	}
+}
+
+// TestPortraitAllConverge: every lattice trajectory ends near the
+// Theorem 1 limit point — the global picture of Figure 3.
+func TestPortraitAllConverge(t *testing.T) {
+	law := control.AIMD{C0: 2, C1: 0.8, QHat: 20}
+	cfg := PortraitConfig{
+		Mu: 10, QMaxInit: 40, LMaxInit: 20,
+		GridQ: 3, GridL: 3, Horizon: 1500, Samples: 10,
+	}
+	p, err := Portrait(law, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, traj := range p.Trajectories {
+		last := traj[len(traj)-1]
+		if math.Abs(last.Q-20) > 1.5 || math.Abs(last.Lambda-10) > 1.5 {
+			t.Errorf("trajectory %d ends at (%v, %v), want near (20, 10)", i, last.Q, last.Lambda)
+		}
+	}
+}

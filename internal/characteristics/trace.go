@@ -1,0 +1,294 @@
+package characteristics
+
+import (
+	"fmt"
+	"math"
+
+	"fpcc/internal/control"
+	"fpcc/internal/ode"
+)
+
+// traceRegion identifies the smooth piece of the piecewise field the
+// integrator is currently in.
+type traceRegion int
+
+const (
+	regionIncrease traceRegion = iota // q <= q̂ (the law's increase branch)
+	regionDecrease                    // q > q̂ (the decrease branch)
+	regionStuck                       // q = 0 with λ < μ (empty queue)
+)
+
+// Trace integrates the characteristic system dq/dt = v, dλ/dt = g
+// numerically for an arbitrary law using RK4, returning the sampled
+// trajectory with state [q, λ].
+//
+// The field is discontinuous across the switching line q = q̂ and the
+// empty-queue boundary, so integrating it naively loses accuracy: RK4
+// stages near a boundary sample the wrong branch. Trace therefore
+// freezes the active branch, integrates the resulting smooth field
+// until the region-exit event (located by bisection), snaps the state
+// onto the boundary and switches branch — the numeric analogue of
+// TraceExact's closed-form segment chain, and valid for any Law whose
+// two branches are individually smooth.
+//
+// For AIMD prefer TraceExact, which is free of time-stepping error;
+// Trace exists for the laws without closed-form arcs and as an
+// independent cross-check of the exact tracer.
+func Trace(law control.Law, mu float64, p0 Point, t1, dt float64) (*ode.Trajectory, error) {
+	if !(mu > 0) {
+		return nil, fmt.Errorf("characteristics: service rate must be positive, got %v", mu)
+	}
+	if p0.Q < 0 || p0.Lambda < 0 {
+		return nil, fmt.Errorf("characteristics: invalid initial state %+v", p0)
+	}
+	if !(dt > 0) || !(t1 > 0) {
+		return nil, fmt.Errorf("characteristics: invalid horizon/step t1=%v dt=%v", t1, dt)
+	}
+	qHat := law.Target()
+	// Branch-frozen right-hand sides. The q argument passed to the law
+	// is clamped to the active branch's side so that stage evaluations
+	// that numerically wander across the boundary still see the frozen
+	// branch.
+	qAbove := math.Nextafter(qHat, math.Inf(1))
+	rhs := map[traceRegion]ode.System{
+		regionIncrease: func(t float64, y, dydt []float64) {
+			dydt[0] = y[1] - mu
+			dydt[1] = law.Drift(math.Min(y[0], qHat), y[1])
+		},
+		regionDecrease: func(t float64, y, dydt []float64) {
+			dydt[0] = y[1] - mu
+			dydt[1] = law.Drift(math.Max(y[0], qAbove), y[1])
+		},
+		regionStuck: func(t float64, y, dydt []float64) {
+			dydt[0] = 0
+			dydt[1] = law.Drift(0, y[1])
+		},
+	}
+	regionOf := func(p Point) traceRegion {
+		switch {
+		case p.Q <= 0 && p.Lambda < mu:
+			return regionStuck
+		case p.Q < qHat || (p.Q == qHat && p.Lambda <= mu):
+			return regionIncrease
+		default:
+			return regionDecrease
+		}
+	}
+
+	stepper := ode.NewRK4(2)
+	tol := math.Min(dt*1e-6, 1e-9)
+	y := []float64{p0.Q, p0.Lambda}
+	full := &ode.Trajectory{}
+	full.Times = append(full.Times, 0)
+	full.States = append(full.States, append([]float64(nil), y...))
+
+	// Near the Filippov equilibrium (q̂, μ) region cycles become
+	// arbitrarily short (the spiral converges in infinite time with
+	// exponentially accelerating crossings). An arc that completes
+	// within a single step is invisible to endpoint sign checks, so
+	// once the state is within the amplitude an arc can traverse in
+	// ~2 steps we hold it constant, matching TraceExact's steady
+	// segment. The radius scales with dt: refining the step refines
+	// the hold ball.
+	gUp := math.Abs(law.Drift(qHat, mu))
+	gDn := math.Abs(law.Drift(qAbove, mu))
+	eqTol := 2*dt*math.Max(gUp, gDn) + 1e-9*(1+qHat+mu)
+	t := 0.0
+	for t < t1 {
+		if math.Abs(y[0]-qHat) < eqTol && math.Abs(y[1]-mu) < eqTol {
+			full.Times = append(full.Times, t1)
+			full.States = append(full.States, []float64{qHat, mu})
+			break
+		}
+		reg := regionOf(Point{Q: y[0], Lambda: y[1]})
+		var events []ode.EventFunc
+		switch reg {
+		case regionIncrease:
+			events = []ode.EventFunc{
+				func(tt float64, yy []float64) float64 { return yy[0] - qHat },
+				func(tt float64, yy []float64) float64 { return yy[0] },
+			}
+		case regionDecrease:
+			events = []ode.EventFunc{
+				func(tt float64, yy []float64) float64 { return yy[0] - qHat },
+			}
+		case regionStuck:
+			events = []ode.EventFunc{
+				func(tt float64, yy []float64) float64 { return yy[1] - mu },
+			}
+		}
+		seg, evs, err := ode.SolveWithEvents(rhs[reg], stepper, y, t, t1, dt, tol, events, nil, 1)
+		if err != nil {
+			return nil, err
+		}
+		// Append the segment, skipping its duplicated initial sample.
+		for i := 1; i < seg.Len(); i++ {
+			st, sy := seg.At(i)
+			full.Times = append(full.Times, st)
+			full.States = append(full.States, append([]float64(nil), sy...))
+		}
+		tEnd, yEnd := seg.Last()
+		copy(y, yEnd)
+		if len(evs) == 0 {
+			// Ran to the horizon without leaving the region.
+			t = tEnd
+			break
+		}
+		t = tEnd
+		// Snap exactly onto the boundary the event located.
+		switch reg {
+		case regionIncrease:
+			if math.Abs(y[0]-qHat) < math.Abs(y[0]) { // hit the switching line
+				y[0] = qHat
+			} else { // hit the empty-queue boundary
+				y[0] = 0
+			}
+		case regionDecrease:
+			y[0] = qHat
+		case regionStuck:
+			y[0] = 0
+			y[1] = mu
+		}
+		if len(full.States) > 0 {
+			copy(full.States[len(full.States)-1], y)
+		}
+		if y[0] < 0 {
+			y[0] = 0
+		}
+		if y[1] < 0 {
+			y[1] = 0
+		}
+	}
+	return full, nil
+}
+
+// Crossing records one upward passage of the trajectory through the
+// Poincaré section q = q̂ (moving from the increase region into the
+// decrease region).
+type Crossing struct {
+	T      float64 // time of the crossing
+	Lambda float64 // rate at the crossing; amplitude is Lambda − μ
+}
+
+// UpCrossings extracts the Poincaré-section hits from a sampled
+// trajectory with state [q, λ]: samples where q crosses q̂ from below
+// with λ > mu. Crossing times and rates are linearly interpolated
+// between samples.
+func UpCrossings(tr *ode.Trajectory, qHat, mu float64) []Crossing {
+	var out []Crossing
+	for i := 1; i < tr.Len(); i++ {
+		t0, y0 := tr.At(i - 1)
+		t1, y1 := tr.At(i)
+		q0, q1 := y0[0], y1[0]
+		if q0 <= qHat && q1 > qHat {
+			// Interpolate the crossing.
+			frac := 0.0
+			if q1 != q0 {
+				frac = (qHat - q0) / (q1 - q0)
+			}
+			lam := y0[1] + frac*(y1[1]-y0[1])
+			if lam > mu {
+				out = append(out, Crossing{T: t0 + frac*(t1-t0), Lambda: lam})
+			}
+		}
+	}
+	return out
+}
+
+// Behavior classifies the long-run behaviour of a trajectory from the
+// amplitude sequence of its Poincaré map.
+type Behavior int
+
+const (
+	// Converging: amplitudes contract toward zero — the convergent
+	// spiral of Theorem 1 (Figure 3).
+	Converging Behavior = iota
+	// NeutralCycle: amplitudes neither grow nor shrink — a closed
+	// orbit, as AIAD produces without delay.
+	NeutralCycle
+	// Diverging: amplitudes grow — an outward spiral, as delayed
+	// feedback produces until it saturates into a limit cycle.
+	Diverging
+	// Inconclusive: fewer than three crossings were observed.
+	Inconclusive
+)
+
+// String implements fmt.Stringer.
+func (b Behavior) String() string {
+	switch b {
+	case Converging:
+		return "converging"
+	case NeutralCycle:
+		return "neutral-cycle"
+	case Diverging:
+		return "diverging"
+	case Inconclusive:
+		return "inconclusive"
+	default:
+		return fmt.Sprintf("Behavior(%d)", int(b))
+	}
+}
+
+// Classify inspects the Poincaré amplitude sequence aₖ = λₖ − μ and
+// returns the behaviour plus the total amplitude ratio
+// R = a_last / a_first over the observation window; R < 1−tol is
+// Converging, R > 1+tol Diverging, otherwise NeutralCycle.
+//
+// The total ratio (rather than a per-crossing geometric mean) is the
+// right statistic here because Theorem 1's contraction is quadratic,
+// a' = a − (2/3)a²/μ + O(a³): amplitudes decay algebraically (~1/k),
+// so the per-crossing ratio tends to 1 even though the spiral
+// converges. A neutral cycle keeps R ≈ 1 no matter how long the
+// window; a convergent spiral drives R toward 0.
+func Classify(crossings []Crossing, mu, tol float64) (Behavior, float64) {
+	n := len(crossings)
+	if n < 3 {
+		return Inconclusive, math.NaN()
+	}
+	a0 := crossings[0].Lambda - mu
+	aN := crossings[n-1].Lambda - mu
+	if a0 <= 0 || aN < 0 {
+		return Inconclusive, math.NaN()
+	}
+	r := aN / a0
+	switch {
+	case r < 1-tol:
+		return Converging, r
+	case r > 1+tol:
+		return Diverging, r
+	default:
+		return NeutralCycle, r
+	}
+}
+
+// ConvergenceTime returns the first sample time at which the
+// trajectory enters and afterwards remains within distance eps of the
+// equilibrium (Theorem 1's limit point), or NaN if it never settles.
+func ConvergenceTime(tr *ode.Trajectory, law control.Law, mu, eps float64) float64 {
+	settled := math.NaN()
+	for i := 0; i < tr.Len(); i++ {
+		t, y := tr.At(i)
+		d := DistanceToEquilibrium(law, mu, Point{Q: y[0], Lambda: y[1]})
+		if d <= eps {
+			if math.IsNaN(settled) {
+				settled = t
+			}
+		} else {
+			settled = math.NaN()
+		}
+	}
+	return settled
+}
+
+// Overshoot returns the maximum queue excursion above the target q̂
+// observed along the trajectory.
+func Overshoot(tr *ode.Trajectory, qHat float64) float64 {
+	var m float64
+	for i := 0; i < tr.Len(); i++ {
+		_, y := tr.At(i)
+		if over := y[0] - qHat; over > m {
+			m = over
+		}
+	}
+	return m
+}

@@ -1,0 +1,89 @@
+package control
+
+import (
+	"fmt"
+	"math"
+)
+
+// SmoothAIMD is the AIMD law with the hard threshold at q̂ replaced by
+// a logistic blend of width Width:
+//
+//	g(q, λ) = C0·s(q) − C1·λ·(1 − s(q)),   s(q) = 1/(1 + e^{(q−q̂)/Width})
+//
+// As Width → 0 the law recovers the paper's Equation 2 exactly. The
+// smooth variant exists because linear stability analysis — the
+// characteristic equation of the delayed feedback loop in
+// internal/stability — needs derivatives of g at the equilibrium,
+// which the discontinuous law does not have. It also models real
+// implementations whose congestion signal is itself a smoothed
+// quantity (averaged queue, marking probability) rather than a sharp
+// threshold test.
+type SmoothAIMD struct {
+	C0    float64 // probe slope (rate/s²)
+	C1    float64 // decay coefficient (1/s)
+	QHat  float64 // target queue length
+	Width float64 // blend width in queue-length units (> 0)
+}
+
+// NewSmoothAIMD validates and returns a smooth AIMD law.
+func NewSmoothAIMD(c0, c1, qHat, width float64) (SmoothAIMD, error) {
+	if err := validateParams("SmoothAIMD", c0, c1, qHat); err != nil {
+		return SmoothAIMD{}, err
+	}
+	if !(width > 0) || math.IsInf(width, 1) || math.IsNaN(width) {
+		return SmoothAIMD{}, fmt.Errorf("control: SmoothAIMD width must be positive and finite, got %v", width)
+	}
+	return SmoothAIMD{C0: c0, C1: c1, QHat: qHat, Width: width}, nil
+}
+
+// sigmoid returns s(q) = 1/(1+e^{(q−q̂)/w}), clamped against overflow.
+func (l SmoothAIMD) sigmoid(q float64) float64 {
+	x := (q - l.QHat) / l.Width
+	if x > 500 {
+		return 0
+	}
+	if x < -500 {
+		return 1
+	}
+	return 1 / (1 + math.Exp(x))
+}
+
+// Drift implements Law.
+func (l SmoothAIMD) Drift(q, lambda float64) float64 {
+	s := l.sigmoid(q)
+	return l.C0*s - l.C1*lambda*(1-s)
+}
+
+// Name implements Law.
+func (l SmoothAIMD) Name() string { return "SmoothAIMD" }
+
+// Target implements Law.
+func (l SmoothAIMD) Target() float64 { return l.QHat }
+
+// Equilibrium returns the queue length q* at which the drift vanishes
+// for a given service rate μ (the fixed point λ* = μ): solving
+// C0·s = C1·μ·(1−s) gives s* = C1μ/(C0+C1μ) and
+// q* = q̂ + Width·ln(C0/(C1μ)).
+//
+// Note q* ≠ q̂ in general: the blend trades a small queue offset for
+// differentiability. The offset vanishes as Width → 0 (and is zero
+// when C0 = C1·μ exactly).
+func (l SmoothAIMD) Equilibrium(mu float64) (float64, error) {
+	if !(mu > 0) || math.IsInf(mu, 1) {
+		return 0, fmt.Errorf("control: service rate must be positive, got %v", mu)
+	}
+	return l.QHat + l.Width*math.Log(l.C0/(l.C1*mu)), nil
+}
+
+// PartialQ returns ∂g/∂q at (q, λ) in closed form.
+func (l SmoothAIMD) PartialQ(q, lambda float64) float64 {
+	s := l.sigmoid(q)
+	// ds/dq = −s(1−s)/Width.
+	dsdq := -s * (1 - s) / l.Width
+	return (l.C0 + l.C1*lambda) * dsdq
+}
+
+// PartialLambda returns ∂g/∂λ at (q, λ) in closed form.
+func (l SmoothAIMD) PartialLambda(q, lambda float64) float64 {
+	return -l.C1 * (1 - l.sigmoid(q))
+}

@@ -1,0 +1,145 @@
+package control
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewSmoothAIMDValidation(t *testing.T) {
+	if _, err := NewSmoothAIMD(2, 0.8, 20, 0); err == nil {
+		t.Error("zero width: want error")
+	}
+	if _, err := NewSmoothAIMD(2, 0.8, 20, -1); err == nil {
+		t.Error("negative width: want error")
+	}
+	if _, err := NewSmoothAIMD(2, 0.8, 20, math.NaN()); err == nil {
+		t.Error("NaN width: want error")
+	}
+	if _, err := NewSmoothAIMD(0, 0.8, 20, 1); err == nil {
+		t.Error("zero C0: want error")
+	}
+}
+
+func TestSmoothAIMDLimitsRecoverAIMD(t *testing.T) {
+	// Far from q̂ (relative to the width) the smooth law matches the
+	// hard-threshold law.
+	hard, err := NewAIMD(2, 0.8, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	smooth, err := NewSmoothAIMD(2, 0.8, 20, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range []float64{0, 5, 10, 15} {
+		if d := math.Abs(smooth.Drift(q, 10) - hard.Drift(q, 10)); d > 1e-3 {
+			t.Errorf("q=%v: smooth-hard gap %v below q̂", q, d)
+		}
+	}
+	for _, q := range []float64{25, 30, 50} {
+		if d := math.Abs(smooth.Drift(q, 10) - hard.Drift(q, 10)); d > 1e-3 {
+			t.Errorf("q=%v: smooth-hard gap %v above q̂", q, d)
+		}
+	}
+}
+
+func TestSmoothAIMDSigmoidExtremes(t *testing.T) {
+	l, err := NewSmoothAIMD(2, 0.8, 20, 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Far below / above q̂ with a tiny width stresses the overflow
+	// clamps in the sigmoid.
+	if g := l.Drift(-1e6, 10); math.Abs(g-2) > 1e-12 {
+		t.Errorf("deep increase branch: g = %v, want C0 = 2", g)
+	}
+	if g := l.Drift(1e6, 10); math.Abs(g+8) > 1e-12 {
+		t.Errorf("deep decrease branch: g = %v, want −C1·λ = −8", g)
+	}
+}
+
+func TestSmoothAIMDEquilibrium(t *testing.T) {
+	l, err := NewSmoothAIMD(2, 0.8, 20, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const mu = 10.0
+	qStar, err := l.Equilibrium(mu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g := l.Drift(qStar, mu); math.Abs(g) > 1e-9 {
+		t.Errorf("drift at closed-form equilibrium = %v, want 0", g)
+	}
+	if _, err := l.Equilibrium(0); err == nil {
+		t.Error("zero mu: want error")
+	}
+	// C0 = C1·μ puts the equilibrium exactly at q̂.
+	balanced, err := NewSmoothAIMD(8, 0.8, 20, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs, err := balanced.Equilibrium(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(qs-20) > 1e-12 {
+		t.Errorf("balanced equilibrium = %v, want q̂ = 20", qs)
+	}
+}
+
+func TestSmoothAIMDPartialsMatchFiniteDifferences(t *testing.T) {
+	l, err := NewSmoothAIMD(2, 0.8, 20, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pt := range []struct{ q, lam float64 }{
+		{18, 9}, {20, 10}, {22, 11}, {15, 5},
+	} {
+		const h = 1e-6
+		numQ := (l.Drift(pt.q+h, pt.lam) - l.Drift(pt.q-h, pt.lam)) / (2 * h)
+		numL := (l.Drift(pt.q, pt.lam+h) - l.Drift(pt.q, pt.lam-h)) / (2 * h)
+		if d := math.Abs(numQ - l.PartialQ(pt.q, pt.lam)); d > 1e-5 {
+			t.Errorf("(%v,%v): ∂g/∂q analytic vs numeric gap %v", pt.q, pt.lam, d)
+		}
+		if d := math.Abs(numL - l.PartialLambda(pt.q, pt.lam)); d > 1e-5 {
+			t.Errorf("(%v,%v): ∂g/∂λ analytic vs numeric gap %v", pt.q, pt.lam, d)
+		}
+	}
+}
+
+func TestSmoothAIMDInterface(t *testing.T) {
+	l, err := NewSmoothAIMD(2, 0.8, 20, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var law Law = l
+	if law.Name() != "SmoothAIMD" {
+		t.Errorf("Name = %q", law.Name())
+	}
+	if law.Target() != 20 {
+		t.Errorf("Target = %v", law.Target())
+	}
+}
+
+// Property: the drift is monotonically non-increasing in q (more
+// congestion never increases the probe) for every positive λ.
+func TestSmoothAIMDMonotoneProperty(t *testing.T) {
+	l, err := NewSmoothAIMD(2, 0.8, 20, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(q1Raw, q2Raw, lamRaw uint8) bool {
+		q1 := float64(q1Raw) / 4 // 0..63.75
+		q2 := float64(q2Raw) / 4
+		lam := 0.1 + float64(lamRaw)/16
+		if q1 > q2 {
+			q1, q2 = q2, q1
+		}
+		return l.Drift(q1, lam) >= l.Drift(q2, lam)-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

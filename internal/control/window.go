@@ -1,0 +1,68 @@
+package control
+
+import (
+	"fmt"
+	"math"
+)
+
+// Window is the original window-based algorithm of Equation 1:
+//
+//	w ← d·w       if congested          (0 < d < 1)
+//	w ← w + a     if not congested      (a > 0)
+//
+// applied once per update interval (once per round-trip in TCP). The
+// packet-level simulator uses Window when emulating the protocols the
+// paper's rate model abstracts; Rate laws and Window laws should
+// produce matching long-run behaviour, which experiment E3 exercises.
+type Window struct {
+	A    float64 // additive increase per update (packets)
+	D    float64 // multiplicative decrease factor in (0, 1)
+	QHat float64 // congestion threshold on the observed queue
+	WMin float64 // floor on the window (>= 0)
+	WMax float64 // ceiling on the window (0 = unbounded)
+}
+
+// NewWindow validates and returns a Window law.
+func NewWindow(a, d, qHat float64) (Window, error) {
+	switch {
+	case !(a > 0) || math.IsInf(a, 1):
+		return Window{}, fmt.Errorf("control: Window requires a > 0, got %v", a)
+	case !(d > 0) || d >= 1:
+		return Window{}, fmt.Errorf("control: Window requires 0 < d < 1, got %v", d)
+	case !(qHat >= 0) || math.IsInf(qHat, 1):
+		return Window{}, fmt.Errorf("control: Window requires q̂ >= 0, got %v", qHat)
+	}
+	return Window{A: a, D: d, QHat: qHat, WMin: 1}, nil
+}
+
+// Apply returns the next window size given the current window and the
+// observed queue length, clamped to [WMin, WMax] (WMax 0 = unbounded).
+func (w Window) Apply(window, q float64) float64 {
+	var next float64
+	if q > w.QHat {
+		next = w.D * window
+	} else {
+		next = window + w.A
+	}
+	if next < w.WMin {
+		next = w.WMin
+	}
+	if w.WMax > 0 && next > w.WMax {
+		next = w.WMax
+	}
+	return next
+}
+
+// RateEquivalent returns the AIMD rate law that approximates this
+// window law when updates happen every interval seconds and the
+// round-trip time is rtt: the additive window step a per interval is
+// a rate slope a/(rtt·interval), and the multiplicative factor d per
+// interval is an exponential rate −ln(d)/interval. This is the
+// correspondence the paper invokes when it studies "an equivalent
+// rate-based algorithm".
+func (w Window) RateEquivalent(rtt, interval float64) (AIMD, error) {
+	if !(rtt > 0) || !(interval > 0) {
+		return AIMD{}, fmt.Errorf("control: RateEquivalent requires rtt, interval > 0, got %v, %v", rtt, interval)
+	}
+	return NewAIMD(w.A/(rtt*interval), -math.Log(w.D)/interval, w.QHat)
+}

@@ -1,0 +1,33 @@
+package des
+
+import "testing"
+
+// BenchmarkTahoeRun times a 60-second single-flow Tahoe simulation
+// (≈ 6000 packets through the full event loop).
+func BenchmarkTahoeRun(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sim, err := NewTahoe(TahoeConfig{
+			Mu: 100, Buffer: 20, Seed: uint64(i),
+			Flows: []TahoeFlowConfig{{PropDelay: 0.05, RTO: 1}},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sim.Run(60, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBurstSimRun times a 200-second modulated-source packet
+// simulation (the E18 workload unit).
+func BenchmarkBurstSimRun(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sim := mustBurstSim(b, uint64(i))
+		if _, err := sim.Run(200, 20); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

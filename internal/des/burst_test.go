@@ -1,0 +1,172 @@
+package des
+
+import (
+	"math"
+	"testing"
+
+	"fpcc/internal/control"
+	"fpcc/internal/traffic"
+)
+
+// The burst tests reuse engine_test.go's frozenLaw (zero drift) to
+// isolate the modulation path from the control path.
+
+func TestBurstModulatedThroughputMatchesMeanFactor(t *testing.T) {
+	// An on/off modulator with mean factor 1 must deliver the same
+	// long-run throughput as the unmodulated source (the controller is
+	// frozen so λ is constant).
+	mod, err := traffic.NewOnOff(0.5, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(burst traffic.Modulator) float64 {
+		cfg := Config{
+			Mu:   50,
+			Seed: 21,
+			Sources: []SourceConfig{{
+				Law: frozenLaw, Interval: 1, Lambda0: 20, Burst: burst,
+			}},
+		}
+		sim, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sim.Run(4000, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Throughput[0]
+	}
+	plain := run(nil)
+	bursty := run(mod)
+	if math.Abs(plain-20) > 1 {
+		t.Fatalf("plain throughput %v, want ≈ 20", plain)
+	}
+	if math.Abs(bursty-plain) > 0.06*plain {
+		t.Errorf("bursty throughput %v vs plain %v: mean-factor-1 modulation must preserve the average", bursty, plain)
+	}
+}
+
+func TestBurstRaisesQueueVariance(t *testing.T) {
+	// Same average load, but the on/off bursts pile the queue up
+	// during on-periods: the time-weighted queue variance must rise
+	// well above the Poisson baseline.
+	mod, err := traffic.NewOnOff(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	variance := func(burst traffic.Modulator) float64 {
+		cfg := Config{
+			Mu:   25,
+			Seed: 9,
+			Sources: []SourceConfig{{
+				Law: frozenLaw, Interval: 1, Lambda0: 20, Burst: burst,
+			}},
+		}
+		sim, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sim.Run(3000, 200)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.QueueStats.Variance()
+	}
+	plain := variance(nil)
+	bursty := variance(mod)
+	if bursty < 2*plain {
+		t.Errorf("burst variance %v not clearly above Poisson %v", bursty, plain)
+	}
+}
+
+func TestBurstZeroFactorStopsArrivals(t *testing.T) {
+	// A square wave that is almost always off must cut throughput to
+	// roughly the duty cycle despite the same nominal λ.
+	sw, err := traffic.NewSquareWave(1, 0, 1, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		Mu:   100,
+		Seed: 4,
+		Sources: []SourceConfig{{
+			Law: frozenLaw, Interval: 1, Lambda0: 30, Burst: sw,
+		}},
+	}
+	sim, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(2000, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 30.0 * 0.1 // 10% duty cycle
+	if math.Abs(res.Throughput[0]-want) > 0.2*want {
+		t.Errorf("throughput %v, want ≈ %v (duty-cycled)", res.Throughput[0], want)
+	}
+}
+
+func TestBurstWithActiveControllerStillConverges(t *testing.T) {
+	// AIMD must keep the bottleneck near q̂ on average even under
+	// bursty input — the control loop sees a noisier queue but the
+	// same feedback sign structure.
+	law, err := control.NewAIMD(2, 0.5, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := traffic.NewOnOff(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		Mu:   30,
+		Seed: 17,
+		Sources: []SourceConfig{{
+			Law: law, Interval: 0.25, Lambda0: 5, MinRate: 0.5, Burst: mod,
+		}},
+	}
+	sim, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(2000, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean := res.QueueStats.Mean()
+	if mean < 5 || mean > 40 {
+		t.Errorf("mean queue %v drifted far from q̂ = 15 under bursts", mean)
+	}
+	// Bursty input wastes capacity: the queue drains dry during off-
+	// periods, so throughput lands well below μ — but the loop must
+	// neither collapse nor exceed the service rate.
+	if res.Throughput[0] < 10 || res.Throughput[0] > 31 {
+		t.Errorf("throughput %v outside the feasible band (10, 31)", res.Throughput[0])
+	}
+}
+
+// mustBurstSim builds the benchmark's modulated AIMD simulation.
+func mustBurstSim(tb testing.TB, seed uint64) *Sim {
+	tb.Helper()
+	law, err := control.NewAIMD(2, 0.5, 15)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	mod, err := traffic.NewOnOff(1, 1)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	sim, err := New(Config{
+		Mu:   30,
+		Seed: seed,
+		Sources: []SourceConfig{{
+			Law: law, Interval: 0.25, Lambda0: 10, MinRate: 0.5, Burst: mod,
+		}},
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return sim
+}

@@ -1,0 +1,213 @@
+package des
+
+import (
+	"testing"
+
+	"fpcc/internal/control"
+)
+
+func TestImplicitLossValidation(t *testing.T) {
+	law, err := control.NewAIMD(2, 0.5, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ImplicitLoss without a finite buffer is rejected.
+	cfg := Config{
+		Mu: 10,
+		Sources: []SourceConfig{{
+			Law: law, Interval: 1, Lambda0: 5, ImplicitLoss: true,
+		}},
+	}
+	if _, err := New(cfg); err == nil {
+		t.Error("implicit loss with infinite buffer: want error")
+	}
+	// ImplicitLoss with a gateway is rejected.
+	ewma, err := NewEWMAGateway(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Buffer = 20
+	cfg.Gateway = ewma
+	if _, err := New(cfg); err == nil {
+		t.Error("implicit loss with gateway: want error")
+	}
+	// Negative buffer is rejected.
+	if _, err := New(Config{Mu: 10, Buffer: -1, Sources: []SourceConfig{{Law: law, Interval: 1, Lambda0: 5}}}); err == nil {
+		t.Error("negative buffer: want error")
+	}
+}
+
+func TestFiniteBufferCapsQueue(t *testing.T) {
+	cfg := Config{
+		Mu:          10,
+		Buffer:      8,
+		Seed:        5,
+		SampleEvery: 0.05,
+		Sources: []SourceConfig{{
+			Law: frozenLaw, Interval: 1, Lambda0: 30, // heavy overload
+		}},
+	}
+	sim, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(200, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, q := range res.TraceQ {
+		if q > 8 {
+			t.Fatalf("sample %d: queue %v exceeds buffer 8", i, q)
+		}
+	}
+	if res.Dropped[0] == 0 {
+		t.Error("overloaded finite buffer dropped nothing")
+	}
+	// Delivered rate is capped by μ.
+	if res.Throughput[0] > 10.5 {
+		t.Errorf("throughput %v exceeds service rate", res.Throughput[0])
+	}
+}
+
+func TestInfiniteBufferNeverDrops(t *testing.T) {
+	cfg := Config{
+		Mu:   10,
+		Seed: 5,
+		Sources: []SourceConfig{{
+			Law: frozenLaw, Interval: 1, Lambda0: 12,
+		}},
+	}
+	sim, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(100, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dropped[0] != 0 {
+		t.Errorf("infinite buffer dropped %d packets", res.Dropped[0])
+	}
+}
+
+func TestImplicitLossControlConverges(t *testing.T) {
+	// A loss-driven AIMD source against a finite buffer: the loop
+	// must find an operating point with high utilization and a small
+	// but nonzero loss rate — TCP-style congestion control from the
+	// implicit signal alone.
+	law, err := control.NewAIMD(2, 0.5, 15) // q̂ is only the mark mapping here
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		Mu:     30,
+		Buffer: 20,
+		Seed:   11,
+		Sources: []SourceConfig{{
+			Law: law, Interval: 0.25, Lambda0: 5, MinRate: 1, ImplicitLoss: true,
+		}},
+	}
+	sim, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(2000, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	util := res.Throughput[0] / 30
+	if util < 0.6 || util > 1.01 {
+		t.Errorf("utilization %v outside (0.6, 1.01)", util)
+	}
+	loss := float64(res.Dropped[0]) / float64(res.Dropped[0]+res.Delivered[0])
+	if loss <= 0 || loss > 0.2 {
+		t.Errorf("loss fraction %v, want small but positive", loss)
+	}
+}
+
+func TestImplicitLossTwoSourcesShareFairly(t *testing.T) {
+	law, err := control.NewAIMD(2, 0.5, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := SourceConfig{Law: law, Interval: 0.25, Lambda0: 5, MinRate: 1, ImplicitLoss: true}
+	cfg := Config{
+		Mu:      30,
+		Buffer:  20,
+		Seed:    23,
+		Sources: []SourceConfig{src, src},
+	}
+	sim, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(3000, 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := res.Throughput[0] / res.Throughput[1]
+	if ratio < 0.7 || ratio > 1.45 {
+		t.Errorf("equal loss-driven sources split %v:%v", res.Throughput[0], res.Throughput[1])
+	}
+}
+
+func TestLossInWindow(t *testing.T) {
+	st := &sourceState{dropT: []float64{1, 2.5, 7}}
+	cases := []struct {
+		a, b float64
+		want bool
+	}{
+		{0, 0.5, false}, {0, 1, true}, {1, 2, false}, {2, 3, true},
+		{3, 6, false}, {6.5, 8, true}, {7, 9, false},
+	}
+	for _, tc := range cases {
+		if got := st.lossIn(tc.a, tc.b); got != tc.want {
+			t.Errorf("lossIn(%v, %v) = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+	}
+	st.pruneDrops(2.6)
+	if len(st.dropT) != 1 || st.dropT[0] != 7 {
+		t.Errorf("pruneDrops left %v, want [7]", st.dropT)
+	}
+}
+
+// TestSimDeterministicBySeed ensures the simulator is a pure function
+// of its seed: the full result (throughput, drops, queue stats) must
+// be bit-identical across runs, and different seeds must diverge.
+func TestSimDeterministicBySeed(t *testing.T) {
+	law, err := control.NewAIMD(2, 0.5, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(seed uint64) *Result {
+		sim, err := New(Config{
+			Mu: 30, Buffer: 25, Seed: seed,
+			Sources: []SourceConfig{
+				{Law: law, Interval: 0.25, Lambda0: 5, MinRate: 1, ImplicitLoss: true},
+				{Law: law, Interval: 0.25, Delay: 0.3, Lambda0: 5, MinRate: 1, ImplicitLoss: true},
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sim.Run(500, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(42), run(42)
+	for i := range a.Throughput {
+		if a.Throughput[i] != b.Throughput[i] || a.Dropped[i] != b.Dropped[i] {
+			t.Fatalf("same seed diverged: %v/%v vs %v/%v",
+				a.Throughput[i], a.Dropped[i], b.Throughput[i], b.Dropped[i])
+		}
+	}
+	if a.QueueStats.Mean() != b.QueueStats.Mean() {
+		t.Fatal("queue stats diverged under the same seed")
+	}
+	c := run(43)
+	if a.Throughput[0] == c.Throughput[0] && a.Throughput[1] == c.Throughput[1] {
+		t.Error("different seeds produced identical throughput — RNG not wired through")
+	}
+}

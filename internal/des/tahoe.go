@@ -1,0 +1,336 @@
+package des
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"fpcc/internal/rng"
+	"fpcc/internal/stats"
+)
+
+// This file implements an ack-clocked window protocol in the style of
+// Jacobson's 1988 TCP (Tahoe): slow start, congestion avoidance, and
+// timeout recovery against a finite drop-tail buffer. It is the
+// protocol whose rate abstraction the paper analyzes (Equation 1 is
+// its congestion-avoidance half), and it reproduces the observations
+// the paper cites from Jacobson's measurements and Zhang's simulations
+// — notably that flows with longer round-trip times obtain smaller
+// shares of a shared bottleneck, the starting point of the Section 7
+// unfairness analysis.
+//
+// The model: each flow has a one-way propagation delay D. A sent
+// packet reaches the bottleneck after D, waits in a finite FIFO served
+// at exponential rate Mu, and its ack returns to the sender D after
+// service completes (RTT = 2D + queueing + service). A packet arriving
+// at a full buffer is dropped; the sender notices via a retransmission
+// timeout RTO after the send and enters Tahoe recovery
+// (ssthresh ← max(cwnd/2, 2), cwnd ← 1).
+
+// TahoeFlowConfig describes one window-controlled flow.
+type TahoeFlowConfig struct {
+	// PropDelay is the one-way propagation delay D (seconds).
+	PropDelay float64
+	// RTO is the fixed retransmission timeout (seconds). Real TCP
+	// estimates it from RTT samples; a fixed multiple of the true RTT
+	// keeps the model analyzable. Must exceed the unloaded RTT.
+	RTO float64
+	// InitialSSThresh seeds ssthresh (packets); 0 means a large
+	// default so the first slow start probes up to buffer overflow.
+	InitialSSThresh float64
+}
+
+// TahoeConfig describes a Tahoe simulation.
+type TahoeConfig struct {
+	Mu     float64 // bottleneck service rate (packets/s)
+	Buffer int     // queue capacity (packets, including the one in service)
+	Flows  []TahoeFlowConfig
+	Seed   uint64
+	// SampleEvery records queue and per-flow cwnd every so many
+	// seconds (0 disables tracing).
+	SampleEvery float64
+}
+
+// Validate checks the configuration.
+func (c *TahoeConfig) Validate() error {
+	if !(c.Mu > 0) || math.IsInf(c.Mu, 1) {
+		return fmt.Errorf("des: tahoe service rate must be positive, got %v", c.Mu)
+	}
+	if c.Buffer < 2 {
+		return fmt.Errorf("des: tahoe buffer must hold at least 2 packets, got %d", c.Buffer)
+	}
+	if len(c.Flows) == 0 {
+		return fmt.Errorf("des: tahoe needs at least one flow")
+	}
+	for i, f := range c.Flows {
+		switch {
+		case !(f.PropDelay > 0):
+			return fmt.Errorf("des: flow %d propagation delay must be positive, got %v", i, f.PropDelay)
+		case !(f.RTO > 2*f.PropDelay):
+			return fmt.Errorf("des: flow %d RTO %v must exceed the unloaded RTT %v", i, f.RTO, 2*f.PropDelay)
+		case f.InitialSSThresh < 0:
+			return fmt.Errorf("des: flow %d negative ssthresh %v", i, f.InitialSSThresh)
+		}
+	}
+	if c.SampleEvery < 0 {
+		return fmt.Errorf("des: negative sample period %v", c.SampleEvery)
+	}
+	return nil
+}
+
+// tahoeEventKind enumerates Tahoe simulator events.
+type tahoeEventKind int
+
+const (
+	tevQueueArrive tahoeEventKind = iota // packet reaches the bottleneck
+	tevService                           // bottleneck finishes a packet
+	tevAck                               // ack reaches the sender
+	tevTimeout                           // retransmission timer fires
+)
+
+// tahoeEvent is one scheduled Tahoe occurrence.
+type tahoeEvent struct {
+	t    float64
+	kind tahoeEventKind
+	flow int
+	id   uint64 // packet id (for timeout matching)
+	seq  uint64 // heap tie-breaker
+}
+
+// tahoeHeap is a min-heap on (t, seq).
+type tahoeHeap []tahoeEvent
+
+func (h tahoeHeap) Len() int { return len(h) }
+func (h tahoeHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h tahoeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *tahoeHeap) Push(x interface{}) { *h = append(*h, x.(tahoeEvent)) }
+func (h *tahoeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// tahoeFlow is the runtime state of one flow.
+type tahoeFlow struct {
+	cfg      TahoeFlowConfig
+	cwnd     float64
+	ssthresh float64
+	inflight int
+	nextID   uint64
+	// lost marks packet ids dropped at the buffer; their timeout
+	// events trigger recovery unless superseded by an earlier one.
+	lost map[uint64]bool
+	// recoveredAt is the time of the last timeout recovery; timeouts
+	// for packets sent before it are stale and ignored (one recovery
+	// per loss burst, as a real coarse-grained timer behaves).
+	sentAt       map[uint64]float64
+	lastRecovery float64
+	acked        int64
+	drops        int64
+}
+
+// TahoeResult summarizes a Tahoe run.
+type TahoeResult struct {
+	// Throughput[i] is acked packets/s for flow i after warmup.
+	Throughput []float64
+	// Acked[i] counts acked packets after warmup; Drops[i] the
+	// buffer drops attributed to the flow over the whole run.
+	Acked []int64
+	Drops []int64
+	// TraceT, TraceQ sample the queue; TraceW[i] samples flow i's
+	// cwnd (present when SampleEvery > 0).
+	TraceT []float64
+	TraceQ []float64
+	TraceW [][]float64
+	// QueueStats aggregates the time-weighted queue after warmup.
+	QueueStats stats.WeightedMoments
+	// MeanRTT[i] is the average measured round-trip time of acked
+	// packets after warmup.
+	MeanRTT []float64
+}
+
+// TahoeSim is the ack-clocked window simulator.
+type TahoeSim struct {
+	cfg    TahoeConfig
+	flows  []*tahoeFlow
+	events tahoeHeap
+	seq    uint64
+	t      float64
+	queue  int
+	// owner/sendTime per queued packet, FIFO order.
+	qOwner []int
+	qID    []uint64
+	rng    *rng.Source
+}
+
+// NewTahoe builds a Tahoe simulator.
+func NewTahoe(cfg TahoeConfig) (*TahoeSim, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	root := rng.New(cfg.Seed)
+	s := &TahoeSim{cfg: cfg, rng: root.Split()}
+	for i, fc := range cfg.Flows {
+		ss := fc.InitialSSThresh
+		if ss == 0 {
+			ss = 1e9 // probe until the first loss, as TCP does
+		}
+		f := &tahoeFlow{
+			cfg: fc, cwnd: 1, ssthresh: ss,
+			lost:         make(map[uint64]bool),
+			sentAt:       make(map[uint64]float64),
+			lastRecovery: -1,
+		}
+		s.flows = append(s.flows, f)
+		s.trySend(i)
+	}
+	return s, nil
+}
+
+func (s *TahoeSim) push(e tahoeEvent) {
+	e.seq = s.seq
+	s.seq++
+	heap.Push(&s.events, e)
+}
+
+// trySend launches packets while the window allows.
+func (s *TahoeSim) trySend(i int) {
+	f := s.flows[i]
+	for f.inflight < int(f.cwnd) {
+		id := f.nextID
+		f.nextID++
+		f.inflight++
+		f.sentAt[id] = s.t
+		s.push(tahoeEvent{t: s.t + f.cfg.PropDelay, kind: tevQueueArrive, flow: i, id: id})
+		// The timeout is armed at send time; it is a no-op unless the
+		// packet is dropped.
+		s.push(tahoeEvent{t: s.t + f.cfg.RTO, kind: tevTimeout, flow: i, id: id})
+	}
+}
+
+// Run executes the simulation until the horizon, excluding the first
+// warmup seconds from throughput and queue statistics. Run may be
+// called once per TahoeSim.
+func (s *TahoeSim) Run(horizon, warmup float64) (*TahoeResult, error) {
+	if !(horizon > 0) || warmup < 0 || warmup >= horizon {
+		return nil, fmt.Errorf("des: invalid horizon %v / warmup %v", horizon, warmup)
+	}
+	n := len(s.flows)
+	res := &TahoeResult{
+		Throughput: make([]float64, n),
+		Acked:      make([]int64, n),
+		Drops:      make([]int64, n),
+		TraceW:     make([][]float64, n),
+		MeanRTT:    make([]float64, n),
+	}
+	rttSum := make([]float64, n)
+	nextSample := 0.0
+	lastQChange := 0.0
+	for len(s.events) > 0 {
+		e := heap.Pop(&s.events).(tahoeEvent)
+		if e.t > horizon {
+			break
+		}
+		if s.cfg.SampleEvery > 0 {
+			for nextSample <= e.t {
+				res.TraceT = append(res.TraceT, nextSample)
+				res.TraceQ = append(res.TraceQ, float64(s.queue))
+				for i, f := range s.flows {
+					res.TraceW[i] = append(res.TraceW[i], f.cwnd)
+				}
+				nextSample += s.cfg.SampleEvery
+			}
+		}
+		if e.t > warmup {
+			from := math.Max(lastQChange, warmup)
+			if w := e.t - from; w > 0 {
+				res.QueueStats.Add(float64(s.queue), w)
+			}
+			lastQChange = e.t
+		}
+		s.t = e.t
+		f := s.flows[e.flow]
+
+		switch e.kind {
+		case tevQueueArrive:
+			if s.queue >= s.cfg.Buffer {
+				// Drop-tail: mark lost; the armed timeout will fire.
+				f.lost[e.id] = true
+				f.drops++
+				break
+			}
+			s.queue++
+			s.qOwner = append(s.qOwner, e.flow)
+			s.qID = append(s.qID, e.id)
+			if s.queue == 1 {
+				s.push(tahoeEvent{t: s.t + s.rng.Exp(s.cfg.Mu), kind: tevService})
+			}
+
+		case tevService:
+			if s.queue == 0 {
+				break // defensive; should not happen
+			}
+			owner, id := s.qOwner[0], s.qID[0]
+			s.qOwner, s.qID = s.qOwner[1:], s.qID[1:]
+			s.queue--
+			if s.queue > 0 {
+				s.push(tahoeEvent{t: s.t + s.rng.Exp(s.cfg.Mu), kind: tevService})
+			}
+			of := s.flows[owner]
+			s.push(tahoeEvent{t: s.t + of.cfg.PropDelay, kind: tevAck, flow: owner, id: id})
+
+		case tevAck:
+			sent, ok := f.sentAt[e.id]
+			if !ok {
+				break // already resolved (e.g. counted lost then served — cannot happen, defensive)
+			}
+			delete(f.sentAt, e.id)
+			f.inflight--
+			f.acked++
+			if s.t > warmup {
+				res.Acked[e.flow]++
+				rttSum[e.flow] += s.t - sent
+			}
+			// Tahoe window growth.
+			if f.cwnd < f.ssthresh {
+				f.cwnd++ // slow start: double per RTT
+			} else {
+				f.cwnd += 1 / f.cwnd // congestion avoidance: +1 per RTT
+			}
+			s.trySend(e.flow)
+
+		case tevTimeout:
+			if !f.lost[e.id] {
+				break // the packet was delivered; stale timer
+			}
+			delete(f.lost, e.id)
+			sent := f.sentAt[e.id]
+			delete(f.sentAt, e.id)
+			f.inflight--
+			// Coarse timer: collapse once per loss burst — packets
+			// sent before the last recovery ride the same event.
+			if sent > f.lastRecovery {
+				f.ssthresh = math.Max(f.cwnd/2, 2)
+				f.cwnd = 1
+				f.lastRecovery = s.t
+			}
+			s.trySend(e.flow)
+		}
+	}
+	window := horizon - warmup
+	for i, f := range s.flows {
+		res.Throughput[i] = float64(res.Acked[i]) / window
+		res.Drops[i] = f.drops
+		if res.Acked[i] > 0 {
+			res.MeanRTT[i] = rttSum[i] / float64(res.Acked[i])
+		}
+	}
+	return res, nil
+}

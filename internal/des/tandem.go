@@ -1,0 +1,361 @@
+package des
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+
+	"fpcc/internal/control"
+	"fpcc/internal/rng"
+)
+
+// This file extends the packet simulator from one bottleneck to a
+// tandem network: packets traverse an ordered path of store-and-
+// forward hops, each a FIFO queue with its own exponential server and
+// a fixed propagation delay to the next hop. It reproduces the
+// multi-hop observations the paper's introduction cites: Zhang [Zha
+// 89] and Jacobson [Jac 88] both report that connections crossing
+// more hops receive a poorer share of a shared resource. A longer
+// path means a longer round trip, and with once-per-RTT control that
+// means both a staler congestion signal and a slower probe — the same
+// RTT coupling experiment E7 isolates, here emerging from an actual
+// network rather than being injected into the law.
+//
+// Feedback model: the sender learns the total backlog along its path
+// (the sum of the queue lengths at its hops) as it stood one path
+// round-trip ago, and applies its control law every RTT. The law's
+// target q̂ is interpreted against that path backlog.
+
+// TandemSource describes one flow through the network.
+type TandemSource struct {
+	Law     control.Law // rate law driven by the delayed path backlog
+	Path    []int       // ordered hop indices the flow traverses
+	Lambda0 float64     // initial sending rate (packets/s)
+	MinRate float64     // probe floor
+}
+
+// TandemConfig describes a tandem-network simulation.
+type TandemConfig struct {
+	// Mus[h] is the service rate of hop h.
+	Mus []float64
+	// PropDelay is the one-way propagation delay between consecutive
+	// path elements (and from the last hop back to the sender via the
+	// ack path); a flow's RTT is 2·PropDelay·len(Path) plus queueing.
+	PropDelay float64
+	Sources   []TandemSource
+	Seed      uint64
+}
+
+// Validate checks the configuration.
+func (c *TandemConfig) Validate() error {
+	if len(c.Mus) == 0 {
+		return fmt.Errorf("des: tandem needs at least one hop")
+	}
+	for h, mu := range c.Mus {
+		if !(mu > 0) || math.IsInf(mu, 1) {
+			return fmt.Errorf("des: hop %d has invalid service rate %v", h, mu)
+		}
+	}
+	if !(c.PropDelay > 0) {
+		return fmt.Errorf("des: non-positive propagation delay %v", c.PropDelay)
+	}
+	if len(c.Sources) == 0 {
+		return fmt.Errorf("des: no tandem sources")
+	}
+	for i, s := range c.Sources {
+		if s.Law == nil {
+			return fmt.Errorf("des: tandem source %d has nil law", i)
+		}
+		if len(s.Path) == 0 {
+			return fmt.Errorf("des: tandem source %d has empty path", i)
+		}
+		for _, h := range s.Path {
+			if h < 0 || h >= len(c.Mus) {
+				return fmt.Errorf("des: tandem source %d path hop %d out of range", i, h)
+			}
+		}
+		if s.Lambda0 < 0 || s.MinRate < 0 {
+			return fmt.Errorf("des: tandem source %d has negative rates", i)
+		}
+	}
+	return nil
+}
+
+// tandem event kinds.
+const (
+	tevSend      eventKind = iota + 100 // source emits a packet
+	tevHopArrive                        // packet reaches a hop queue
+	tevHopDepart                        // a hop's server finishes a packet
+	tevControl                          // source control update
+)
+
+// tandemEvent extends the basic event with packet routing state.
+type tandemEvent struct {
+	t    float64
+	kind eventKind
+	src  int
+	hop  int // for tevHopArrive/tevHopDepart: which hop
+	leg  int // index into the packet's path
+	seq  uint64
+}
+
+type tandemHeap []tandemEvent
+
+func (h tandemHeap) Len() int { return len(h) }
+func (h tandemHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h tandemHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *tandemHeap) Push(x interface{}) { *h = append(*h, x.(tandemEvent)) }
+func (h *tandemHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// hopState is one store-and-forward queue.
+type hopState struct {
+	mu      float64
+	queue   []tandemPacket // FIFO, head in service when serving
+	serving bool
+}
+
+// tandemPacket identifies a packet in flight.
+type tandemPacket struct {
+	src int
+	leg int // current index into its source's path
+}
+
+// tandemSourceState is the runtime state of a flow.
+type tandemSourceState struct {
+	cfg    TandemSource
+	lambda float64
+	rng    *rng.Source
+	nextAt float64
+	rtt    float64
+}
+
+// TandemResult summarizes a tandem run.
+type TandemResult struct {
+	Delivered  []int64   // packets of each source that exited the network after warmup
+	Throughput []float64 // Delivered / measurement window
+	// MeanBacklog[h] is the time-average queue at hop h after warmup.
+	MeanBacklog []float64
+	FinalT      float64
+}
+
+// TandemSim is a tandem-network simulator instance.
+type TandemSim struct {
+	cfg     TandemConfig
+	hops    []hopState
+	sources []*tandemSourceState
+	events  tandemHeap
+	seq     uint64
+	t       float64
+	rngSvc  *rng.Source
+	// backlog history per source-path for delayed feedback
+	histT []float64
+	histB [][]float64 // histB[k][i] = path backlog of source i at histT[k]
+}
+
+// NewTandem builds a tandem simulator.
+func NewTandem(cfg TandemConfig) (*TandemSim, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	root := rng.New(cfg.Seed)
+	s := &TandemSim{cfg: cfg, rngSvc: root.Split()}
+	for _, mu := range cfg.Mus {
+		s.hops = append(s.hops, hopState{mu: mu})
+	}
+	for i, sc := range cfg.Sources {
+		st := &tandemSourceState{
+			cfg:    sc,
+			lambda: sc.Lambda0,
+			rng:    root.Split(),
+			rtt:    2 * cfg.PropDelay * float64(len(sc.Path)),
+		}
+		s.sources = append(s.sources, st)
+		s.push(tandemEvent{t: st.rtt * (1 + float64(i)/float64(len(cfg.Sources))), kind: tevControl, src: i})
+		s.scheduleSend(i)
+	}
+	s.recordBacklog()
+	return s, nil
+}
+
+func (s *TandemSim) push(e tandemEvent) {
+	e.seq = s.seq
+	s.seq++
+	heap.Push(&s.events, e)
+}
+
+// pathBacklog returns the current total queue along source i's path.
+func (s *TandemSim) pathBacklog(i int) float64 {
+	var total int
+	for _, h := range s.sources[i].cfg.Path {
+		total += len(s.hops[h].queue)
+	}
+	return float64(total)
+}
+
+// recordBacklog snapshots every source's path backlog for delayed
+// observation.
+func (s *TandemSim) recordBacklog() {
+	row := make([]float64, len(s.sources))
+	for i := range s.sources {
+		row[i] = s.pathBacklog(i)
+	}
+	s.histT = append(s.histT, s.t)
+	s.histB = append(s.histB, row)
+	if len(s.histT) > 8192 {
+		var maxRTT float64
+		for _, st := range s.sources {
+			if st.rtt > maxRTT {
+				maxRTT = st.rtt
+			}
+		}
+		cut := s.t - maxRTT - 1
+		k := sort.SearchFloat64s(s.histT, cut)
+		if k > 1 {
+			k--
+			s.histT = append(s.histT[:0], s.histT[k:]...)
+			s.histB = append(s.histB[:0], s.histB[k:]...)
+		}
+	}
+}
+
+// backlogAt returns source i's path backlog as of time t.
+func (s *TandemSim) backlogAt(i int, t float64) float64 {
+	k := sort.SearchFloat64s(s.histT, t)
+	if k < len(s.histT) && s.histT[k] == t {
+		return s.histB[k][i]
+	}
+	if k == 0 {
+		return 0
+	}
+	return s.histB[k-1][i]
+}
+
+// scheduleSend draws the next packet emission for source i.
+func (s *TandemSim) scheduleSend(i int) {
+	st := s.sources[i]
+	if st.lambda <= 0 {
+		st.nextAt = math.Inf(1)
+		return
+	}
+	st.nextAt = s.t + st.rng.Exp(st.lambda)
+	s.push(tandemEvent{t: st.nextAt, kind: tevSend, src: i})
+}
+
+// startService begins serving the head packet at hop h if idle.
+func (s *TandemSim) startService(h int) {
+	hs := &s.hops[h]
+	if hs.serving || len(hs.queue) == 0 {
+		return
+	}
+	hs.serving = true
+	s.push(tandemEvent{t: s.t + s.rngSvc.Exp(hs.mu), kind: tevHopDepart, hop: h})
+}
+
+// Run executes the tandem simulation.
+func (s *TandemSim) Run(horizon, warmup float64) (*TandemResult, error) {
+	if !(horizon > 0) || warmup < 0 || warmup >= horizon {
+		return nil, fmt.Errorf("des: invalid horizon %v / warmup %v", horizon, warmup)
+	}
+	res := &TandemResult{
+		Delivered:   make([]int64, len(s.sources)),
+		Throughput:  make([]float64, len(s.sources)),
+		MeanBacklog: make([]float64, len(s.hops)),
+	}
+	backlogW := make([]float64, len(s.hops))
+	var lastT float64
+	for len(s.events) > 0 {
+		e := heap.Pop(&s.events).(tandemEvent)
+		if e.t > horizon {
+			break
+		}
+		if e.t > warmup {
+			from := math.Max(lastT, warmup)
+			if w := e.t - from; w > 0 {
+				for h := range s.hops {
+					backlogW[h] += w * float64(len(s.hops[h].queue))
+				}
+			}
+		}
+		lastT = math.Max(lastT, e.t)
+		s.t = e.t
+
+		switch e.kind {
+		case tevSend:
+			st := s.sources[e.src]
+			if e.t != st.nextAt {
+				break // superseded schedule
+			}
+			// Packet departs the sender; reaches its first hop after
+			// one propagation delay.
+			s.push(tandemEvent{
+				t: s.t + s.cfg.PropDelay, kind: tevHopArrive,
+				src: e.src, leg: 0, hop: st.cfg.Path[0],
+			})
+			s.scheduleSend(e.src)
+
+		case tevHopArrive:
+			hs := &s.hops[e.hop]
+			hs.queue = append(hs.queue, tandemPacket{src: e.src, leg: e.leg})
+			s.recordBacklog()
+			s.startService(e.hop)
+
+		case tevHopDepart:
+			hs := &s.hops[e.hop]
+			if len(hs.queue) == 0 {
+				break // defensive
+			}
+			pkt := hs.queue[0]
+			hs.queue = hs.queue[1:]
+			hs.serving = false
+			s.recordBacklog()
+			s.startService(e.hop)
+			path := s.sources[pkt.src].cfg.Path
+			if pkt.leg+1 < len(path) {
+				// Forward to the next hop.
+				s.push(tandemEvent{
+					t: s.t + s.cfg.PropDelay, kind: tevHopArrive,
+					src: pkt.src, leg: pkt.leg + 1, hop: path[pkt.leg+1],
+				})
+			} else if s.t > warmup {
+				res.Delivered[pkt.src]++
+			}
+
+		case tevControl:
+			st := s.sources[e.src]
+			qObs := s.backlogAt(e.src, s.t-st.rtt)
+			st.lambda += st.cfg.Law.Drift(qObs, st.lambda) * st.rtt
+			if st.lambda < st.cfg.MinRate {
+				st.lambda = st.cfg.MinRate
+			}
+			if st.lambda < 0 {
+				st.lambda = 0
+			}
+			s.scheduleSend(e.src)
+			s.push(tandemEvent{t: s.t + st.rtt, kind: tevControl, src: e.src})
+		}
+	}
+	res.FinalT = math.Min(s.t, horizon)
+	window := horizon - warmup
+	for i := range res.Throughput {
+		res.Throughput[i] = float64(res.Delivered[i]) / window
+	}
+	for h := range res.MeanBacklog {
+		res.MeanBacklog[h] = backlogW[h] / window
+	}
+	return res, nil
+}
+
+// RTT returns the base (propagation-only) round-trip time of source i.
+func (s *TandemSim) RTT(i int) float64 { return s.sources[i].rtt }

@@ -1,0 +1,95 @@
+package des
+
+import (
+	"fmt"
+
+	"fpcc/internal/control"
+)
+
+// WindowSourceConfig describes a sender running the paper's original
+// window algorithm (Equation 1): a congestion window w adjusted once
+// per round-trip time — w + a when the observed queue is below the
+// threshold, d·w when above — with the instantaneous sending rate
+// λ = w / RTT.
+//
+// This is the discrete protocol the paper's rate model (Equation 2)
+// abstracts; see control.Window.RateEquivalent for the analytic
+// correspondence and TestWindowMatchesRateEquivalent for the
+// simulated one. Like the rate model, the simulator does not emulate
+// per-packet ack clocking — the window paces a Poisson stream — which
+// is exactly the abstraction level of the paper.
+type WindowSourceConfig struct {
+	Law     control.Window // window adjustment law (Eq. 1)
+	RTT     float64        // round-trip time: update period and rate divisor
+	Delay   float64        // extra feedback delay beyond the RTT (usually 0)
+	Window0 float64        // initial window (packets)
+}
+
+// validate checks the window-source parameters.
+func (w *WindowSourceConfig) validate(i int) error {
+	switch {
+	case !(w.RTT > 0):
+		return fmt.Errorf("des: window source %d has non-positive RTT %v", i, w.RTT)
+	case w.Delay < 0:
+		return fmt.Errorf("des: window source %d has negative delay %v", i, w.Delay)
+	case w.Window0 < 0:
+		return fmt.Errorf("des: window source %d has negative initial window %v", i, w.Window0)
+	case !(w.Law.A > 0) || !(w.Law.D > 0) || w.Law.D >= 1:
+		return fmt.Errorf("des: window source %d has invalid law %+v", i, w.Law)
+	}
+	return nil
+}
+
+// windowLaw adapts Equation 1 to the simulator's per-update control
+// hook: Drift is defined so that λ += Drift·Interval lands exactly on
+// the new window's rate. With λ = w/RTT and Interval = RTT:
+//
+//	w' = Apply(w, q)  ⇒  λ' = w'/RTT  ⇒  Drift = (λ' − λ)/RTT.
+type windowLaw struct {
+	law control.Window
+	rtt float64
+}
+
+// Drift implements control.Law.
+func (w windowLaw) Drift(q, lambda float64) float64 {
+	window := lambda * w.rtt
+	next := w.law.Apply(window, q)
+	return (next/w.rtt - lambda) / w.rtt
+}
+
+// Name implements control.Law.
+func (w windowLaw) Name() string { return "window" }
+
+// Target implements control.Law.
+func (w windowLaw) Target() float64 { return w.law.QHat }
+
+// NewWindowSim builds a simulator whose sources all run the window
+// algorithm of Equation 1. Mixed window/rate populations can be built
+// by constructing Config directly with WindowSource entries.
+func NewWindowSim(mu float64, seed uint64, sources []WindowSourceConfig, sampleEvery float64) (*Sim, error) {
+	if len(sources) == 0 {
+		return nil, fmt.Errorf("des: no window sources")
+	}
+	cfg := Config{Mu: mu, Seed: seed, SampleEvery: sampleEvery}
+	for i, ws := range sources {
+		if err := ws.validate(i); err != nil {
+			return nil, err
+		}
+		cfg.Sources = append(cfg.Sources, WindowSource(ws))
+	}
+	return New(cfg)
+}
+
+// WindowSource converts a window-source description into the
+// simulator's generic SourceConfig: updates every RTT, feedback aged
+// by RTT plus any extra delay, initial rate Window0/RTT, and a one-
+// packet-per-RTT floor (the window law's WMin analogue).
+func WindowSource(ws WindowSourceConfig) SourceConfig {
+	return SourceConfig{
+		Law:      windowLaw{law: ws.Law, rtt: ws.RTT},
+		Delay:    ws.RTT + ws.Delay,
+		Interval: ws.RTT,
+		Lambda0:  ws.Window0 / ws.RTT,
+		MinRate:  ws.Law.WMin / ws.RTT,
+	}
+}

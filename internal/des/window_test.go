@@ -1,0 +1,167 @@
+package des
+
+import (
+	"math"
+	"testing"
+
+	"fpcc/internal/control"
+	"fpcc/internal/stats"
+)
+
+func mustWindow(t testing.TB, a, d, qHat float64) control.Window {
+	t.Helper()
+	w, err := control.NewWindow(a, d, qHat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestWindowSourceValidation(t *testing.T) {
+	good := WindowSourceConfig{Law: mustWindow(t, 1, 0.5, 10), RTT: 0.1, Window0: 2}
+	if _, err := NewWindowSim(50, 1, []WindowSourceConfig{good}, 0); err != nil {
+		t.Fatalf("valid window sim rejected: %v", err)
+	}
+	if _, err := NewWindowSim(50, 1, nil, 0); err == nil {
+		t.Error("accepted empty source list")
+	}
+	bad := []WindowSourceConfig{
+		{Law: mustWindow(t, 1, 0.5, 10), RTT: 0, Window0: 2},
+		{Law: mustWindow(t, 1, 0.5, 10), RTT: 0.1, Window0: -1},
+		{Law: mustWindow(t, 1, 0.5, 10), RTT: 0.1, Delay: -1},
+		{Law: control.Window{A: 0, D: 0.5, QHat: 10}, RTT: 0.1},
+		{Law: control.Window{A: 1, D: 1.5, QHat: 10}, RTT: 0.1},
+	}
+	for i, ws := range bad {
+		if _, err := NewWindowSim(50, 1, []WindowSourceConfig{ws}, 0); err == nil {
+			t.Errorf("bad window source %d accepted", i)
+		}
+	}
+}
+
+// TestWindowSourceTracksTarget: a single window sender fills the pipe
+// and holds the queue near the threshold, like its rate counterpart.
+func TestWindowSourceTracksTarget(t *testing.T) {
+	const mu = 50.0
+	ws := WindowSourceConfig{
+		Law:     mustWindow(t, 1, 0.5, 15),
+		RTT:     0.2,
+		Window0: 1,
+	}
+	sim, err := NewWindowSim(mu, 3, []WindowSourceConfig{ws}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(2000, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Throughput[0] < 0.75*mu || res.Throughput[0] > 1.05*mu {
+		t.Fatalf("window-source throughput %v, want near μ = %v", res.Throughput[0], mu)
+	}
+	meanQ := res.QueueStats.Mean()
+	if meanQ < 3 || meanQ > 40 {
+		t.Fatalf("mean queue %v, want in the vicinity of the threshold 15", meanQ)
+	}
+}
+
+// TestWindowMatchesRateEquivalent is the Eq. 1 ↔ Eq. 2 correspondence
+// the paper invokes ("or rather, an equivalent rate-based algorithm"):
+// a window sender and the rate sender built by RateEquivalent must
+// deliver similar long-run throughput and queue statistics.
+func TestWindowMatchesRateEquivalent(t *testing.T) {
+	const mu = 50.0
+	const rtt = 0.2
+	wlaw := mustWindow(t, 1, 0.5, 15)
+
+	wres := func() *Result {
+		sim, err := NewWindowSim(mu, 5, []WindowSourceConfig{{Law: wlaw, RTT: rtt, Window0: 1}}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sim.Run(3000, 300)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}()
+
+	rlaw, err := wlaw.RateEquivalent(rtt, rtt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rres := func() *Result {
+		sim, err := New(Config{
+			Mu:   mu,
+			Seed: 5,
+			Sources: []SourceConfig{{
+				Law: rlaw, Delay: rtt, Interval: rtt, Lambda0: 1 / rtt, MinRate: 1 / rtt,
+			}},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sim.Run(3000, 300)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}()
+
+	tpGap := math.Abs(wres.Throughput[0]-rres.Throughput[0]) / rres.Throughput[0]
+	if tpGap > 0.10 {
+		t.Fatalf("window throughput %v vs rate-equivalent %v (gap %.1f%%)",
+			wres.Throughput[0], rres.Throughput[0], tpGap*100)
+	}
+	qGap := math.Abs(wres.QueueStats.Mean() - rres.QueueStats.Mean())
+	if qGap > 8 {
+		t.Fatalf("window mean queue %v vs rate-equivalent %v",
+			wres.QueueStats.Mean(), rres.QueueStats.Mean())
+	}
+}
+
+// TestWindowSourcesFairness: equal window senders split the bottleneck
+// evenly, mirroring the rate-law fairness result.
+func TestWindowSourcesFairness(t *testing.T) {
+	const mu = 60.0
+	wlaw := mustWindow(t, 1, 0.5, 12)
+	srcs := []WindowSourceConfig{
+		{Law: wlaw, RTT: 0.2, Window0: 1},
+		{Law: wlaw, RTT: 0.2, Window0: 8},
+		{Law: wlaw, RTT: 0.2, Window0: 16},
+	}
+	sim, err := NewWindowSim(mu, 7, srcs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(4000, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jain := stats.JainIndex(res.Throughput); jain < 0.97 {
+		t.Fatalf("window fairness Jain %v (throughputs %v)", jain, res.Throughput)
+	}
+}
+
+// TestWindowRTTBias: the window protocol's intrinsic bias — same law,
+// longer RTT, lower throughput (window/RTT) — the root of Jacobson's
+// long-connection observation and our E7 RTT coupling.
+func TestWindowRTTBias(t *testing.T) {
+	const mu = 60.0
+	wlaw := mustWindow(t, 1, 0.5, 12)
+	sim, err := NewWindowSim(mu, 9, []WindowSourceConfig{
+		{Law: wlaw, RTT: 0.1, Window0: 2},
+		{Law: wlaw, RTT: 0.4, Window0: 2},
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(4000, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(res.Throughput[0] > 1.5*res.Throughput[1]) {
+		t.Fatalf("short-RTT window source %v should clearly beat long-RTT %v",
+			res.Throughput[0], res.Throughput[1])
+	}
+}

@@ -1,0 +1,253 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// checkTable verifies an experiment ran, produced rows, and did not
+// flag an unexpected shape (findings containing capitalized alarm
+// words mark a reproduction failure).
+func checkTable(t *testing.T, tb *Table, err error, wantRows int) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) < wantRows {
+		t.Fatalf("%s: %d rows, want >= %d", tb.ID, len(tb.Rows), wantRows)
+	}
+	if len(tb.Findings) == 0 {
+		t.Fatalf("%s: no findings recorded", tb.ID)
+	}
+	for _, f := range tb.Findings {
+		for _, alarm := range []string{"MISMATCH", "UNEXPECTED", "VIOLATED", "FAILURE", "DEVIATION", "NOT REACHED", "GAP:"} {
+			if strings.Contains(f, alarm) {
+				t.Fatalf("%s: alarmed finding: %s", tb.ID, f)
+			}
+		}
+	}
+	// The table must render without panicking and contain its id.
+	s := tb.String()
+	if !strings.Contains(s, tb.ID) {
+		t.Fatalf("%s: rendered table missing id", tb.ID)
+	}
+}
+
+func TestE1(t *testing.T) {
+	tb, err := E1QuadrantDrifts()
+	checkTable(t, tb, err, 4)
+}
+
+func TestE2(t *testing.T) {
+	tb, err := E2ConvergentSpiral()
+	checkTable(t, tb, err, 5)
+}
+
+func TestE3(t *testing.T) {
+	tb, err := E3QueueTrace()
+	checkTable(t, tb, err, 5)
+}
+
+func TestE4(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long fluid+DES run")
+	}
+	tb, err := E4FairnessEqual()
+	checkTable(t, tb, err, 2)
+}
+
+func TestE5(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long fluid run")
+	}
+	tb, err := E5FairnessHetero()
+	checkTable(t, tb, err, 3)
+}
+
+func TestE6(t *testing.T) {
+	if testing.Short() {
+		t.Skip("delay sweep")
+	}
+	tb, err := E6DelayOscillation()
+	checkTable(t, tb, err, 5)
+}
+
+func TestE7(t *testing.T) {
+	if testing.Short() {
+		t.Skip("delay-ratio sweep")
+	}
+	tb, err := E7DelayUnfairness()
+	checkTable(t, tb, err, 4)
+}
+
+func TestE8(t *testing.T) {
+	tb, err := E8AlgorithmOscillation()
+	checkTable(t, tb, err, 2)
+}
+
+func TestE9(t *testing.T) {
+	if testing.Short() {
+		t.Skip("PDE + 40k-particle ensemble")
+	}
+	tb, err := E9FokkerPlanckVsMonteCarlo()
+	checkTable(t, tb, err, 5)
+}
+
+func TestE10(t *testing.T) {
+	if testing.Short() {
+		t.Skip("PDE steady-state run")
+	}
+	tb, err := E10VariabilityVsFluid()
+	checkTable(t, tb, err, 5)
+}
+
+func TestE11(t *testing.T) {
+	if testing.Short() {
+		t.Skip("9-point parameter sweep")
+	}
+	tb, err := E11ParameterSweep()
+	checkTable(t, tb, err, 9)
+}
+
+func TestE12(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sigma sweep of PDE runs")
+	}
+	tb, err := E12DiffusionSpread()
+	checkTable(t, tb, err, 4)
+}
+
+func TestE13(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two long DES runs")
+	}
+	tb, err := E13WindowRateEquivalence()
+	checkTable(t, tb, err, 2)
+}
+
+func TestE14(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two PDE runs + ensemble")
+	}
+	tb, err := E14SchemeAblation()
+	checkTable(t, tb, err, 3)
+}
+
+func TestE15(t *testing.T) {
+	tb, err := E15ReturnMapLaw()
+	checkTable(t, tb, err, 6)
+}
+
+func TestE16(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long tandem run")
+	}
+	tb, err := E16TandemHopCount()
+	checkTable(t, tb, err, 3)
+}
+
+func TestAllRegistryComplete(t *testing.T) {
+	all := All()
+	if len(all) != 25 {
+		t.Fatalf("registry has %d experiments, want 25", len(all))
+	}
+	seen := map[string]bool{}
+	for _, r := range all {
+		if r.ID == "" || r.Name == "" || r.Run == nil {
+			t.Fatalf("incomplete runner %+v", r)
+		}
+		if seen[r.ID] {
+			t.Fatalf("duplicate id %s", r.ID)
+		}
+		seen[r.ID] = true
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{
+		ID:      "T",
+		Caption: "caption",
+		Columns: []string{"a", "long-column"},
+	}
+	tb.AddRow(1.23456789, "x")
+	tb.AddRow("str", 7)
+	tb.AddFinding("finding %d", 42)
+	s := tb.String()
+	for _, want := range []string{"T — caption", "long-column", "1.235", "finding 42", "=>"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("rendered table missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestE17(t *testing.T) {
+	if testing.Short() {
+		t.Skip("uniformization + FP run")
+	}
+	tb, err := E17FokkerPlanckVsMarkov()
+	checkTable(t, tb, err, 4)
+}
+
+func TestE18(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long DES sweep")
+	}
+	tb, err := E18BurstinessSweep()
+	checkTable(t, tb, err, 4)
+}
+
+func TestE19(t *testing.T) {
+	if testing.Short() {
+		t.Skip("DDE sweep")
+	}
+	tb, err := E19StabilityBoundary()
+	checkTable(t, tb, err, 7)
+}
+
+func TestE20(t *testing.T) {
+	if testing.Short() {
+		t.Skip("DES gateway sweep")
+	}
+	tb, err := E20GatewayComparison()
+	checkTable(t, tb, err, 3)
+}
+
+func TestE21(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Tahoe sweep")
+	}
+	tb, err := E21TahoeRTTShare()
+	checkTable(t, tb, err, 4)
+}
+
+func TestE22(t *testing.T) {
+	if testing.Short() {
+		t.Skip("reference integration")
+	}
+	tb, err := E22IntegratorAblation()
+	checkTable(t, tb, err, 9)
+}
+
+func TestE23(t *testing.T) {
+	if testing.Short() {
+		t.Skip("DDE sweep")
+	}
+	tb, err := E23DelayBudgetEngineering()
+	checkTable(t, tb, err, 5)
+}
+
+func TestE24(t *testing.T) {
+	if testing.Short() {
+		t.Skip("n-source DDE sweep")
+	}
+	tb, err := E24MultiSourceDelay()
+	checkTable(t, tb, err, 4)
+}
+
+func TestE25(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long DES runs")
+	}
+	tb, err := E25ImplicitVsExplicit()
+	checkTable(t, tb, err, 3)
+}

@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"math"
+
+	"fpcc/internal/control"
+	"fpcc/internal/dde"
+	"fpcc/internal/stability"
+)
+
+// E19StabilityBoundary sharpens the paper's Section 7 observation —
+// "a delay in the feedback information introduces cyclic behavior" —
+// into a quantitative boundary: the linearized loop's closed-form
+// critical delay τ* (Hopf point) against the full nonlinear DDE. Each
+// row reports the analytic growth rate Re(s) of the dominant
+// characteristic root and the simulated tail amplitude of the rate.
+func E19StabilityBoundary() (*Table, error) {
+	t := &Table{
+		ID:      "E19",
+		Caption: "delayed-feedback stability boundary: analytic dominant root vs simulated amplitude",
+		Columns: []string{"τ/τ*", "τ (s)", "Re(s) analytic", "ring freq (rad/s)", "tail swing of λ"},
+	}
+	law, err := control.NewSmoothAIMD(2, 0.8, 20, 1.5)
+	if err != nil {
+		return nil, err
+	}
+	const mu = 10.0
+	lin, err := stability.Linearize(law, mu, 0, 60)
+	if err != nil {
+		return nil, err
+	}
+	tauStar, omega, err := stability.CriticalDelay(lin.A, lin.B)
+	if err != nil {
+		return nil, err
+	}
+	t.AddFinding("linearization at (q*=%.2f, μ=%.0f): a=%.3f, b=%.3f ⇒ τ* = %.3f s, Hopf frequency %.3f rad/s",
+		lin.QStar, mu, lin.A, lin.B, tauStar, omega)
+
+	swing := func(tau float64) (float64, error) {
+		sys := func(tt float64, y []float64, lag dde.Lagger, dydt []float64) {
+			dydt[0] = y[1] - mu
+			if y[0] <= 0 && y[1] < mu {
+				dydt[0] = 0
+			}
+			dydt[1] = law.Drift(lag.Lag(0, tau), y[1])
+		}
+		hist := func(tt float64) []float64 { return []float64{5, mu + 1} }
+		res, err := dde.Solve(sys, hist, []float64{tau}, 0, 400, 0.001, dde.Options{Stride: 100})
+		if err != nil {
+			return 0, err
+		}
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i := 0; i < res.Len(); i++ {
+			tt, y := res.At(i)
+			if tt < 300 {
+				continue
+			}
+			lo = math.Min(lo, y[1])
+			hi = math.Max(hi, y[1])
+		}
+		return hi - lo, nil
+	}
+
+	var firstUnstableSwing, lastStableSwing float64
+	for _, frac := range []float64{0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 3.0} {
+		tau := frac * tauStar
+		root, err := stability.DominantRoot(lin.A, lin.B, tau)
+		if err != nil {
+			return nil, err
+		}
+		sw, err := swing(tau)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(frac, tau, real(root), imag(root), sw)
+		if frac == 0.75 {
+			lastStableSwing = sw
+		}
+		if frac == 1.5 {
+			firstUnstableSwing = sw
+		}
+	}
+	if firstUnstableSwing > 10*math.Max(lastStableSwing, 1e-9) {
+		t.AddFinding("the nonlinear loop rings persistently above τ* and converges below it: the closed-form Hopf boundary predicts the onset")
+	} else {
+		t.AddFinding("swings below/above τ*: %.3g / %.3g", lastStableSwing, firstUnstableSwing)
+	}
+	t.AddFinding("for b = 0 (linear-decrease laws) the same formulas give τ* = 0: the algorithm oscillates without any delay, matching E8")
+	return t, nil
+}

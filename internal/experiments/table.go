@@ -1,0 +1,127 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation (as inventoried in DESIGN.md): each experiment
+// E1..E25 is a function returning a Table of labelled rows that a CLI
+// (cmd/benchreport) or a benchmark (bench_test.go at the repository
+// root) can print and time. EXPERIMENTS.md records the paper's claim
+// next to the measured outcome for each.
+//
+// Every experiment is deterministic: stochastic components take fixed
+// seeds, so the printed tables are reproducible run to run.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a labelled result table in paper style: a caption, column
+// headers, and rows of cells.
+type Table struct {
+	ID      string // experiment id, e.g. "E2"
+	Caption string
+	Columns []string
+	Rows    [][]string
+	// Findings summarizes the qualitative outcome (who wins, which
+	// direction), mirroring how EXPERIMENTS.md reports shape checks.
+	Findings []string
+}
+
+// AddRow appends a formatted row; values are Sprint'ed with %v unless
+// they are float64, which use %.4g.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.4g", v)
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// AddFinding records a qualitative outcome line.
+func (t *Table) AddFinding(format string, args ...interface{}) {
+	t.Findings = append(t.Findings, fmt.Sprintf(format, args...))
+}
+
+// String renders the table as aligned plain text.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", t.ID, t.Caption)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, f := range t.Findings {
+		fmt.Fprintf(&b, "  => %s\n", f)
+	}
+	return b.String()
+}
+
+// Runner is an experiment entry point.
+type Runner struct {
+	ID   string
+	Name string
+	Run  func() (*Table, error)
+}
+
+// All returns every experiment in order. The list is the per-
+// experiment index of DESIGN.md section 4.
+func All() []Runner {
+	return []Runner{
+		{"E1", "characteristic drift directions (Figure 2)", E1QuadrantDrifts},
+		{"E2", "convergent spiral and Theorem 1 (Figure 3)", E2ConvergentSpiral},
+		{"E3", "packet-level queue trace (Figure 1)", E3QueueTrace},
+		{"E4", "equal-parameter fairness (Section 6)", E4FairnessEqual},
+		{"E5", "heterogeneous-parameter shares (Section 6)", E5FairnessHetero},
+		{"E6", "delay-induced oscillation (Section 7)", E6DelayOscillation},
+		{"E7", "delay-induced unfairness (Section 7)", E7DelayUnfairness},
+		{"E8", "algorithm-induced oscillation: AIAD vs AIMD", E8AlgorithmOscillation},
+		{"E9", "Fokker-Planck vs Monte-Carlo validation (Eq. 14)", E9FokkerPlanckVsMonteCarlo},
+		{"E10", "variability: Fokker-Planck vs fluid approximation", E10VariabilityVsFluid},
+		{"E11", "convergence speed vs (C0, C1) (Theorem 1)", E11ParameterSweep},
+		{"E12", "stationary spread vs sigma (Section 5 closing)", E12DiffusionSpread},
+		{"E13", "window protocol vs rate analogue (Eq. 1 vs Eq. 2)", E13WindowRateEquivalence},
+		{"E14", "FP advection scheme ablation (upwind vs MUSCL)", E14SchemeAblation},
+		{"E15", "Poincaré return map and quadratic contraction law", E15ReturnMapLaw},
+		{"E16", "multi-hop tandem network: share vs hop count", E16TandemHopCount},
+		{"E17", "Fokker-Planck vs exact Markov chain (Eq. 14 ground truth)", E17FokkerPlanckVsMarkov},
+		{"E18", "AIMD under bursty (on/off) traffic: variability sweep", E18BurstinessSweep},
+		{"E19", "delayed-feedback stability boundary (Hopf point)", E19StabilityBoundary},
+		{"E20", "gateway feedback disciplines: threshold vs DECbit vs RED", E20GatewayComparison},
+		{"E21", "TCP-Tahoe share vs RTT ratio (Jacobson/Zhang unfairness)", E21TahoeRTTShare},
+		{"E22", "stiff-law integrator ablation: RK4 vs implicit", E22IntegratorAblation},
+		{"E23", "engineering the delay budget: AIMD vs PD damping", E23DelayBudgetEngineering},
+		{"E24", "n delayed sources: shared-loop oscillation, invariant budget", E24MultiSourceDelay},
+		{"E25", "explicit queue feedback vs implicit loss feedback", E25ImplicitVsExplicit},
+	}
+}

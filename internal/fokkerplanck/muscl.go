@@ -1,0 +1,131 @@
+package fokkerplanck
+
+// Second-order advection sweeps: MUSCL reconstruction with the minmod
+// limiter (a TVD scheme). The first-order upwind sweeps in solver.go
+// are robust but diffusive — they over-spread the density by
+// O(|v|·Δq/2) per unit time, which is the dominant error in the E9
+// validation. The limited second-order scheme removes most of that
+// numerical diffusion while remaining positivity-preserving in
+// practice (the limiter suppresses the oscillations an unlimited
+// second-order scheme would produce at the density's steep flanks).
+//
+// Enable with Config.SecondOrder. The v-advection drift g is smooth
+// within each control branch (constant on the increase side, linear in
+// λ on the decrease side), so the per-edge-speed reconstruction keeps
+// its accuracy away from the measure-zero switching line.
+
+// minmod returns the minmod slope limiter of two one-sided
+// differences: 0 on sign disagreement, else the smaller magnitude.
+func minmod(a, b float64) float64 {
+	if a > 0 && b > 0 {
+		if a < b {
+			return a
+		}
+		return b
+	}
+	if a < 0 && b < 0 {
+		if a > b {
+			return a
+		}
+		return b
+	}
+	return 0
+}
+
+// advectQ2 is the second-order counterpart of advectQ: per v-row
+// constant-speed advection with MUSCL-limited fluxes and the same
+// boundary conventions (zero-flux at q = 0, outflow at QMax).
+func (s *Solver) advectQ2(dt float64) {
+	nq, nv := s.cfg.NQ, s.cfg.NV
+	dq := s.g2d.X.Dx
+	copy(s.tmp, s.f)
+	for iv := 0; iv < nv; iv++ {
+		v := s.vc[iv]
+		if v == 0 {
+			continue
+		}
+		c := v * dt / dq // signed Courant number for this row
+		// Numerical flux at every interior edge e = 1..nq-1 (edge e
+		// sits between cells e-1 and e), in units of density/Courant.
+		// Edge 0 is the reflecting boundary (zero flux); edge nq is
+		// outflow for v > 0, zero-inflow for v < 0.
+		at := func(i int) float64 { return s.tmp[i*nv+iv] }
+		slope := func(i int) float64 {
+			if i <= 0 || i >= nq-1 {
+				return 0 // first-order fallback at the boundary cells
+			}
+			return minmod(at(i)-at(i-1), at(i+1)-at(i))
+		}
+		for iq := 0; iq < nq; iq++ {
+			var fluxL, fluxR float64 // through left and right edges of cell iq
+			if v > 0 {
+				// Upwind cell is the left neighbor; add the limited
+				// time-centred correction 0.5(1−c)·slope.
+				if iq > 0 {
+					fluxL = c * (at(iq-1) + 0.5*(1-c)*slope(iq-1))
+				}
+				fluxR = c * (at(iq) + 0.5*(1-c)*slope(iq))
+			} else {
+				ac := -c
+				if iq > 0 {
+					fluxL = -ac * (at(iq) - 0.5*(1-ac)*slope(iq))
+				}
+				if iq < nq-1 {
+					fluxR = -ac * (at(iq+1) - 0.5*(1-ac)*slope(iq+1))
+				}
+				// iq == nq-1: zero inflow through the right edge.
+			}
+			s.f[iq*nv+iv] = at(iq) + fluxL - fluxR
+			if iq == nq-1 && v > 0 {
+				s.outflow += fluxR * s.g2d.CellArea()
+			}
+		}
+	}
+}
+
+// advectV2 is the second-order counterpart of advectV: conservative
+// per-q-column sweep with MUSCL-limited upwind values at each edge and
+// the local edge speed.
+func (s *Solver) advectV2(dt float64) {
+	nq, nv := s.cfg.NQ, s.cfg.NV
+	dv := s.g2d.Y.Dx
+	mu := s.cfg.Mu
+	law := s.cfg.Law
+	useDelay := s.cfg.DelayTau > 0
+	qObsDelayed := 0.0
+	if useDelay {
+		qObsDelayed = s.delayedMeanQ()
+	}
+	copy(s.tmp, s.f)
+	for iq := 0; iq < nq; iq++ {
+		qObs := s.qc[iq]
+		if useDelay {
+			qObs = qObsDelayed
+		}
+		base := iq * nv
+		at := func(i int) float64 { return s.tmp[base+i] }
+		slope := func(i int) float64 {
+			if i <= 0 || i >= nv-1 {
+				return 0
+			}
+			return minmod(at(i)-at(i-1), at(i+1)-at(i))
+		}
+		for iv := 1; iv < nv; iv++ {
+			vEdge := s.g2d.Y.Edge(iv)
+			a := law.Drift(qObs, vEdge+mu)
+			if a == 0 {
+				continue
+			}
+			cLoc := a * dt / dv
+			var up float64
+			if a > 0 {
+				up = at(iv-1) + 0.5*(1-cLoc)*slope(iv-1)
+			} else {
+				up = at(iv) - 0.5*(1+cLoc)*slope(iv)
+			}
+			d := a * up * dt / dv
+			s.f[base+iv-1] -= d
+			s.f[base+iv] += d
+		}
+	}
+}

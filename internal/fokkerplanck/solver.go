@@ -1,0 +1,623 @@
+// Package fokkerplanck numerically solves the paper's central object,
+// the extended Fokker-Planck equation of Section 4 (Equation 14):
+//
+//	f_t + v·f_q + (g·f)_v = (σ²/2)·f_qq
+//
+// for the joint probability density f(t, q, v) of queue length Q(t)
+// and queue growth rate v(t) = λ(t) − μ under the feedback control
+// law dλ/dt = g(Q, λ).
+//
+// # Scheme
+//
+// The solver uses operator splitting on a uniform cell-centered
+// (q, v) grid:
+//
+//  1. q-advection  f_t + v f_q = 0        — conservative first-order
+//     upwind per v-row; zero-flux (reflecting) at q = 0, outflow at
+//     q = QMax (lost mass is tracked, so domain truncation is visible
+//     rather than silent).
+//  2. v-advection  f_t + (g f)_v = 0      — conservative upwind with
+//     edge-evaluated drift g; zero-flux at both v boundaries. For the
+//     paper's laws the drift field is naturally confining (+C0 at the
+//     bottom, −C1·λ at the top), so no mass is pushed against the
+//     clamp in practice.
+//  3. q-diffusion  f_t = (σ²/2) f_qq      — Crank-Nicolson with
+//     zero-flux (Neumann) boundaries, one tridiagonal solve per
+//     v-row; unconditionally stable.
+//
+// Advection steps are explicit, so Step enforces the CFL condition;
+// StepAuto picks the largest stable step. Upwinding can produce tiny
+// negative undershoots at steep fronts; they are clipped and the
+// clipped mass tracked in the audit.
+//
+// # Delayed feedback closure
+//
+// With feedback delay τ the density equation does not close: the drift
+// of a tagged particle depends on its own delayed queue. The solver
+// implements the standard mean-field closure — every controller sees
+// the delayed ensemble mean E[Q](t−τ) — which reproduces the
+// oscillation of the mean dynamics (experiment E6 cross-checks it
+// against the exact DDE characteristics). With τ = 0 the exact local
+// drift g(q, λ) is used and no closure is involved.
+package fokkerplanck
+
+import (
+	"fmt"
+	"math"
+
+	"fpcc/internal/control"
+	"fpcc/internal/grid"
+	"fpcc/internal/linalg"
+)
+
+// Config describes a Fokker-Planck problem and its discretization.
+type Config struct {
+	Law   control.Law // feedback law g(q, λ)
+	Mu    float64     // service rate (v = λ − μ)
+	Sigma float64     // noise amplitude σ (diffusion coefficient σ²/2)
+
+	QMax float64 // domain is q ∈ [0, QMax]
+	NQ   int     // number of q cells
+	VMin float64 // domain is v ∈ [VMin, VMax]
+	VMax float64
+	NV   int // number of v cells
+
+	// CFLTarget is the Courant number StepAuto aims for (default 0.8).
+	CFLTarget float64
+
+	// DelayTau, when positive, enables the mean-field delayed-feedback
+	// closure: controllers observe E[Q](t−τ) instead of their own
+	// current q.
+	DelayTau float64
+
+	// SecondOrder selects the MUSCL/minmod (TVD) advection sweeps
+	// instead of first-order upwind, removing most of the numerical
+	// diffusion at the cost of ~2x work per step (see muscl.go and
+	// the scheme-comparison benchmarks).
+	SecondOrder bool
+
+	// SigmaV, when positive, adds intrinsic rate variability as a
+	// (SigmaV²/2)·f_vv diffusion term — the leading correction the
+	// paper's footnote 2 anticipates for burstier rate processes.
+	SigmaV float64
+}
+
+// Validate checks the configuration.
+func (c *Config) Validate() error {
+	switch {
+	case c.Law == nil:
+		return fmt.Errorf("fokkerplanck: nil law")
+	case !(c.Mu > 0):
+		return fmt.Errorf("fokkerplanck: service rate must be positive, got %v", c.Mu)
+	case !(c.Sigma >= 0):
+		return fmt.Errorf("fokkerplanck: negative sigma %v", c.Sigma)
+	case !(c.QMax > 0):
+		return fmt.Errorf("fokkerplanck: QMax must be positive, got %v", c.QMax)
+	case c.NQ < 4 || c.NV < 4:
+		return fmt.Errorf("fokkerplanck: need at least 4 cells per axis, got %dx%d", c.NQ, c.NV)
+	case !(c.VMax > c.VMin):
+		return fmt.Errorf("fokkerplanck: empty v range [%v, %v]", c.VMin, c.VMax)
+	case c.DelayTau < 0:
+		return fmt.Errorf("fokkerplanck: negative delay %v", c.DelayTau)
+	case c.SigmaV < 0:
+		return fmt.Errorf("fokkerplanck: negative sigmaV %v", c.SigmaV)
+	}
+	return nil
+}
+
+// Moments are the low-order moments of the current density.
+type Moments struct {
+	Mass  float64 // ∫ f  (should stay near 1 minus tracked losses)
+	MeanQ float64
+	VarQ  float64
+	MeanV float64
+	VarV  float64
+	Cov   float64
+}
+
+// Solver evolves the density. Create with New, set the initial
+// condition, then Step/Advance.
+type Solver struct {
+	cfg Config
+	g2d grid.Uniform2D // X = q (slow index), Y = v
+	f   []float64      // density, row-major [iq*NV + iv]
+	tmp []float64      // scratch field for flux sweeps
+	t   float64
+
+	// diffusion workspace
+	tri        linalg.Tridiag
+	dl, dd, du []float64 // CN left-hand bands
+	rhs        []float64
+	colBuf     []float64
+	// v-diffusion workspace (allocated on first use)
+	vDl, vDd, vDu, vRhs, vBuf []float64
+
+	// cached cell-center coordinates
+	qc, vc []float64
+	// cached v-edge drift speeds per q row (recomputed when the
+	// delayed observation changes)
+	edgeDrift []float64 // [iq*(NV+1) + iv]
+
+	clipped float64 // total negative mass clipped (absolute value)
+	outflow float64 // mass lost through the q = QMax outflow boundary
+
+	// delayed mean-queue history for the closure (ring of samples)
+	histT []float64
+	histQ []float64
+}
+
+// New builds a solver with an all-zero density (call SetGaussian or
+// SetPointMass next).
+func New(cfg Config) (*Solver, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.CFLTarget == 0 {
+		cfg.CFLTarget = 0.8
+	}
+	if !(cfg.CFLTarget > 0) || cfg.CFLTarget > 1 {
+		return nil, fmt.Errorf("fokkerplanck: CFL target %v outside (0, 1]", cfg.CFLTarget)
+	}
+	qAxis, err := grid.NewUniform1D(0, cfg.QMax, cfg.NQ)
+	if err != nil {
+		return nil, fmt.Errorf("fokkerplanck: q axis: %w", err)
+	}
+	vAxis, err := grid.NewUniform1D(cfg.VMin, cfg.VMax, cfg.NV)
+	if err != nil {
+		return nil, fmt.Errorf("fokkerplanck: v axis: %w", err)
+	}
+	g2d := grid.NewUniform2D(qAxis, vAxis)
+	s := &Solver{
+		cfg:       cfg,
+		g2d:       g2d,
+		f:         g2d.NewField(),
+		tmp:       g2d.NewField(),
+		dl:        make([]float64, cfg.NQ),
+		dd:        make([]float64, cfg.NQ),
+		du:        make([]float64, cfg.NQ),
+		rhs:       make([]float64, cfg.NQ),
+		colBuf:    make([]float64, cfg.NQ),
+		qc:        qAxis.Centers(),
+		vc:        vAxis.Centers(),
+		edgeDrift: make([]float64, cfg.NQ*(cfg.NV+1)),
+	}
+	return s, nil
+}
+
+// Grid returns the discretization (X axis = q, Y axis = v).
+func (s *Solver) Grid() grid.Uniform2D { return s.g2d }
+
+// Time returns the current solution time.
+func (s *Solver) Time() float64 { return s.t }
+
+// Density returns a copy of the current density field, row-major
+// [iq*NV + iv].
+func (s *Solver) Density() []float64 { return append([]float64(nil), s.f...) }
+
+// ClippedMass returns the total mass removed by negativity clipping.
+func (s *Solver) ClippedMass() float64 { return s.clipped }
+
+// OutflowMass returns the mass lost through the q = QMax boundary; a
+// non-negligible value means the domain is too small for the problem.
+func (s *Solver) OutflowMass() float64 { return s.outflow }
+
+// SetGaussian initializes the density with a truncated Gaussian blob
+// centred at (q0, v0) with standard deviations (stdQ, stdV),
+// normalized to unit mass on the grid.
+func (s *Solver) SetGaussian(q0, v0, stdQ, stdV float64) error {
+	if !(stdQ > 0) || !(stdV > 0) {
+		return fmt.Errorf("fokkerplanck: Gaussian needs positive spreads, got (%v, %v)", stdQ, stdV)
+	}
+	for iq := 0; iq < s.cfg.NQ; iq++ {
+		dq := (s.qc[iq] - q0) / stdQ
+		for iv := 0; iv < s.cfg.NV; iv++ {
+			dv := (s.vc[iv] - v0) / stdV
+			s.f[iq*s.cfg.NV+iv] = math.Exp(-0.5 * (dq*dq + dv*dv))
+		}
+	}
+	return s.normalize()
+}
+
+// SetPointMass initializes the density with all mass in the cell
+// containing (q0, v0).
+func (s *Solver) SetPointMass(q0, v0 float64) error {
+	iq := s.g2d.X.CellOf(q0)
+	iv := s.g2d.Y.CellOf(v0)
+	for i := range s.f {
+		s.f[i] = 0
+	}
+	s.f[iq*s.cfg.NV+iv] = 1
+	return s.normalize()
+}
+
+// normalize scales the field to unit mass and resets the audit and the
+// delay history.
+func (s *Solver) normalize() error {
+	mass := s.g2d.Integrate(s.f)
+	if !(mass > 0) {
+		return fmt.Errorf("fokkerplanck: degenerate initial density (mass %v)", mass)
+	}
+	linalg.Scale(1/mass, s.f)
+	s.t = 0
+	s.clipped = 0
+	s.outflow = 0
+	s.histT = s.histT[:0]
+	s.histQ = s.histQ[:0]
+	s.recordMeanQ()
+	return nil
+}
+
+// recordMeanQ appends the current mean queue to the delay history.
+func (s *Solver) recordMeanQ() {
+	if s.cfg.DelayTau <= 0 {
+		return
+	}
+	m := s.Moments()
+	mean := m.MeanQ
+	if m.Mass > 0 {
+		mean = m.MeanQ
+	}
+	s.histT = append(s.histT, s.t)
+	s.histQ = append(s.histQ, mean)
+	// Prune far beyond the lookback window.
+	if len(s.histT) > 8192 {
+		cut := s.t - s.cfg.DelayTau
+		k := 0
+		for k < len(s.histT)-1 && s.histT[k+1] <= cut {
+			k++
+		}
+		if k > 0 {
+			s.histT = append(s.histT[:0], s.histT[k:]...)
+			s.histQ = append(s.histQ[:0], s.histQ[k:]...)
+		}
+	}
+}
+
+// delayedMeanQ interpolates E[Q](t−τ) from the history (clamping to
+// the earliest record, which represents the pre-initial state).
+func (s *Solver) delayedMeanQ() float64 {
+	target := s.t - s.cfg.DelayTau
+	n := len(s.histT)
+	if n == 0 {
+		return 0
+	}
+	if target <= s.histT[0] {
+		return s.histQ[0]
+	}
+	if target >= s.histT[n-1] {
+		return s.histQ[n-1]
+	}
+	lo, hi := 0, n-1
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if s.histT[mid] <= target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	t0, t1 := s.histT[lo], s.histT[hi]
+	if t1 == t0 {
+		return s.histQ[hi]
+	}
+	frac := (target - t0) / (t1 - t0)
+	return s.histQ[lo] + frac*(s.histQ[hi]-s.histQ[lo])
+}
+
+// maxSpeeds returns the maximum advection speeds over the grid, used
+// for the CFL bound.
+func (s *Solver) maxSpeeds() (maxV, maxG float64) {
+	maxV = math.Max(math.Abs(s.cfg.VMin), math.Abs(s.cfg.VMax))
+	for iq := 0; iq < s.cfg.NQ; iq++ {
+		for iv := 0; iv <= s.cfg.NV; iv++ {
+			vEdge := s.g2d.Y.Edge(iv)
+			g := s.cfg.Law.Drift(s.qc[iq], vEdge+s.cfg.Mu)
+			if a := math.Abs(g); a > maxG {
+				maxG = a
+			}
+		}
+	}
+	return maxV, maxG
+}
+
+// MaxStableDt returns the largest advection-stable step at the CFL
+// target.
+func (s *Solver) MaxStableDt() float64 {
+	maxV, maxG := s.maxSpeeds()
+	return s.g2d.MaxStableDt(s.cfg.CFLTarget, maxV, maxG)
+}
+
+// Step advances the solution by dt. It returns an error if dt violates
+// the CFL bound (use MaxStableDt or StepAuto).
+func (s *Solver) Step(dt float64) error {
+	if !(dt > 0) {
+		return fmt.Errorf("fokkerplanck: non-positive step %v", dt)
+	}
+	maxV, maxG := s.maxSpeeds()
+	if cfl := s.g2d.CFL(dt, maxV, maxG); cfl > 1.0000001 {
+		return fmt.Errorf("fokkerplanck: step %v violates CFL (number %.3f > 1)", dt, cfl)
+	}
+	if s.cfg.SecondOrder {
+		s.advectQ2(dt)
+		s.advectV2(dt)
+	} else {
+		s.advectQ(dt)
+		s.advectV(dt)
+	}
+	if s.cfg.Sigma > 0 {
+		s.diffuseQ(dt)
+	}
+	if s.cfg.SigmaV > 0 {
+		s.diffuseV(dt)
+	}
+	s.clipped += -linalg.ClampNonNegative(s.f) * s.g2d.CellArea()
+	s.t += dt
+	s.recordMeanQ()
+	return nil
+}
+
+// StepAuto advances by the largest stable step, capped at dtMax, and
+// returns the step taken.
+func (s *Solver) StepAuto(dtMax float64) (float64, error) {
+	dt := s.MaxStableDt()
+	if dtMax > 0 && dt > dtMax {
+		dt = dtMax
+	}
+	if math.IsInf(dt, 1) {
+		return 0, fmt.Errorf("fokkerplanck: unbounded stable step (no advection); pass dtMax")
+	}
+	return dt, s.Step(dt)
+}
+
+// Advance integrates until time tEnd with automatic steps capped at
+// dtMax (0 = no cap beyond CFL).
+func (s *Solver) Advance(tEnd, dtMax float64) error {
+	if tEnd < s.t {
+		return fmt.Errorf("fokkerplanck: cannot advance backwards from %v to %v", s.t, tEnd)
+	}
+	for s.t < tEnd {
+		dt := s.MaxStableDt()
+		if dtMax > 0 && dt > dtMax {
+			dt = dtMax
+		}
+		if math.IsInf(dt, 1) {
+			return fmt.Errorf("fokkerplanck: unbounded stable step (no advection); pass dtMax")
+		}
+		if s.t+dt > tEnd {
+			dt = tEnd - s.t
+		}
+		if dt < 1e-15*(1+s.t) {
+			break
+		}
+		if err := s.Step(dt); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// advectQ performs the upwind sweep of f_t + v f_q = 0.
+func (s *Solver) advectQ(dt float64) {
+	nq, nv := s.cfg.NQ, s.cfg.NV
+	dq := s.g2d.X.Dx
+	copy(s.tmp, s.f)
+	for iv := 0; iv < nv; iv++ {
+		v := s.vc[iv]
+		if v == 0 {
+			continue
+		}
+		c := v * dt / dq
+		if v > 0 {
+			// Sweep from the right so updates read pre-step values
+			// from tmp (we read tmp exclusively, so order is free).
+			for iq := 0; iq < nq; iq++ {
+				var fluxIn, fluxOut float64
+				fluxOut = c * s.tmp[iq*nv+iv]
+				if iq > 0 {
+					fluxIn = c * s.tmp[(iq-1)*nv+iv]
+				}
+				// iq == 0: left edge has zero inflow for v > 0.
+				s.f[iq*nv+iv] = s.tmp[iq*nv+iv] + fluxIn - fluxOut
+				if iq == nq-1 {
+					// Outflow through the right boundary, in mass
+					// units (density change × cell area).
+					s.outflow += fluxOut * s.g2d.CellArea()
+				}
+			}
+		} else {
+			ac := -c // positive
+			for iq := 0; iq < nq; iq++ {
+				var fluxIn, fluxOut float64
+				if iq > 0 {
+					// Left edge of cell iq: for v < 0, flux leaves
+					// cell iq through its left edge...
+					fluxOut = ac * s.tmp[iq*nv+iv]
+				}
+				// iq == 0: zero-flux reflecting edge at q = 0 (mass
+				// cannot leave; the empty queue holds it).
+				if iq < nq-1 {
+					fluxIn = ac * s.tmp[(iq+1)*nv+iv]
+				}
+				// iq == nq-1: right edge admits no inflow for v < 0.
+				s.f[iq*nv+iv] = s.tmp[iq*nv+iv] + fluxIn - fluxOut
+			}
+		}
+	}
+}
+
+// advectV performs the conservative upwind sweep of f_t + (g f)_v = 0.
+func (s *Solver) advectV(dt float64) {
+	nq, nv := s.cfg.NQ, s.cfg.NV
+	dv := s.g2d.Y.Dx
+	mu := s.cfg.Mu
+	law := s.cfg.Law
+	useDelay := s.cfg.DelayTau > 0
+	qObsDelayed := 0.0
+	if useDelay {
+		qObsDelayed = s.delayedMeanQ()
+	}
+	copy(s.tmp, s.f)
+	for iq := 0; iq < nq; iq++ {
+		qObs := s.qc[iq]
+		if useDelay {
+			qObs = qObsDelayed
+		}
+		base := iq * nv
+		// Edge drifts and upwind fluxes along v. Edge iv sits between
+		// cells iv-1 and iv; edges 0 and nv are zero-flux boundaries.
+		for iv := 1; iv < nv; iv++ {
+			vEdge := s.g2d.Y.Edge(iv)
+			a := law.Drift(qObs, vEdge+mu)
+			var flux float64
+			if a > 0 {
+				flux = a * s.tmp[base+iv-1]
+			} else {
+				flux = a * s.tmp[base+iv]
+			}
+			d := flux * dt / dv
+			s.f[base+iv-1] -= d
+			s.f[base+iv] += d
+		}
+	}
+}
+
+// diffuseQ performs the Crank-Nicolson solve of f_t = (σ²/2) f_qq with
+// zero-flux ends, one tridiagonal system per v-row.
+func (s *Solver) diffuseQ(dt float64) {
+	nq, nv := s.cfg.NQ, s.cfg.NV
+	dq := s.g2d.X.Dx
+	r := 0.5 * s.cfg.Sigma * s.cfg.Sigma * dt / (2 * dq * dq) // θ=1/2 CN factor
+	// LHS bands: (I − r·A), RHS: (I + r·A) with A the Neumann
+	// Laplacian stencil.
+	for iv := 0; iv < nv; iv++ {
+		// Gather the q-column.
+		for iq := 0; iq < nq; iq++ {
+			s.colBuf[iq] = s.f[iq*nv+iv]
+		}
+		for iq := 0; iq < nq; iq++ {
+			var lap float64
+			switch iq {
+			case 0:
+				lap = s.colBuf[1] - s.colBuf[0]
+			case nq - 1:
+				lap = s.colBuf[nq-2] - s.colBuf[nq-1]
+			default:
+				lap = s.colBuf[iq-1] - 2*s.colBuf[iq] + s.colBuf[iq+1]
+			}
+			s.rhs[iq] = s.colBuf[iq] + r*lap
+			// LHS bands.
+			switch iq {
+			case 0:
+				s.dl[iq] = 0
+				s.dd[iq] = 1 + r
+				s.du[iq] = -r
+			case nq - 1:
+				s.dl[iq] = -r
+				s.dd[iq] = 1 + r
+				s.du[iq] = 0
+			default:
+				s.dl[iq] = -r
+				s.dd[iq] = 1 + 2*r
+				s.du[iq] = -r
+			}
+		}
+		if err := s.tri.Solve(s.dl, s.dd, s.du, s.rhs, s.colBuf); err != nil {
+			// The CN matrix is strictly diagonally dominant, so this
+			// cannot happen for valid inputs.
+			panic(fmt.Sprintf("fokkerplanck: diffusion solve failed: %v", err))
+		}
+		for iq := 0; iq < nq; iq++ {
+			s.f[iq*nv+iv] = s.colBuf[iq]
+		}
+	}
+}
+
+// Moments computes the low-order moments of the current density.
+func (s *Solver) Moments() Moments {
+	nq, nv := s.cfg.NQ, s.cfg.NV
+	area := s.g2d.CellArea()
+	var mass, mq, mv float64
+	for iq := 0; iq < nq; iq++ {
+		for iv := 0; iv < nv; iv++ {
+			w := s.f[iq*nv+iv] * area
+			mass += w
+			mq += w * s.qc[iq]
+			mv += w * s.vc[iv]
+		}
+	}
+	if mass <= 0 {
+		return Moments{Mass: mass}
+	}
+	mq /= mass
+	mv /= mass
+	var vq, vv, cov float64
+	for iq := 0; iq < nq; iq++ {
+		dq := s.qc[iq] - mq
+		for iv := 0; iv < nv; iv++ {
+			w := s.f[iq*nv+iv] * area
+			dv := s.vc[iv] - mv
+			vq += w * dq * dq
+			vv += w * dv * dv
+			cov += w * dq * dv
+		}
+	}
+	return Moments{
+		Mass:  mass,
+		MeanQ: mq, VarQ: vq / mass,
+		MeanV: mv, VarV: vv / mass,
+		Cov: cov / mass,
+	}
+}
+
+// MarginalQ returns the marginal density over q (length NQ),
+// integrating out v.
+func (s *Solver) MarginalQ() []float64 {
+	nq, nv := s.cfg.NQ, s.cfg.NV
+	dv := s.g2d.Y.Dx
+	m := make([]float64, nq)
+	for iq := 0; iq < nq; iq++ {
+		var sum float64
+		for iv := 0; iv < nv; iv++ {
+			sum += s.f[iq*nv+iv]
+		}
+		m[iq] = sum * dv
+	}
+	return m
+}
+
+// MarginalV returns the marginal density over v (length NV).
+func (s *Solver) MarginalV() []float64 {
+	nq, nv := s.cfg.NQ, s.cfg.NV
+	dq := s.g2d.X.Dx
+	m := make([]float64, nv)
+	for iv := 0; iv < nv; iv++ {
+		var sum float64
+		for iq := 0; iq < nq; iq++ {
+			sum += s.f[iq*nv+iv]
+		}
+		m[iv] = sum * dq
+	}
+	return m
+}
+
+// TailProb returns P(Q > b) under the current density — the overflow
+// measure a deterministic fluid model cannot produce (experiment E10).
+func (s *Solver) TailProb(b float64) float64 {
+	nq, nv := s.cfg.NQ, s.cfg.NV
+	area := s.g2d.CellArea()
+	var p, mass float64
+	for iq := 0; iq < nq; iq++ {
+		inTail := s.qc[iq] > b
+		for iv := 0; iv < nv; iv++ {
+			w := s.f[iq*nv+iv] * area
+			mass += w
+			if inTail {
+				p += w
+			}
+		}
+	}
+	if mass <= 0 {
+		return 0
+	}
+	return p / mass
+}

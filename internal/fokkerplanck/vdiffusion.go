@@ -1,0 +1,94 @@
+package fokkerplanck
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file implements two extensions beyond the paper's Equation 14:
+//
+//   - Diffusion in the rate dimension. The paper assumes "variability
+//     in v is caused only by the random sample path of Q and there is
+//     no 'intrinsic' variability in v", noting in a footnote that
+//     "higher order moments may be needed to express more burstiness
+//     in η". The leading correction is a second-moment term
+//     (σ_v²/2)·f_vv, which models jittery rate adjustment (e.g. noisy
+//     congestion signals flipping the control branch). Enable it with
+//     Config.SigmaV.
+//
+//   - Stationarity detection: AdvanceToStationary integrates until the
+//     low-order moments stop changing, which is how the long-run
+//     tables (E10/E12-style) decide they have run far enough.
+
+// diffuseV performs the Crank-Nicolson solve of f_t = (σ_v²/2) f_vv
+// with zero-flux ends, one tridiagonal system per q-row. It mirrors
+// diffuseQ with the roles of the axes swapped; rows are contiguous in
+// storage so no gather is needed, but the workspace vectors are sized
+// for NQ — we reuse tmp buffers sized max(NQ, NV) allocated lazily.
+func (s *Solver) diffuseV(dt float64) {
+	nq, nv := s.cfg.NQ, s.cfg.NV
+	dv := s.g2d.Y.Dx
+	r := 0.5 * s.cfg.SigmaV * s.cfg.SigmaV * dt / (2 * dv * dv)
+	if len(s.vDl) < nv {
+		s.vDl = make([]float64, nv)
+		s.vDd = make([]float64, nv)
+		s.vDu = make([]float64, nv)
+		s.vRhs = make([]float64, nv)
+		s.vBuf = make([]float64, nv)
+	}
+	for iq := 0; iq < nq; iq++ {
+		row := s.f[iq*nv : (iq+1)*nv]
+		for iv := 0; iv < nv; iv++ {
+			var lap float64
+			switch iv {
+			case 0:
+				lap = row[1] - row[0]
+			case nv - 1:
+				lap = row[nv-2] - row[nv-1]
+			default:
+				lap = row[iv-1] - 2*row[iv] + row[iv+1]
+			}
+			s.vRhs[iv] = row[iv] + r*lap
+			switch iv {
+			case 0:
+				s.vDl[iv], s.vDd[iv], s.vDu[iv] = 0, 1+r, -r
+			case nv - 1:
+				s.vDl[iv], s.vDd[iv], s.vDu[iv] = -r, 1+r, 0
+			default:
+				s.vDl[iv], s.vDd[iv], s.vDu[iv] = -r, 1+2*r, -r
+			}
+		}
+		if err := s.tri.Solve(s.vDl[:nv], s.vDd[:nv], s.vDu[:nv], s.vRhs[:nv], s.vBuf[:nv]); err != nil {
+			panic(fmt.Sprintf("fokkerplanck: v-diffusion solve failed: %v", err))
+		}
+		copy(row, s.vBuf[:nv])
+	}
+}
+
+// AdvanceToStationary integrates with automatic steps until the
+// relative change of (E[Q], Var[Q]) over successive windows of
+// checkEvery seconds falls below tol, or tMax is reached. It returns
+// the time at which stationarity was declared and whether it was
+// reached. The delayed-feedback closure never becomes stationary in
+// this sense when it sustains a limit cycle — the caller gets
+// reached == false at tMax.
+func (s *Solver) AdvanceToStationary(tol, checkEvery, tMax, dtMax float64) (tReached float64, reached bool, err error) {
+	if !(tol > 0) || !(checkEvery > 0) || !(tMax > s.t) {
+		return s.t, false, fmt.Errorf("fokkerplanck: invalid stationarity parameters tol=%v check=%v tMax=%v", tol, checkEvery, tMax)
+	}
+	prev := s.Moments()
+	for s.t < tMax {
+		next := math.Min(s.t+checkEvery, tMax)
+		if err := s.Advance(next, dtMax); err != nil {
+			return s.t, false, err
+		}
+		cur := s.Moments()
+		dMean := math.Abs(cur.MeanQ-prev.MeanQ) / (1 + math.Abs(prev.MeanQ))
+		dVar := math.Abs(cur.VarQ-prev.VarQ) / (1 + math.Abs(prev.VarQ))
+		if dMean < tol && dVar < tol {
+			return s.t, true, nil
+		}
+		prev = cur
+	}
+	return s.t, false, nil
+}

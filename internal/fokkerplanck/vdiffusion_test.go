@@ -1,0 +1,132 @@
+package fokkerplanck
+
+import (
+	"math"
+	"testing"
+
+	"fpcc/internal/control"
+)
+
+// TestVDiffusionVarianceGrowth: frozen drift, pure v-diffusion —
+// Var[v] grows by σ_v²·t and mass is conserved.
+func TestVDiffusionVarianceGrowth(t *testing.T) {
+	cfg := Config{
+		Law: control.Custom{
+			DriftFunc: func(q, lambda float64) float64 { return 0 },
+			QHat:      math.Inf(1),
+		},
+		Mu: 10, Sigma: 0, SigmaV: 1.2,
+		QMax: 400, NQ: 100, // wide q domain so advection stays interior
+		VMin: -10, VMax: 10, NV: 200,
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetGaussian(200, 0, 3, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	m0 := s.Moments()
+	const horizon = 4.0
+	if err := s.Advance(horizon, 0.01); err != nil {
+		t.Fatal(err)
+	}
+	m := s.Moments()
+	want := m0.VarV + cfg.SigmaV*cfg.SigmaV*horizon
+	if math.Abs(m.VarV-want)/want > 0.05 {
+		t.Fatalf("Var[v] = %v, want ~%v", m.VarV, want)
+	}
+	if math.Abs(m.Mass-1) > 1e-6 {
+		t.Fatalf("mass %v, want 1", m.Mass)
+	}
+}
+
+// TestVDiffusionWidensStationarySpread: with the AIMD law, adding
+// intrinsic rate noise must widen the stationary queue spread relative
+// to queue noise alone.
+func TestVDiffusionWidensStationarySpread(t *testing.T) {
+	run := func(sigmaV float64) float64 {
+		cfg := baseConfig()
+		cfg.Sigma = 1
+		cfg.SigmaV = sigmaV
+		cfg.NQ, cfg.NV = 100, 80
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.SetGaussian(20, 0, 2, 1); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Advance(60, 0); err != nil {
+			t.Fatal(err)
+		}
+		return s.Moments().VarQ
+	}
+	base := run(0)
+	noisy := run(1.5)
+	if !(noisy > base*1.1) {
+		t.Fatalf("rate noise should widen the queue spread: VarQ %v vs %v", noisy, base)
+	}
+}
+
+func TestSigmaVValidation(t *testing.T) {
+	cfg := baseConfig()
+	cfg.SigmaV = -1
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("accepted negative SigmaV")
+	}
+}
+
+// TestAdvanceToStationary: the AIMD system with noise reaches a
+// stationary density; the helper must detect it and stop well before
+// tMax.
+func TestAdvanceToStationary(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Sigma = 1.5
+	cfg.NQ, cfg.NV = 100, 80
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetGaussian(20, 0, 2, 1); err != nil {
+		t.Fatal(err)
+	}
+	tReached, reached, err := s.AdvanceToStationary(1e-3, 5, 500, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reached {
+		t.Fatalf("never declared stationary by t=%v", tReached)
+	}
+	if tReached >= 400 {
+		t.Fatalf("stationarity only at t=%v, expected much sooner", tReached)
+	}
+	// The declared-stationary moments must indeed stop moving.
+	m1 := s.Moments()
+	if err := s.Advance(tReached+20, 0); err != nil {
+		t.Fatal(err)
+	}
+	m2 := s.Moments()
+	if math.Abs(m2.MeanQ-m1.MeanQ) > 0.2 {
+		t.Fatalf("mean still moving after declared stationarity: %v -> %v", m1.MeanQ, m2.MeanQ)
+	}
+}
+
+func TestAdvanceToStationaryValidation(t *testing.T) {
+	s, err := New(baseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetPointMass(10, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.AdvanceToStationary(0, 1, 10, 0); err == nil {
+		t.Error("accepted zero tol")
+	}
+	if _, _, err := s.AdvanceToStationary(1e-3, 0, 10, 0); err == nil {
+		t.Error("accepted zero check window")
+	}
+	if _, _, err := s.AdvanceToStationary(1e-3, 1, -1, 0); err == nil {
+		t.Error("accepted tMax in the past")
+	}
+}

@@ -1,0 +1,84 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dense is a small dense matrix in row-major order, sized for the
+// Newton systems of the implicit ODE steppers (dimension = the state
+// dimension of the fluid models, typically 2–20; nothing here is
+// tuned for large n).
+type Dense struct {
+	N int
+	A []float64 // N×N, row-major
+}
+
+// NewDense allocates an n×n zero matrix.
+func NewDense(n int) (*Dense, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("linalg: dense dimension must be positive, got %d", n)
+	}
+	return &Dense{N: n, A: make([]float64, n*n)}, nil
+}
+
+// At returns A[i,j].
+func (m *Dense) At(i, j int) float64 { return m.A[i*m.N+j] }
+
+// Set assigns A[i,j].
+func (m *Dense) Set(i, j int, v float64) { m.A[i*m.N+j] = v }
+
+// SolveDense solves A·x = b in place by Gaussian elimination with
+// partial pivoting, overwriting both A and b; on return b holds x.
+// Returns an error for singular (or numerically singular) systems.
+func SolveDense(m *Dense, b []float64) error {
+	if m == nil {
+		return fmt.Errorf("linalg: nil matrix")
+	}
+	n := m.N
+	if len(b) != n {
+		return fmt.Errorf("linalg: rhs has length %d, want %d", len(b), n)
+	}
+	a := m.A
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		piv := col
+		pmax := math.Abs(a[col*n+col])
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(a[r*n+col]); v > pmax {
+				piv, pmax = r, v
+			}
+		}
+		if pmax == 0 || math.IsNaN(pmax) {
+			return fmt.Errorf("linalg: singular matrix at column %d", col)
+		}
+		if piv != col {
+			for j := col; j < n; j++ {
+				a[col*n+j], a[piv*n+j] = a[piv*n+j], a[col*n+j]
+			}
+			b[col], b[piv] = b[piv], b[col]
+		}
+		// Eliminate below.
+		inv := 1 / a[col*n+col]
+		for r := col + 1; r < n; r++ {
+			f := a[r*n+col] * inv
+			if f == 0 {
+				continue
+			}
+			a[r*n+col] = 0
+			for j := col + 1; j < n; j++ {
+				a[r*n+j] -= f * a[col*n+j]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	// Back substitution.
+	for r := n - 1; r >= 0; r-- {
+		s := b[r]
+		for j := r + 1; j < n; j++ {
+			s -= a[r*n+j] * b[j]
+		}
+		b[r] = s / a[r*n+r]
+	}
+	return nil
+}

@@ -1,0 +1,127 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSolveDenseKnown(t *testing.T) {
+	// [2 1; 1 3]·x = [3; 5] → x = (4/5, 7/5).
+	m, err := NewDense(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Set(0, 0, 2)
+	m.Set(0, 1, 1)
+	m.Set(1, 0, 1)
+	m.Set(1, 1, 3)
+	b := []float64{3, 5}
+	if err := SolveDense(m, b); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(b[0]-0.8) > 1e-12 || math.Abs(b[1]-1.4) > 1e-12 {
+		t.Errorf("x = %v, want (0.8, 1.4)", b)
+	}
+}
+
+func TestSolveDensePivoting(t *testing.T) {
+	// Zero pivot at (0,0) forces a row swap.
+	m, _ := NewDense(2)
+	m.Set(0, 0, 0)
+	m.Set(0, 1, 1)
+	m.Set(1, 0, 1)
+	m.Set(1, 1, 0)
+	b := []float64{2, 3}
+	if err := SolveDense(m, b); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(b[0]-3) > 1e-12 || math.Abs(b[1]-2) > 1e-12 {
+		t.Errorf("x = %v, want (3, 2)", b)
+	}
+}
+
+func TestSolveDenseSingular(t *testing.T) {
+	m, _ := NewDense(2)
+	m.Set(0, 0, 1)
+	m.Set(0, 1, 2)
+	m.Set(1, 0, 2)
+	m.Set(1, 1, 4)
+	if err := SolveDense(m, []float64{1, 2}); err == nil {
+		t.Error("singular matrix: want error")
+	}
+}
+
+func TestSolveDenseValidation(t *testing.T) {
+	if _, err := NewDense(0); err == nil {
+		t.Error("zero dim: want error")
+	}
+	if err := SolveDense(nil, nil); err == nil {
+		t.Error("nil matrix: want error")
+	}
+	m, _ := NewDense(2)
+	if err := SolveDense(m, []float64{1}); err == nil {
+		t.Error("rhs length mismatch: want error")
+	}
+}
+
+func TestSolveDenseIdentity(t *testing.T) {
+	const n = 5
+	m, _ := NewDense(n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	b := []float64{1, 2, 3, 4, 5}
+	want := append([]float64(nil), b...)
+	if err := SolveDense(m, b); err != nil {
+		t.Fatal(err)
+	}
+	for i := range b {
+		if b[i] != want[i] {
+			t.Errorf("x[%d] = %v, want %v", i, b[i], want[i])
+		}
+	}
+}
+
+// Property: for random diagonally dominant systems, A·x reproduces b.
+func TestSolveDenseRoundTripProperty(t *testing.T) {
+	f := func(raw [9]int8, rb [3]int8) bool {
+		const n = 3
+		m, err := NewDense(n)
+		if err != nil {
+			return false
+		}
+		orig := make([]float64, n*n)
+		for i := 0; i < n; i++ {
+			var rowSum float64
+			for j := 0; j < n; j++ {
+				v := float64(raw[i*n+j]) / 16
+				if i != j {
+					m.Set(i, j, v)
+					rowSum += math.Abs(v)
+				}
+			}
+			m.Set(i, i, rowSum+1) // strictly dominant
+		}
+		copy(orig, m.A)
+		b := []float64{float64(rb[0]), float64(rb[1]), float64(rb[2])}
+		rhs := append([]float64(nil), b...)
+		if err := SolveDense(m, rhs); err != nil {
+			return false
+		}
+		// Check A·x = b with the saved copy.
+		for i := 0; i < n; i++ {
+			var s float64
+			for j := 0; j < n; j++ {
+				s += orig[i*n+j] * rhs[j]
+			}
+			if math.Abs(s-b[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,370 @@
+// Package ode provides the ordinary-differential-equation integrators
+// used throughout the repository: fixed-step Euler and RK4 and an
+// adaptive Runge-Kutta-Fehlberg 4(5) method, plus event location by
+// bisection on a sign-changing event function.
+//
+// The congestion-control dynamics analysed by the paper,
+//
+//	dq/dt = v,   dv/dt = g(q, λ)
+//
+// are piecewise smooth with a switching surface at q = q̂ (the rate
+// controller changes branch there). Integrating across the switch with
+// a smooth method loses accuracy, so SolveWithEvents locates each
+// crossing to tolerance and restarts the integrator on the far side —
+// the same technique the paper's characteristic analysis performs
+// analytically.
+package ode
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// System is the right-hand side of an autonomous-or-not ODE system
+// dy/dt = f(t, y). Implementations write the derivative into dydt and
+// must not retain either slice.
+type System func(t float64, y, dydt []float64)
+
+// Step advances y by one fixed step of size h using the given method
+// and scratch workspace (see NewWorkspace).
+type Stepper interface {
+	// Step advances y in place from t to t+h.
+	Step(f System, t, h float64, y []float64)
+	// Order returns the formal order of accuracy (1 for Euler, 4 for RK4).
+	Order() int
+}
+
+// Euler is the first-order explicit Euler method. Primarily used as a
+// cross-check and in convergence-order tests.
+type Euler struct{ k []float64 }
+
+// NewEuler returns an Euler stepper for systems of dimension dim.
+func NewEuler(dim int) *Euler { return &Euler{k: make([]float64, dim)} }
+
+// Step implements Stepper.
+func (e *Euler) Step(f System, t, h float64, y []float64) {
+	f(t, y, e.k)
+	for i := range y {
+		y[i] += h * e.k[i]
+	}
+}
+
+// Order implements Stepper.
+func (e *Euler) Order() int { return 1 }
+
+// RK4 is the classic fourth-order Runge-Kutta method with
+// preallocated stages. It allocates nothing per step.
+type RK4 struct {
+	k1, k2, k3, k4, tmp []float64
+}
+
+// NewRK4 returns an RK4 stepper for systems of dimension dim.
+func NewRK4(dim int) *RK4 {
+	return &RK4{
+		k1:  make([]float64, dim),
+		k2:  make([]float64, dim),
+		k3:  make([]float64, dim),
+		k4:  make([]float64, dim),
+		tmp: make([]float64, dim),
+	}
+}
+
+// Step implements Stepper.
+func (r *RK4) Step(f System, t, h float64, y []float64) {
+	n := len(y)
+	f(t, y, r.k1)
+	for i := 0; i < n; i++ {
+		r.tmp[i] = y[i] + 0.5*h*r.k1[i]
+	}
+	f(t+0.5*h, r.tmp, r.k2)
+	for i := 0; i < n; i++ {
+		r.tmp[i] = y[i] + 0.5*h*r.k2[i]
+	}
+	f(t+0.5*h, r.tmp, r.k3)
+	for i := 0; i < n; i++ {
+		r.tmp[i] = y[i] + h*r.k3[i]
+	}
+	f(t+h, r.tmp, r.k4)
+	for i := 0; i < n; i++ {
+		y[i] += h / 6 * (r.k1[i] + 2*r.k2[i] + 2*r.k3[i] + r.k4[i])
+	}
+}
+
+// Order implements Stepper.
+func (r *RK4) Order() int { return 4 }
+
+// Trajectory records sampled states of an integration: Times[i] is
+// the time of sample i and States[i] the state vector (owned by the
+// Trajectory).
+type Trajectory struct {
+	Times  []float64
+	States [][]float64
+}
+
+// At returns the state at sample i.
+func (tr *Trajectory) At(i int) (t float64, y []float64) {
+	return tr.Times[i], tr.States[i]
+}
+
+// Len returns the number of samples.
+func (tr *Trajectory) Len() int { return len(tr.Times) }
+
+// Last returns the final time and state. It panics on an empty
+// trajectory.
+func (tr *Trajectory) Last() (t float64, y []float64) {
+	n := len(tr.Times)
+	return tr.Times[n-1], tr.States[n-1]
+}
+
+// append records a copy of y at time t.
+func (tr *Trajectory) append(t float64, y []float64) {
+	tr.Times = append(tr.Times, t)
+	tr.States = append(tr.States, append([]float64(nil), y...))
+}
+
+// FixedSolve integrates dy/dt = f from t0 to t1 with fixed step h
+// using stepper s, recording every step (including the endpoints).
+// The final partial step is shortened to land exactly on t1.
+// It returns an error for invalid h or a reversed interval.
+func FixedSolve(f System, s Stepper, y0 []float64, t0, t1, h float64) (*Trajectory, error) {
+	if !(h > 0) {
+		return nil, fmt.Errorf("ode: non-positive step %v", h)
+	}
+	if t1 < t0 {
+		return nil, fmt.Errorf("ode: reversed interval [%v, %v]", t0, t1)
+	}
+	y := append([]float64(nil), y0...)
+	tr := &Trajectory{}
+	tr.append(t0, y)
+	t := t0
+	for t < t1 {
+		step := h
+		if t+step > t1 {
+			step = t1 - t
+		}
+		if step < 1e-15*(1+math.Abs(t)) {
+			break
+		}
+		s.Step(f, t, step, y)
+		t += step
+		tr.append(t, y)
+	}
+	return tr, nil
+}
+
+// EventFunc evaluates a scalar event function e(t, y); an event is a
+// sign change of e along the trajectory.
+type EventFunc func(t float64, y []float64) float64
+
+// Event describes a located event.
+type Event struct {
+	T float64   // event time
+	Y []float64 // state at the event
+}
+
+// SolveWithEvents integrates like FixedSolve but additionally locates
+// zero crossings of each event function by bisection to time tolerance
+// tol, records them, and invokes onEvent (if non-nil) at each crossing
+// so the caller can mutate the state (e.g. switch a controller branch).
+// Crossing states are included in the trajectory. maxEvents bounds the
+// number of located events (<= 0 means unbounded).
+func SolveWithEvents(f System, s Stepper, y0 []float64, t0, t1, h, tol float64,
+	events []EventFunc, onEvent func(idx int, t float64, y []float64), maxEvents int) (*Trajectory, []Event, error) {
+	if !(h > 0) {
+		return nil, nil, fmt.Errorf("ode: non-positive step %v", h)
+	}
+	if !(tol > 0) {
+		return nil, nil, fmt.Errorf("ode: non-positive event tolerance %v", tol)
+	}
+	if t1 < t0 {
+		return nil, nil, fmt.Errorf("ode: reversed interval [%v, %v]", t0, t1)
+	}
+	dim := len(y0)
+	y := append([]float64(nil), y0...)
+	prev := make([]float64, dim)
+	trial := make([]float64, dim)
+	tr := &Trajectory{}
+	tr.append(t0, y)
+	var found []Event
+
+	evPrev := make([]float64, len(events))
+	for i, e := range events {
+		evPrev[i] = e(t0, y)
+	}
+
+	t := t0
+	for t < t1 {
+		step := h
+		if t+step > t1 {
+			step = t1 - t
+		}
+		if step < 1e-15*(1+math.Abs(t)) {
+			break
+		}
+		copy(prev, y)
+		s.Step(f, t, step, y)
+		tNext := t + step
+
+		// Check each event function for a sign change over [t, tNext].
+		crossed := -1
+		for i, e := range events {
+			val := e(tNext, y)
+			if evPrev[i] == 0 {
+				evPrev[i] = val
+				continue
+			}
+			if val != 0 && math.Signbit(val) == math.Signbit(evPrev[i]) {
+				evPrev[i] = val
+				continue
+			}
+			crossed = i
+			// Bisect on the step fraction to locate the crossing.
+			lo, hi := 0.0, 1.0
+			for hi-lo > tol/step {
+				mid := 0.5 * (lo + hi)
+				copy(trial, prev)
+				s.Step(f, t, mid*step, trial)
+				v := e(t+mid*step, trial)
+				if v == 0 {
+					lo, hi = mid, mid
+					break
+				}
+				if math.Signbit(v) == math.Signbit(evPrev[i]) {
+					lo = mid
+				} else {
+					hi = mid
+				}
+			}
+			frac := 0.5 * (lo + hi)
+			copy(trial, prev)
+			s.Step(f, t, frac*step, trial)
+			tEv := t + frac*step
+			ev := Event{T: tEv, Y: append([]float64(nil), trial...)}
+			found = append(found, ev)
+			if onEvent != nil {
+				onEvent(i, tEv, trial)
+			}
+			// Restart from (possibly mutated) event state.
+			copy(y, trial)
+			t = tEv
+			tr.append(t, y)
+			for j, ej := range events {
+				evPrev[j] = ej(t, y)
+			}
+			if maxEvents > 0 && len(found) >= maxEvents {
+				return tr, found, nil
+			}
+			break
+		}
+		if crossed >= 0 {
+			continue
+		}
+		t = tNext
+		tr.append(t, y)
+		for i, e := range events {
+			evPrev[i] = e(t, y)
+		}
+	}
+	return tr, found, nil
+}
+
+// rkf45 coefficients (Fehlberg).
+var (
+	rkfA = [6]float64{0, 1. / 4, 3. / 8, 12. / 13, 1, 1. / 2}
+	rkfB = [6][5]float64{
+		{},
+		{1. / 4},
+		{3. / 32, 9. / 32},
+		{1932. / 2197, -7200. / 2197, 7296. / 2197},
+		{439. / 216, -8, 3680. / 513, -845. / 4104},
+		{-8. / 27, 2, -3544. / 2565, 1859. / 4104, -11. / 40},
+	}
+	rkfC4 = [6]float64{25. / 216, 0, 1408. / 2565, 2197. / 4104, -1. / 5, 0}
+	rkfC5 = [6]float64{16. / 135, 0, 6656. / 12825, 28561. / 56430, -9. / 50, 2. / 55}
+)
+
+// Adaptive integrates dy/dt = f from t0 to t1 with the adaptive
+// RKF4(5) method, holding the per-step error estimate below
+// atol + rtol*|y| componentwise. It records every accepted step and
+// returns an error if the step size underflows (stiff or singular
+// problem) or the arguments are invalid.
+func Adaptive(f System, y0 []float64, t0, t1, h0, atol, rtol float64) (*Trajectory, error) {
+	if t1 < t0 {
+		return nil, fmt.Errorf("ode: reversed interval [%v, %v]", t0, t1)
+	}
+	if !(h0 > 0) || !(atol > 0) || !(rtol >= 0) {
+		return nil, fmt.Errorf("ode: invalid tolerances h0=%v atol=%v rtol=%v", h0, atol, rtol)
+	}
+	dim := len(y0)
+	y := append([]float64(nil), y0...)
+	var k [6][]float64
+	for i := range k {
+		k[i] = make([]float64, dim)
+	}
+	tmp := make([]float64, dim)
+	y4 := make([]float64, dim)
+	y5 := make([]float64, dim)
+
+	tr := &Trajectory{}
+	tr.append(t0, y)
+	t, h := t0, h0
+	hMin := 1e-14 * (1 + math.Abs(t1-t0))
+	for t < t1 {
+		if t+h > t1 {
+			h = t1 - t
+		}
+		if h < hMin {
+			return tr, errors.New("ode: step size underflow in Adaptive")
+		}
+		// Evaluate the six stages.
+		for s := 0; s < 6; s++ {
+			copy(tmp, y)
+			for j := 0; j < s; j++ {
+				b := rkfB[s][j]
+				if b == 0 {
+					continue
+				}
+				for i := 0; i < dim; i++ {
+					tmp[i] += h * b * k[j][i]
+				}
+			}
+			f(t+rkfA[s]*h, tmp, k[s])
+		}
+		// Fourth- and fifth-order solutions and error estimate.
+		maxRatio := 0.0
+		for i := 0; i < dim; i++ {
+			var s4, s5 float64
+			for s := 0; s < 6; s++ {
+				s4 += rkfC4[s] * k[s][i]
+				s5 += rkfC5[s] * k[s][i]
+			}
+			y4[i] = y[i] + h*s4
+			y5[i] = y[i] + h*s5
+			sc := atol + rtol*math.Abs(y[i])
+			if ratio := math.Abs(y5[i]-y4[i]) / sc; ratio > maxRatio {
+				maxRatio = ratio
+			}
+		}
+		if maxRatio <= 1 {
+			// Accept the (higher-order) solution.
+			t += h
+			copy(y, y5)
+			tr.append(t, y)
+		}
+		// Standard step-size controller with safety factor.
+		var factor float64
+		if maxRatio == 0 {
+			factor = 4
+		} else {
+			factor = 0.9 * math.Pow(maxRatio, -0.2)
+			if factor > 4 {
+				factor = 4
+			} else if factor < 0.1 {
+				factor = 0.1
+			}
+		}
+		h *= factor
+	}
+	return tr, nil
+}

@@ -1,0 +1,316 @@
+package ode
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// expSystem is dy/dt = y, solution y(t) = y0*e^t.
+func expSystem(t float64, y, dydt []float64) { dydt[0] = y[0] }
+
+// oscillator is the harmonic oscillator y” = -y as a 2-D system,
+// solution (cos t, -sin t) from (1, 0).
+func oscillator(t float64, y, dydt []float64) {
+	dydt[0] = y[1]
+	dydt[1] = -y[0]
+}
+
+func TestRK4Exponential(t *testing.T) {
+	s := NewRK4(1)
+	tr, err := FixedSolve(expSystem, s, []float64{1}, 0, 1, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, y := tr.Last()
+	if got, want := y[0], math.E; math.Abs(got-want) > 1e-10 {
+		t.Fatalf("y(1) = %v, want e = %v", got, want)
+	}
+}
+
+func TestEulerExponential(t *testing.T) {
+	s := NewEuler(1)
+	tr, err := FixedSolve(expSystem, s, []float64{1}, 0, 1, 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, y := tr.Last()
+	// Euler at h=1e-4 should be within ~1.4e-4 of e.
+	if got, want := y[0], math.E; math.Abs(got-want) > 5e-4 {
+		t.Fatalf("y(1) = %v, want e = %v", got, want)
+	}
+}
+
+// TestConvergenceOrders verifies the formal orders: halving h shrinks
+// the error by ~2 for Euler and ~16 for RK4.
+func TestConvergenceOrders(t *testing.T) {
+	errAt := func(s Stepper, h float64) float64 {
+		tr, err := FixedSolve(expSystem, s, []float64{1}, 0, 1, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, y := tr.Last()
+		return math.Abs(y[0] - math.E)
+	}
+	e1 := errAt(NewEuler(1), 1e-2)
+	e2 := errAt(NewEuler(1), 5e-3)
+	if ratio := e1 / e2; ratio < 1.8 || ratio > 2.2 {
+		t.Errorf("Euler error ratio %v, want ~2", ratio)
+	}
+	r1 := errAt(NewRK4(1), 1e-1)
+	r2 := errAt(NewRK4(1), 5e-2)
+	if ratio := r1 / r2; ratio < 12 || ratio > 20 {
+		t.Errorf("RK4 error ratio %v, want ~16", ratio)
+	}
+}
+
+func TestRK4Oscillator(t *testing.T) {
+	s := NewRK4(2)
+	tr, err := FixedSolve(oscillator, s, []float64{1, 0}, 0, 2*math.Pi, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, y := tr.Last()
+	if math.Abs(y[0]-1) > 1e-9 || math.Abs(y[1]) > 1e-9 {
+		t.Fatalf("after one period y = %v, want (1, 0)", y)
+	}
+}
+
+func TestFixedSolveLandsOnEnd(t *testing.T) {
+	s := NewRK4(1)
+	tr, err := FixedSolve(expSystem, s, []float64{1}, 0, 0.35, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tEnd, _ := tr.Last()
+	if math.Abs(tEnd-0.35) > 1e-12 {
+		t.Fatalf("final time %v, want 0.35", tEnd)
+	}
+}
+
+func TestFixedSolveValidation(t *testing.T) {
+	s := NewRK4(1)
+	if _, err := FixedSolve(expSystem, s, []float64{1}, 0, 1, 0); err == nil {
+		t.Error("expected error for zero step")
+	}
+	if _, err := FixedSolve(expSystem, s, []float64{1}, 1, 0, 0.1); err == nil {
+		t.Error("expected error for reversed interval")
+	}
+}
+
+func TestFixedSolveDoesNotMutateInitial(t *testing.T) {
+	y0 := []float64{1}
+	s := NewRK4(1)
+	if _, err := FixedSolve(expSystem, s, y0, 0, 1, 0.1); err != nil {
+		t.Fatal(err)
+	}
+	if y0[0] != 1 {
+		t.Fatalf("initial condition mutated to %v", y0[0])
+	}
+}
+
+func TestTrajectoryAccessors(t *testing.T) {
+	s := NewRK4(1)
+	tr, err := FixedSolve(expSystem, s, []float64{1}, 0, 1, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", tr.Len())
+	}
+	t0, y0 := tr.At(0)
+	if t0 != 0 || y0[0] != 1 {
+		t.Fatalf("At(0) = (%v, %v), want (0, [1])", t0, y0)
+	}
+}
+
+// TestEventCrossing locates the zero of cos(t) for y' = -sin(t),
+// i.e. the event y(t) = cos(t) crossing zero at t = pi/2.
+func TestEventCrossing(t *testing.T) {
+	f := func(tt float64, y, dydt []float64) { dydt[0] = -math.Sin(tt) }
+	ev := func(tt float64, y []float64) float64 { return y[0] }
+	s := NewRK4(1)
+	_, events, err := SolveWithEvents(f, s, []float64{1}, 0, 3, 0.01, 1e-10,
+		[]EventFunc{ev}, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 1 {
+		t.Fatalf("located %d events, want 1", len(events))
+	}
+	if got := events[0].T; math.Abs(got-math.Pi/2) > 1e-6 {
+		t.Fatalf("event at t = %v, want pi/2 = %v", got, math.Pi/2)
+	}
+}
+
+// TestEventMutation verifies onEvent can modify the state: a bouncing
+// ball y” = -1 with reflection at y = 0 keeps bouncing rather than
+// falling through the floor.
+func TestEventMutation(t *testing.T) {
+	fall := func(tt float64, y, dydt []float64) {
+		dydt[0] = y[1]
+		dydt[1] = -1
+	}
+	floor := func(tt float64, y []float64) float64 { return y[0] }
+	s := NewRK4(2)
+	bounces := 0
+	tr, events, err := SolveWithEvents(fall, s, []float64{1, 0}, 0, 10, 0.001, 1e-9,
+		[]EventFunc{floor},
+		func(idx int, tt float64, y []float64) {
+			y[0] = 0
+			y[1] = -y[1] // perfectly elastic bounce
+			bounces++
+		}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bounces < 3 {
+		t.Fatalf("only %d bounces in 10s, want >= 3", bounces)
+	}
+	// First touchdown of a unit drop is at t = sqrt(2).
+	if got := events[0].T; math.Abs(got-math.Sqrt2) > 1e-5 {
+		t.Fatalf("first bounce at %v, want sqrt(2) = %v", got, math.Sqrt2)
+	}
+	for i := 0; i < tr.Len(); i++ {
+		_, y := tr.At(i)
+		if y[0] < -1e-6 {
+			t.Fatalf("ball fell through the floor: y = %v", y[0])
+		}
+	}
+}
+
+func TestSolveWithEventsMaxEvents(t *testing.T) {
+	fall := func(tt float64, y, dydt []float64) {
+		dydt[0] = y[1]
+		dydt[1] = -1
+	}
+	floor := func(tt float64, y []float64) float64 { return y[0] }
+	s := NewRK4(2)
+	_, events, err := SolveWithEvents(fall, s, []float64{1, 0}, 0, 100, 0.001, 1e-9,
+		[]EventFunc{floor},
+		func(idx int, tt float64, y []float64) { y[1] = -y[1] }, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2 {
+		t.Fatalf("located %d events, want exactly 2 (maxEvents)", len(events))
+	}
+}
+
+func TestSolveWithEventsValidation(t *testing.T) {
+	s := NewRK4(1)
+	if _, _, err := SolveWithEvents(expSystem, s, []float64{1}, 0, 1, 0, 1e-9, nil, nil, 0); err == nil {
+		t.Error("expected error for zero step")
+	}
+	if _, _, err := SolveWithEvents(expSystem, s, []float64{1}, 0, 1, 0.1, 0, nil, nil, 0); err == nil {
+		t.Error("expected error for zero tolerance")
+	}
+}
+
+func TestAdaptiveExponential(t *testing.T) {
+	tr, err := Adaptive(expSystem, []float64{1}, 0, 1, 0.1, 1e-10, 1e-10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, y := tr.Last()
+	if math.Abs(y[0]-math.E) > 1e-7 {
+		t.Fatalf("Adaptive y(1) = %v, want e", y[0])
+	}
+}
+
+func TestAdaptiveOscillatorLongHorizon(t *testing.T) {
+	tr, err := Adaptive(oscillator, []float64{1, 0}, 0, 20*math.Pi, 0.1, 1e-9, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, y := tr.Last()
+	if math.Abs(y[0]-1) > 1e-5 || math.Abs(y[1]) > 1e-5 {
+		t.Fatalf("after 10 periods y = %v, want (1, 0)", y)
+	}
+}
+
+func TestAdaptiveTakesFewerStepsThanFixed(t *testing.T) {
+	// For a smooth problem the adaptive integrator should need far
+	// fewer steps than a fixed-step RK4 at comparable accuracy.
+	trA, err := Adaptive(expSystem, []float64{1}, 0, 1, 0.01, 1e-8, 1e-8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trA.Len() > 60 {
+		t.Fatalf("adaptive used %d samples for e^t on [0,1], want far fewer", trA.Len())
+	}
+}
+
+func TestAdaptiveValidation(t *testing.T) {
+	if _, err := Adaptive(expSystem, []float64{1}, 1, 0, 0.1, 1e-8, 1e-8); err == nil {
+		t.Error("expected error for reversed interval")
+	}
+	if _, err := Adaptive(expSystem, []float64{1}, 0, 1, 0, 1e-8, 1e-8); err == nil {
+		t.Error("expected error for zero initial step")
+	}
+	if _, err := Adaptive(expSystem, []float64{1}, 0, 1, 0.1, 0, 1e-8); err == nil {
+		t.Error("expected error for zero atol")
+	}
+}
+
+// Property: for linear decay y' = -k y the RK4 solution stays within
+// a tight factor of the exact exponential for random rates and spans.
+func TestRK4LinearDecayProperty(t *testing.T) {
+	f := func(kRaw, spanRaw uint8) bool {
+		k := float64(kRaw%50)/10 + 0.1
+		span := float64(spanRaw%40)/10 + 0.1
+		sys := func(t float64, y, dydt []float64) { dydt[0] = -k * y[0] }
+		s := NewRK4(1)
+		tr, err := FixedSolve(sys, s, []float64{1}, 0, span, 1e-3)
+		if err != nil {
+			return false
+		}
+		_, y := tr.Last()
+		want := math.Exp(-k * span)
+		return math.Abs(y[0]-want) < 1e-6*(1+want)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the RK4 oscillator conserves energy to high accuracy over
+// one period for random initial conditions.
+func TestOscillatorEnergyProperty(t *testing.T) {
+	f := func(aRaw, bRaw int8) bool {
+		a := float64(aRaw) / 16
+		b := float64(bRaw) / 16
+		if a == 0 && b == 0 {
+			return true
+		}
+		s := NewRK4(2)
+		tr, err := FixedSolve(oscillator, s, []float64{a, b}, 0, 2*math.Pi, 1e-3)
+		if err != nil {
+			return false
+		}
+		e0 := a*a + b*b
+		_, y := tr.Last()
+		e1 := y[0]*y[0] + y[1]*y[1]
+		return math.Abs(e1-e0) < 1e-8*(1+e0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkRK4Step(b *testing.B) {
+	s := NewRK4(2)
+	y := []float64{1, 0}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Step(oscillator, 0, 1e-3, y)
+	}
+}
+
+func BenchmarkAdaptiveOscillatorPeriod(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Adaptive(oscillator, []float64{1, 0}, 0, 2*math.Pi, 0.1, 1e-8, 1e-8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,203 @@
+// Package rng provides a small, deterministic pseudo-random number
+// generator with the distributions needed by the simulators in this
+// repository: uniform, exponential, Poisson and normal variates.
+//
+// Every stochastic component in the repository (the packet-level
+// discrete-event simulator, the SDE particle ensembles) draws from an
+// *rng.Source seeded explicitly, so whole experiments are reproducible
+// from a single integer seed. Sources can be split into independent
+// streams, which keeps per-source randomness stable when the number of
+// simulated senders changes.
+//
+// The core generator is SplitMix64 feeding xoshiro256**, the same
+// construction used by modern language runtimes; it is not
+// cryptographically secure and is not meant to be.
+package rng
+
+import (
+	"fmt"
+	"math"
+)
+
+// Source is a deterministic stream of pseudo-random numbers.
+// It is not safe for concurrent use; split one Source per goroutine.
+type Source struct {
+	s [4]uint64
+	// cached second normal variate from the Box-Muller pair
+	haveGauss bool
+	gauss     float64
+}
+
+// splitMix64 advances x and returns a well-mixed 64-bit value. It is
+// used only for seeding and splitting, never for output.
+func splitMix64(x *uint64) uint64 {
+	*x += 0x9e3779b97f4a7c15
+	z := *x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// New returns a Source seeded from seed. Two Sources built from the
+// same seed produce identical streams.
+func New(seed uint64) *Source {
+	var r Source
+	r.Reseed(seed)
+	return &r
+}
+
+// Reseed re-initializes the Source in place from seed, discarding all
+// internal state (including any cached normal variate).
+func (r *Source) Reseed(seed uint64) {
+	x := seed
+	for i := range r.s {
+		r.s[i] = splitMix64(&x)
+	}
+	// xoshiro must not start from the all-zero state; splitMix64 of any
+	// seed cannot produce four zeros, but guard anyway.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 0x9e3779b97f4a7c15
+	}
+	r.haveGauss = false
+	r.gauss = 0
+}
+
+func rotl(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }
+
+// Uint64 returns the next 64 pseudo-random bits (xoshiro256**).
+func (r *Source) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Split returns a new Source whose stream is statistically independent
+// of the receiver's continuation. The receiver is advanced.
+func (r *Source) Split() *Source {
+	x := r.Uint64()
+	var child Source
+	for i := range child.s {
+		child.s[i] = splitMix64(&x)
+	}
+	if child.s[0]|child.s[1]|child.s[2]|child.s[3] == 0 {
+		child.s[0] = 1
+	}
+	return &child
+}
+
+// Float64 returns a uniform variate in [0, 1) with 53 bits of
+// precision.
+func (r *Source) Float64() float64 {
+	return float64(r.Uint64()>>11) * (1.0 / (1 << 53))
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (r *Source) Intn(n int) int {
+	if n <= 0 {
+		panic(fmt.Sprintf("rng: Intn with non-positive n %d", n))
+	}
+	// Lemire's multiply-shift rejection method: unbiased and fast.
+	un := uint64(n)
+	v := r.Uint64()
+	hi, lo := mul64(v, un)
+	if lo < un {
+		thresh := (-un) % un
+		for lo < thresh {
+			v = r.Uint64()
+			hi, lo = mul64(v, un)
+		}
+	}
+	return int(hi)
+}
+
+// mul64 returns the 128-bit product of a and b as (hi, lo).
+func mul64(a, b uint64) (hi, lo uint64) {
+	const mask = 0xffffffff
+	aLo, aHi := a&mask, a>>32
+	bLo, bHi := b&mask, b>>32
+	t := aLo * bLo
+	lo = t & mask
+	c := t >> 32
+	t = aHi*bLo + c
+	mid := t & mask
+	hi = t >> 32
+	t = aLo*bHi + mid
+	lo |= (t & mask) << 32
+	hi += aHi*bHi + t>>32
+	return hi, lo
+}
+
+// Exp returns an exponential variate with the given rate (mean 1/rate).
+// It panics if rate <= 0 or is not finite.
+func (r *Source) Exp(rate float64) float64 {
+	if !(rate > 0) || math.IsInf(rate, 1) {
+		panic(fmt.Sprintf("rng: Exp with invalid rate %v", rate))
+	}
+	// -log(1-U) avoids log(0) because Float64 never returns 1.
+	return -math.Log1p(-r.Float64()) / rate
+}
+
+// Norm returns a standard normal variate (mean 0, variance 1) using
+// the Box-Muller transform with caching of the second variate.
+func (r *Source) Norm() float64 {
+	if r.haveGauss {
+		r.haveGauss = false
+		return r.gauss
+	}
+	var u float64
+	for u == 0 {
+		u = r.Float64()
+	}
+	v := r.Float64()
+	rad := math.Sqrt(-2 * math.Log(u))
+	ang := 2 * math.Pi * v
+	r.gauss = rad * math.Sin(ang)
+	r.haveGauss = true
+	return rad * math.Cos(ang)
+}
+
+// NormMeanStd returns a normal variate with the given mean and
+// standard deviation. It panics if std < 0.
+func (r *Source) NormMeanStd(mean, std float64) float64 {
+	if std < 0 {
+		panic(fmt.Sprintf("rng: NormMeanStd with negative std %v", std))
+	}
+	return mean + std*r.Norm()
+}
+
+// Poisson returns a Poisson variate with the given mean. For small
+// means it uses Knuth's product method; for large means a normal
+// approximation with continuity correction, which is accurate to well
+// under one count at mean >= 30 and keeps the method O(1).
+// It panics if mean < 0 or is not finite.
+func (r *Source) Poisson(mean float64) int {
+	switch {
+	case mean < 0 || math.IsNaN(mean) || math.IsInf(mean, 1):
+		panic(fmt.Sprintf("rng: Poisson with invalid mean %v", mean))
+	case mean == 0:
+		return 0
+	case mean < 30:
+		l := math.Exp(-mean)
+		k := 0
+		p := 1.0
+		for {
+			p *= r.Float64()
+			if p <= l {
+				return k
+			}
+			k++
+		}
+	default:
+		v := math.Floor(mean + math.Sqrt(mean)*r.Norm() + 0.5)
+		if v < 0 {
+			return 0
+		}
+		return int(v)
+	}
+}

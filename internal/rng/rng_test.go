@@ -1,0 +1,362 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if got, want := a.Uint64(), b.Uint64(); got != want {
+			t.Fatalf("stream diverged at %d: %d != %d", i, got, want)
+		}
+	}
+}
+
+func TestReseedResetsState(t *testing.T) {
+	a := New(7)
+	first := make([]uint64, 16)
+	for i := range first {
+		first[i] = a.Uint64()
+	}
+	a.Norm() // populate the gaussian cache
+	a.Reseed(7)
+	for i := range first {
+		if got := a.Uint64(); got != first[i] {
+			t.Fatalf("after Reseed, value %d = %d, want %d", i, got, first[i])
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("seeds 1 and 2 produced %d/64 identical outputs", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(99)
+	child := parent.Split()
+	// The child stream must differ from the parent continuation.
+	same := 0
+	for i := 0; i < 64; i++ {
+		if parent.Uint64() == child.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("parent and child streams matched %d/64 times", same)
+	}
+}
+
+func TestSplitDeterministic(t *testing.T) {
+	c1 := New(5).Split()
+	c2 := New(5).Split()
+	for i := 0; i < 100; i++ {
+		if c1.Uint64() != c2.Uint64() {
+			t.Fatalf("Split not deterministic at draw %d", i)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 100000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(11)
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.005 {
+		t.Fatalf("uniform mean = %v, want 0.5 +- 0.005", mean)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := New(17)
+	for _, n := range []int{1, 2, 3, 10, 1000} {
+		for i := 0; i < 2000; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnUniform(t *testing.T) {
+	r := New(23)
+	const n, draws = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[r.Intn(n)]++
+	}
+	want := float64(draws) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Fatalf("bucket %d count %d too far from %v", i, c, want)
+		}
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestExpMoments(t *testing.T) {
+	r := New(31)
+	const n = 200000
+	const rate = 2.5
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		x := r.Exp(rate)
+		if x < 0 {
+			t.Fatalf("negative exponential variate %v", x)
+		}
+		sum += x
+		sumSq += x * x
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean-1/rate) > 0.01 {
+		t.Fatalf("Exp mean = %v, want %v", mean, 1/rate)
+	}
+	if math.Abs(variance-1/(rate*rate)) > 0.02 {
+		t.Fatalf("Exp variance = %v, want %v", variance, 1/(rate*rate))
+	}
+}
+
+func TestExpPanicsOnBadRate(t *testing.T) {
+	for _, rate := range []float64{0, -1, math.NaN(), math.Inf(1)} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Exp(%v) did not panic", rate)
+				}
+			}()
+			New(1).Exp(rate)
+		}()
+	}
+}
+
+func TestNormMoments(t *testing.T) {
+	r := New(37)
+	const n = 300000
+	var sum, sumSq, sumCube float64
+	for i := 0; i < n; i++ {
+		x := r.Norm()
+		sum += x
+		sumSq += x * x
+		sumCube += x * x * x
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	skew := sumCube / n
+	if math.Abs(mean) > 0.01 {
+		t.Fatalf("Norm mean = %v, want 0", mean)
+	}
+	if math.Abs(variance-1) > 0.02 {
+		t.Fatalf("Norm variance = %v, want 1", variance)
+	}
+	if math.Abs(skew) > 0.03 {
+		t.Fatalf("Norm third moment = %v, want 0", skew)
+	}
+}
+
+func TestNormMeanStd(t *testing.T) {
+	r := New(41)
+	const n = 100000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += r.NormMeanStd(10, 3)
+	}
+	if mean := sum / n; math.Abs(mean-10) > 0.05 {
+		t.Fatalf("NormMeanStd mean = %v, want 10", mean)
+	}
+}
+
+func TestNormMeanStdPanicsOnNegativeStd(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NormMeanStd(0, -1) did not panic")
+		}
+	}()
+	New(1).NormMeanStd(0, -1)
+}
+
+func TestPoissonSmallMean(t *testing.T) {
+	r := New(43)
+	const n = 200000
+	const mean = 4.0
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		k := r.Poisson(mean)
+		if k < 0 {
+			t.Fatalf("negative Poisson variate %d", k)
+		}
+		sum += float64(k)
+		sumSq += float64(k) * float64(k)
+	}
+	m := sum / n
+	v := sumSq/n - m*m
+	if math.Abs(m-mean) > 0.05 {
+		t.Fatalf("Poisson mean = %v, want %v", m, mean)
+	}
+	if math.Abs(v-mean) > 0.1 {
+		t.Fatalf("Poisson variance = %v, want %v", v, mean)
+	}
+}
+
+func TestPoissonLargeMean(t *testing.T) {
+	r := New(47)
+	const n = 100000
+	const mean = 200.0
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		k := r.Poisson(mean)
+		sum += float64(k)
+		sumSq += float64(k) * float64(k)
+	}
+	m := sum / n
+	v := sumSq/n - m*m
+	if math.Abs(m-mean)/mean > 0.01 {
+		t.Fatalf("Poisson mean = %v, want %v", m, mean)
+	}
+	if math.Abs(v-mean)/mean > 0.05 {
+		t.Fatalf("Poisson variance = %v, want %v", v, mean)
+	}
+}
+
+func TestPoissonZeroMean(t *testing.T) {
+	r := New(1)
+	for i := 0; i < 100; i++ {
+		if k := r.Poisson(0); k != 0 {
+			t.Fatalf("Poisson(0) = %d, want 0", k)
+		}
+	}
+}
+
+func TestPoissonPanicsOnBadMean(t *testing.T) {
+	for _, mean := range []float64{-1, math.NaN(), math.Inf(1)} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Poisson(%v) did not panic", mean)
+				}
+			}()
+			New(1).Poisson(mean)
+		}()
+	}
+}
+
+// Property: Intn(n) always lands in [0, n) for arbitrary seeds and n.
+func TestIntnPropertyRange(t *testing.T) {
+	f := func(seed uint64, nRaw uint16) bool {
+		n := int(nRaw%1000) + 1
+		r := New(seed)
+		for i := 0; i < 50; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: identical seeds give identical prefixes regardless of seed value.
+func TestDeterminismProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		a, b := New(seed), New(seed)
+		for i := 0; i < 20; i++ {
+			if a.Uint64() != b.Uint64() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: exponential variates are non-negative for any positive rate.
+func TestExpPropertyNonNegative(t *testing.T) {
+	f := func(seed uint64, rateRaw uint16) bool {
+		rate := float64(rateRaw%1000)/100 + 0.01
+		r := New(seed)
+		for i := 0; i < 50; i++ {
+			if r.Exp(rate) < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += r.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkExp(b *testing.B) {
+	r := New(1)
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += r.Exp(1.0)
+	}
+	_ = sink
+}
+
+func BenchmarkNorm(b *testing.B) {
+	r := New(1)
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += r.Norm()
+	}
+	_ = sink
+}
+
+func BenchmarkPoissonSmall(b *testing.B) {
+	r := New(1)
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += r.Poisson(5)
+	}
+	_ = sink
+}

@@ -1,0 +1,227 @@
+// Package sde simulates the stochastic differential system that the
+// paper's Fokker-Planck equation (Eq. 14) describes, as a particle
+// (Monte-Carlo) ensemble:
+//
+//	dQ = v dt + σ dW        (reflected at Q = 0)
+//	dv = g(Q, λ) dt         (v = λ − μ, so dλ = g dt)
+//
+// Equation 14,  f_t + v f_q + (g f)_v = (σ²/2) f_qq,  is exactly the
+// forward Kolmogorov equation of this diffusion, so the empirical
+// density of a large ensemble must match the PDE solution — that is
+// experiment E9, the validation of the Fokker-Planck solver.
+//
+// The integrator is Euler-Maruyama with reflection at the q = 0
+// boundary, which is the standard strong-order-1/2 scheme and entirely
+// adequate for density-level comparisons.
+package sde
+
+import (
+	"fmt"
+	"math"
+
+	"fpcc/internal/control"
+	"fpcc/internal/rng"
+	"fpcc/internal/stats"
+)
+
+// Config describes an ensemble simulation.
+type Config struct {
+	Law       control.Law // rate-control drift g(q, λ)
+	Mu        float64     // service rate (v = λ − μ)
+	Sigma     float64     // diffusion coefficient σ of the queue noise
+	Particles int         // ensemble size
+	Dt        float64     // Euler-Maruyama step
+	Seed      uint64      // RNG seed (ensemble is reproducible)
+
+	// Initial ensemble: Gaussian blob centred at (Q0, Lambda0) with
+	// standard deviations InitStdQ, InitStdL (clipped to Q >= 0,
+	// λ >= 0). Zero std means a point mass.
+	Q0       float64
+	Lambda0  float64
+	InitStdQ float64
+	InitStdL float64
+}
+
+// Validate checks the configuration.
+func (c *Config) Validate() error {
+	switch {
+	case c.Law == nil:
+		return fmt.Errorf("sde: nil law")
+	case !(c.Mu > 0):
+		return fmt.Errorf("sde: service rate must be positive, got %v", c.Mu)
+	case !(c.Sigma >= 0):
+		return fmt.Errorf("sde: negative sigma %v", c.Sigma)
+	case c.Particles < 1:
+		return fmt.Errorf("sde: need at least one particle, got %d", c.Particles)
+	case !(c.Dt > 0):
+		return fmt.Errorf("sde: non-positive step %v", c.Dt)
+	case c.Q0 < 0 || c.Lambda0 < 0:
+		return fmt.Errorf("sde: negative initial state (%v, %v)", c.Q0, c.Lambda0)
+	case c.InitStdQ < 0 || c.InitStdL < 0:
+		return fmt.Errorf("sde: negative initial spread")
+	}
+	return nil
+}
+
+// Ensemble is a particle ensemble evolving under the SDE. Create one
+// with New, advance it with Step/Run, and read it out with Moments,
+// Histogram or the raw particle accessors.
+type Ensemble struct {
+	cfg Config
+	r   *rng.Source
+	q   []float64
+	lam []float64
+	t   float64
+}
+
+// New creates an ensemble with the configured initial distribution.
+func New(cfg Config) (*Ensemble, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	e := &Ensemble{
+		cfg: cfg,
+		r:   rng.New(cfg.Seed),
+		q:   make([]float64, cfg.Particles),
+		lam: make([]float64, cfg.Particles),
+	}
+	for i := range e.q {
+		q := cfg.Q0
+		l := cfg.Lambda0
+		if cfg.InitStdQ > 0 {
+			q += cfg.InitStdQ * e.r.Norm()
+		}
+		if cfg.InitStdL > 0 {
+			l += cfg.InitStdL * e.r.Norm()
+		}
+		e.q[i] = math.Max(q, 0)
+		e.lam[i] = math.Max(l, 0)
+	}
+	return e, nil
+}
+
+// Time returns the current simulation time.
+func (e *Ensemble) Time() float64 { return e.t }
+
+// Size returns the number of particles.
+func (e *Ensemble) Size() int { return len(e.q) }
+
+// Particle returns particle i's state (q, λ).
+func (e *Ensemble) Particle(i int) (q, lambda float64) { return e.q[i], e.lam[i] }
+
+// Step advances the whole ensemble by one Euler-Maruyama step.
+func (e *Ensemble) Step() {
+	dt := e.cfg.Dt
+	sqdt := math.Sqrt(dt)
+	sigma := e.cfg.Sigma
+	mu := e.cfg.Mu
+	law := e.cfg.Law
+	for i := range e.q {
+		q, lam := e.q[i], e.lam[i]
+		v := lam - mu
+		drift := v
+		if q <= 0 && v < 0 {
+			drift = 0 // empty queue cannot drain
+		}
+		qNew := q + drift*dt
+		if sigma > 0 {
+			qNew += sigma * sqdt * e.r.Norm()
+		}
+		if qNew < 0 {
+			qNew = -qNew // reflecting boundary at q = 0
+		}
+		lamNew := lam + law.Drift(q, lam)*dt
+		if lamNew < 0 {
+			lamNew = 0
+		}
+		e.q[i] = qNew
+		e.lam[i] = lamNew
+	}
+	e.t += dt
+}
+
+// Run advances the ensemble until time t (inclusive of the final
+// partial step).
+func (e *Ensemble) Run(t float64) {
+	for e.t+e.cfg.Dt <= t {
+		e.Step()
+	}
+	if rem := t - e.t; rem > 1e-12 {
+		// One shortened step to land on t.
+		saved := e.cfg.Dt
+		e.cfg.Dt = rem
+		e.Step()
+		e.cfg.Dt = saved
+	}
+}
+
+// EnsembleMoments summarizes the particle cloud.
+type EnsembleMoments struct {
+	MeanQ, VarQ     float64
+	MeanLam, VarLam float64
+	Cov             float64 // covariance of (q, λ)
+}
+
+// Moments returns the ensemble moments.
+func (e *Ensemble) Moments() EnsembleMoments {
+	n := float64(len(e.q))
+	var mq, ml float64
+	for i := range e.q {
+		mq += e.q[i]
+		ml += e.lam[i]
+	}
+	mq /= n
+	ml /= n
+	var vq, vl, cov float64
+	for i := range e.q {
+		dq := e.q[i] - mq
+		dl := e.lam[i] - ml
+		vq += dq * dq
+		vl += dl * dl
+		cov += dq * dl
+	}
+	return EnsembleMoments{
+		MeanQ: mq, VarQ: vq / n,
+		MeanLam: ml, VarLam: vl / n,
+		Cov: cov / n,
+	}
+}
+
+// QueueHistogram bins the particle queue lengths over [0, max) into
+// the given number of bins.
+func (e *Ensemble) QueueHistogram(max float64, bins int) (*stats.Histogram1D, error) {
+	h, err := stats.NewHistogram1D(0, max, bins)
+	if err != nil {
+		return nil, err
+	}
+	for _, q := range e.q {
+		h.Add(q)
+	}
+	return h, nil
+}
+
+// JointHistogram bins the particles over [0, qMax) x [lMin, lMax).
+func (e *Ensemble) JointHistogram(qMax float64, qBins int, lMin, lMax float64, lBins int) (*stats.Histogram2D, error) {
+	h, err := stats.NewHistogram2D(0, qMax, qBins, lMin, lMax, lBins)
+	if err != nil {
+		return nil, err
+	}
+	for i := range e.q {
+		h.Add(e.q[i], e.lam[i])
+	}
+	return h, nil
+}
+
+// TailFraction returns the fraction of particles with q > b — the
+// Monte-Carlo estimate of the buffer-overflow probability P(Q > b)
+// that experiment E10 compares against the fluid model (which, being
+// deterministic, reports 0 or 1).
+func (e *Ensemble) TailFraction(b float64) float64 {
+	var c int
+	for _, q := range e.q {
+		if q > b {
+			c++
+		}
+	}
+	return float64(c) / float64(len(e.q))
+}

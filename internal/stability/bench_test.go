@@ -1,0 +1,23 @@
+package stability
+
+import "testing"
+
+// BenchmarkDominantRoot times one rightmost-root search (the unit of
+// work behind stability maps and E19/E23 rows).
+func BenchmarkDominantRoot(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := DominantRoot(-1.067, -0.16, 0.3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCriticalDelay times the closed-form Hopf point.
+func BenchmarkCriticalDelay(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := CriticalDelay(-1.067, -0.16); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,72 @@
+package stability
+
+import (
+	"fmt"
+	"math"
+
+	"fpcc/internal/control"
+)
+
+// MultiSourceLinearize linearizes the delayed loop of n identical
+// sources sharing one bottleneck:
+//
+//	dQ/dt  = Σλᵢ − μ
+//	dλᵢ/dt = g(Q(t−τ), λᵢ)
+//
+// At the symmetric equilibrium every source sends λᵢ* = μ/n and the
+// deviation dynamics split into two decoupled families:
+//
+//   - the symmetric (aggregate) mode Y = Σ(λᵢ−μ/n), governed by
+//     dx/dt = Y, dY/dt = n·a₁·x(t−τ) + b₁·Y with a₁ = ∂g/∂q and
+//     b₁ = ∂g/∂λ at (q*, μ/n) — the returned Linearization carries
+//     A = n·a₁, B = b₁ so CriticalDelay/DominantRoot apply directly;
+//   - n−1 difference modes λᵢ−λⱼ, each governed by dy/dt = b₁·y with
+//     no delay coupling at all: they decay exponentially whenever
+//     b₁ < 0 (see DifferenceModeRate).
+//
+// Two consequences the experiments verify: delay-induced oscillation
+// is a *shared* phenomenon (every source rings in phase — the
+// difference modes cannot oscillate), which is the paper's
+// "oscillations for every individual user"; and adding sources barely
+// moves the delay budget — for SmoothAIMD the first-order law
+// τ* ≈ width/μ is independent of n as well, while the Hopf frequency
+// grows with n but saturates: ω*² = C0·C1·μ/((C0+C1·μ/n)·width),
+// approaching √(C1·μ/width) as n → ∞ (each source's share μ/n
+// shrinks, so the per-source decrease branch weakens exactly as fast
+// as the head count grows).
+func MultiSourceLinearize(law control.Law, mu float64, n int, lo, hi float64) (*Linearization, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("stability: need at least one source, got %d", n)
+	}
+	if !(mu > 0) || math.IsInf(mu, 1) {
+		return nil, fmt.Errorf("stability: service rate must be positive, got %v", mu)
+	}
+	// Per-source equilibrium: g(q, μ/n) = 0, partials at (q*, μ/n).
+	per, err := Linearize(law, mu/float64(n), lo, hi)
+	if err != nil {
+		return nil, err
+	}
+	return &Linearization{
+		QStar:   per.QStar,
+		LamStar: mu / float64(n),
+		A:       float64(n) * per.A,
+		B:       per.B,
+	}, nil
+}
+
+// DifferenceModeRate returns the decay rate of the pairwise
+// difference modes λᵢ−λⱼ of the n-source symmetric loop — simply the
+// per-source damping b₁, delay-independent. A negative value means
+// inequality between equal-parameter sources dies out exponentially
+// even under feedback delay (equal delays; unequal delays are the
+// paper's unfairness mechanism, exercised by experiment E7).
+func DifferenceModeRate(law control.Law, mu float64, n int, lo, hi float64) (float64, error) {
+	if n < 2 {
+		return 0, fmt.Errorf("stability: difference modes need at least 2 sources, got %d", n)
+	}
+	per, err := Linearize(law, mu/float64(n), lo, hi)
+	if err != nil {
+		return 0, err
+	}
+	return per.B, nil
+}

@@ -1,0 +1,188 @@
+package stability
+
+import (
+	"math"
+	"testing"
+
+	"fpcc/internal/control"
+	"fpcc/internal/dde"
+)
+
+func TestMultiSourceLinearizeReducesToSingle(t *testing.T) {
+	law, err := control.NewSmoothAIMD(2, 0.8, 20, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := Linearize(law, 10, 0, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi, err := MultiSourceLinearize(law, 10, 1, 0, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(single.A-multi.A) > 1e-9 || math.Abs(single.B-multi.B) > 1e-9 {
+		t.Errorf("n=1 must equal the single-source linearization: %+v vs %+v", multi, single)
+	}
+}
+
+func TestMultiSourceDelayBudgetInvariant(t *testing.T) {
+	// For SmoothAIMD, β/α = width/μ independent of n: the delay
+	// budget does not collapse as sources join, but the Hopf
+	// frequency stiffens like √n.
+	law, err := control.NewSmoothAIMD(2, 0.8, 20, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const mu = 10.0
+	var prevOmega float64
+	for _, n := range []int{1, 2, 4, 8} {
+		lin, err := MultiSourceLinearize(law, mu, n, 0, 200)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tauStar, omega, err := CriticalDelay(lin.A, lin.B)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(tauStar-0.15) > 0.03 {
+			t.Errorf("n=%d: τ* = %v strayed from width/μ = 0.15", n, tauStar)
+		}
+		if omega < prevOmega {
+			t.Errorf("n=%d: Hopf frequency %v fell below n=%d's %v", n, omega, n/2, prevOmega)
+		}
+		prevOmega = omega
+	}
+}
+
+func TestMultiSourceHopfFrequencySaturates(t *testing.T) {
+	// Closed form: ω*(n)² ≈ C0·C1·μ/((C0+C1·μ/n)·width) — growing in
+	// n but saturating at C1·μ/width (the per-source decrease branch
+	// weakens exactly as fast as the head count grows).
+	const (
+		c0, c1, width, mu = 2.0, 0.8, 1.5, 10.0
+	)
+	law, err := control.NewSmoothAIMD(c0, c1, 20, width)
+	if err != nil {
+		t.Fatal(err)
+	}
+	omega := func(n int) float64 {
+		lin, err := MultiSourceLinearize(law, mu, n, 0, 200)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, w, err := CriticalDelay(lin.A, lin.B)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return w
+	}
+	for _, n := range []int{1, 2, 4, 16} {
+		want := math.Sqrt(c0 * c1 * mu / ((c0 + c1*mu/float64(n)) * width))
+		got := omega(n)
+		if math.Abs(got-want) > 0.05*want {
+			t.Errorf("n=%d: ω* = %v, closed form %v", n, got, want)
+		}
+	}
+	sat := math.Sqrt(c1 * mu / width)
+	if omega(64) > sat {
+		t.Errorf("ω*(64) = %v exceeds the saturation bound %v", omega(64), sat)
+	}
+}
+
+func TestMultiSourceValidation(t *testing.T) {
+	law, _ := control.NewSmoothAIMD(2, 0.8, 20, 1.5)
+	if _, err := MultiSourceLinearize(law, 10, 0, 0, 60); err == nil {
+		t.Error("n=0: want error")
+	}
+	if _, err := MultiSourceLinearize(law, 0, 2, 0, 60); err == nil {
+		t.Error("zero mu: want error")
+	}
+	if _, err := DifferenceModeRate(law, 10, 1, 0, 60); err == nil {
+		t.Error("difference modes with one source: want error")
+	}
+}
+
+func TestDifferenceModeDamped(t *testing.T) {
+	law, err := control.NewSmoothAIMD(2, 0.8, 20, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rate, err := DifferenceModeRate(law, 10, 4, 0, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(rate < 0) {
+		t.Errorf("difference-mode rate %v, want negative (fairness restored)", rate)
+	}
+}
+
+// TestMultiSourceDDEInPhaseOscillation verifies the mode split on the
+// full nonlinear system: four sources with equal delays ring above
+// τ*, and they ring *together* — the spread across sources stays
+// small relative to the common swing.
+func TestMultiSourceDDEInPhaseOscillation(t *testing.T) {
+	law, err := control.NewSmoothAIMD(2, 0.8, 20, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		mu = 10.0
+		n  = 4
+	)
+	lin, err := MultiSourceLinearize(law, mu, n, 0, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tauStar, _, err := CriticalDelay(lin.A, lin.B)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tau := 2.5 * tauStar
+	sys := func(tt float64, y []float64, lag dde.Lagger, dydt []float64) {
+		qDel := lag.Lag(0, tau)
+		var sum float64
+		for i := 1; i <= n; i++ {
+			sum += y[i]
+		}
+		dydt[0] = sum - mu
+		if y[0] <= 0 && sum < mu {
+			dydt[0] = 0
+		}
+		for i := 1; i <= n; i++ {
+			dydt[i] = law.Drift(qDel, y[i])
+		}
+	}
+	// Deliberately unequal starting rates: the difference modes must
+	// die while the symmetric mode rings.
+	hist := func(tt float64) []float64 { return []float64{5, 0.5, 1.5, 2.5, 3.5} }
+	res, err := dde.Solve(sys, hist, []float64{tau}, 0, 300, 0.001, dde.Options{Stride: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var swingLo, swingHi = math.Inf(1), math.Inf(-1)
+	var maxSpread float64
+	for i := 0; i < res.Len(); i++ {
+		tt, y := res.At(i)
+		if tt < 200 {
+			continue
+		}
+		var lo, hi float64 = math.Inf(1), math.Inf(-1)
+		for j := 1; j <= n; j++ {
+			lo = math.Min(lo, y[j])
+			hi = math.Max(hi, y[j])
+		}
+		if s := hi - lo; s > maxSpread {
+			maxSpread = s
+		}
+		swingLo = math.Min(swingLo, y[1])
+		swingHi = math.Max(swingHi, y[1])
+	}
+	swing := swingHi - swingLo
+	if swing < 0.3 {
+		t.Fatalf("no oscillation above τ*: swing %v", swing)
+	}
+	if maxSpread > 0.1*swing {
+		t.Errorf("sources out of phase: spread %v vs common swing %v", maxSpread, swing)
+	}
+}

@@ -1,0 +1,168 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// This file implements Kolmogorov-Smirnov distribution comparisons,
+// used by the experiments to test whether the Fokker-Planck marginal
+// and the Monte-Carlo / Markov-chain queue distributions agree as
+// whole distributions rather than only in their first two moments.
+
+// KSOneSample returns the Kolmogorov-Smirnov statistic
+// D = sup |F̂(x) − F(x)| of a sample against a reference CDF, plus
+// the asymptotic p-value. The sample need not be sorted.
+func KSOneSample(sample []float64, cdf func(float64) float64) (d, pValue float64, err error) {
+	if len(sample) == 0 {
+		return 0, 0, fmt.Errorf("stats: empty sample")
+	}
+	if cdf == nil {
+		return 0, 0, fmt.Errorf("stats: nil reference CDF")
+	}
+	xs := append([]float64(nil), sample...)
+	sort.Float64s(xs)
+	n := float64(len(xs))
+	for i, x := range xs {
+		f := cdf(x)
+		if f < 0 || f > 1 || math.IsNaN(f) {
+			return 0, 0, fmt.Errorf("stats: reference CDF returned %v at %v", f, x)
+		}
+		if diff := math.Abs(float64(i+1)/n - f); diff > d {
+			d = diff
+		}
+		if diff := math.Abs(f - float64(i)/n); diff > d {
+			d = diff
+		}
+	}
+	return d, ksPValue(math.Sqrt(n) * d), nil
+}
+
+// KSTwoSample returns the two-sample KS statistic
+// D = sup |F̂₁(x) − F̂₂(x)| and the asymptotic p-value.
+func KSTwoSample(a, b []float64) (d, pValue float64, err error) {
+	if len(a) == 0 || len(b) == 0 {
+		return 0, 0, fmt.Errorf("stats: empty sample (len %d, %d)", len(a), len(b))
+	}
+	as := append([]float64(nil), a...)
+	bs := append([]float64(nil), b...)
+	sort.Float64s(as)
+	sort.Float64s(bs)
+	na, nb := float64(len(as)), float64(len(bs))
+	var i, j int
+	for i < len(as) && j < len(bs) {
+		x := math.Min(as[i], bs[j])
+		for i < len(as) && as[i] <= x {
+			i++
+		}
+		for j < len(bs) && bs[j] <= x {
+			j++
+		}
+		if diff := math.Abs(float64(i)/na - float64(j)/nb); diff > d {
+			d = diff
+		}
+	}
+	ne := na * nb / (na + nb)
+	return d, ksPValue(math.Sqrt(ne) * d), nil
+}
+
+// ksPValue evaluates the asymptotic Kolmogorov survival function
+// Q(λ) = 2·Σ_{k≥1} (−1)^{k−1} e^{−2k²λ²}, the limiting p-value of
+// √n·D.
+func ksPValue(lambda float64) float64 {
+	if lambda <= 0 {
+		return 1
+	}
+	if lambda > 10 {
+		return 0
+	}
+	var sum float64
+	sign := 1.0
+	for k := 1; k <= 100; k++ {
+		term := sign * math.Exp(-2*float64(k)*float64(k)*lambda*lambda)
+		sum += term
+		if math.Abs(term) < 1e-16 {
+			break
+		}
+		sign = -sign
+	}
+	p := 2 * sum
+	switch {
+	case p < 0:
+		return 0
+	case p > 1:
+		return 1
+	default:
+		return p
+	}
+}
+
+// CDFFromPMF converts a discrete pmf on points xs (ascending) into a
+// right-continuous step CDF usable with KSOneSample.
+func CDFFromPMF(xs, pmf []float64) (func(float64) float64, error) {
+	if len(xs) == 0 || len(xs) != len(pmf) {
+		return nil, fmt.Errorf("stats: pmf/support length mismatch %d vs %d", len(xs), len(pmf))
+	}
+	if !sort.Float64sAreSorted(xs) {
+		return nil, fmt.Errorf("stats: pmf support must be ascending")
+	}
+	cum := make([]float64, len(pmf))
+	var total float64
+	for i, p := range pmf {
+		if p < -1e-12 || math.IsNaN(p) {
+			return nil, fmt.Errorf("stats: pmf[%d] = %v invalid", i, p)
+		}
+		total += p
+		cum[i] = total
+	}
+	if math.Abs(total-1) > 1e-6 {
+		return nil, fmt.Errorf("stats: pmf sums to %v, want 1", total)
+	}
+	for i := range cum {
+		cum[i] /= total
+	}
+	support := append([]float64(nil), xs...)
+	return func(x float64) float64 {
+		k := sort.SearchFloat64s(support, x)
+		if k < len(support) && support[k] == x {
+			return cum[k]
+		}
+		if k == 0 {
+			return 0
+		}
+		return cum[k-1]
+	}, nil
+}
+
+// BatchMeans estimates the mean of a correlated stationary series and
+// a confidence half-width by the method of batch means: split into
+// nBatches equal batches, treat batch averages as approximately
+// independent, and apply the normal approximation with the given z
+// quantile (1.96 for 95%).
+func BatchMeans(xs []float64, nBatches int, z float64) (mean, halfWidth float64, err error) {
+	if nBatches < 2 {
+		return 0, 0, fmt.Errorf("stats: need at least 2 batches, got %d", nBatches)
+	}
+	if len(xs) < 2*nBatches {
+		return 0, 0, fmt.Errorf("stats: series of %d too short for %d batches", len(xs), nBatches)
+	}
+	if !(z > 0) {
+		return 0, 0, fmt.Errorf("stats: z quantile must be positive, got %v", z)
+	}
+	size := len(xs) / nBatches
+	means := make([]float64, nBatches)
+	for b := 0; b < nBatches; b++ {
+		var s float64
+		for i := b * size; i < (b+1)*size; i++ {
+			s += xs[i]
+		}
+		means[b] = s / float64(size)
+	}
+	var m Moments
+	for _, v := range means {
+		m.Add(v)
+	}
+	se := m.StdDev() / math.Sqrt(float64(nBatches))
+	return m.Mean(), z * se, nil
+}

@@ -1,0 +1,131 @@
+package stats
+
+import (
+	"math"
+)
+
+// Peak is a local maximum or minimum of a time series.
+type Peak struct {
+	T     float64 // time of the extremum
+	Value float64 // series value there
+	IsMax bool    // true for a maximum, false for a minimum
+}
+
+// FindPeaks locates alternating local extrema of the series (ts, xs)
+// that are prominent relative to minProminence: a candidate maximum
+// must exceed the preceding located minimum by at least minProminence
+// (and symmetrically for minima). Small-ripple noise below the
+// prominence threshold is ignored, which matters when the series
+// comes from a stochastic simulation.
+func FindPeaks(ts, xs []float64, minProminence float64) []Peak {
+	n := len(xs)
+	if n < 3 || len(ts) != n {
+		return nil
+	}
+	var peaks []Peak
+	// Track the running extremes since the last accepted peak.
+	curMaxI, curMinI := 0, 0
+	direction := 0 // +1 looking for max, -1 looking for min, 0 undetermined
+	for i := 1; i < n; i++ {
+		if xs[i] > xs[curMaxI] {
+			curMaxI = i
+		}
+		if xs[i] < xs[curMinI] {
+			curMinI = i
+		}
+		switch direction {
+		case 0:
+			if xs[i] >= xs[curMinI]+minProminence {
+				direction = +1 // rising enough: first peak will be a max
+				curMaxI = i
+			} else if xs[i] <= xs[curMaxI]-minProminence {
+				direction = -1
+				curMinI = i
+			}
+		case +1:
+			if xs[curMaxI]-xs[i] >= minProminence {
+				peaks = append(peaks, Peak{T: ts[curMaxI], Value: xs[curMaxI], IsMax: true})
+				direction = -1
+				curMinI = i
+			}
+		case -1:
+			if xs[i]-xs[curMinI] >= minProminence {
+				peaks = append(peaks, Peak{T: ts[curMinI], Value: xs[curMinI], IsMax: false})
+				direction = +1
+				curMaxI = i
+			}
+		}
+	}
+	return peaks
+}
+
+// Oscillation summarizes sustained oscillation of a series.
+type Oscillation struct {
+	Amplitude float64 // mean peak-to-trough half-swing over the window
+	Period    float64 // mean time between consecutive maxima
+	NumCycles int     // number of full cycles observed
+}
+
+// MeasureOscillation estimates amplitude and period of the series
+// (ts, xs) restricted to t >= tFrom, using peaks with the given
+// prominence. A converged (non-oscillating) series yields zero
+// amplitude and NaN period.
+func MeasureOscillation(ts, xs []float64, tFrom, minProminence float64) Oscillation {
+	// Restrict to the analysis window.
+	start := 0
+	for start < len(ts) && ts[start] < tFrom {
+		start++
+	}
+	ts, xs = ts[start:], xs[start:]
+	peaks := FindPeaks(ts, xs, minProminence)
+	var maxima, minima []Peak
+	for _, p := range peaks {
+		if p.IsMax {
+			maxima = append(maxima, p)
+		} else {
+			minima = append(minima, p)
+		}
+	}
+	if len(maxima) < 2 || len(minima) < 1 {
+		return Oscillation{Amplitude: 0, Period: math.NaN()}
+	}
+	// Amplitude: average |max − min| / 2 over adjacent extrema pairs.
+	var ampSum float64
+	var ampN int
+	for i := 0; i+1 < len(peaks); i++ {
+		ampSum += math.Abs(peaks[i].Value-peaks[i+1].Value) / 2
+		ampN++
+	}
+	// Period: average spacing of maxima.
+	var perSum float64
+	for i := 1; i < len(maxima); i++ {
+		perSum += maxima[i].T - maxima[i-1].T
+	}
+	return Oscillation{
+		Amplitude: ampSum / float64(ampN),
+		Period:    perSum / float64(len(maxima)-1),
+		NumCycles: len(maxima) - 1,
+	}
+}
+
+// SwingOver returns max − min of the series restricted to t >= tFrom —
+// a cruder but assumption-free oscillation measure (0 for a converged
+// series up to numerical residue).
+func SwingOver(ts, xs []float64, tFrom float64) float64 {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for i, t := range ts {
+		if t < tFrom {
+			continue
+		}
+		if xs[i] < lo {
+			lo = xs[i]
+		}
+		if xs[i] > hi {
+			hi = xs[i]
+		}
+	}
+	if hi < lo {
+		return 0
+	}
+	return hi - lo
+}

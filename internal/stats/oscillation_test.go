@@ -1,0 +1,117 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"fpcc/internal/rng"
+)
+
+func sineSeries(n int, period, amp float64) (ts, xs []float64) {
+	ts = make([]float64, n)
+	xs = make([]float64, n)
+	for i := 0; i < n; i++ {
+		t := float64(i) * 0.01
+		ts[i] = t
+		xs[i] = amp * math.Sin(2*math.Pi*t/period)
+	}
+	return ts, xs
+}
+
+func TestFindPeaksSine(t *testing.T) {
+	ts, xs := sineSeries(5000, 5.0, 2.0)
+	peaks := FindPeaks(ts, xs, 0.5)
+	if len(peaks) < 15 {
+		t.Fatalf("found %d peaks in 10 periods, want ~20", len(peaks))
+	}
+	// Peaks must alternate max/min.
+	for i := 1; i < len(peaks); i++ {
+		if peaks[i].IsMax == peaks[i-1].IsMax {
+			t.Fatalf("peaks %d and %d do not alternate", i-1, i)
+		}
+	}
+	// Max values ~ +2, min values ~ -2.
+	for _, p := range peaks {
+		if p.IsMax && math.Abs(p.Value-2) > 0.01 {
+			t.Fatalf("max peak value %v, want ~2", p.Value)
+		}
+		if !p.IsMax && math.Abs(p.Value+2) > 0.01 {
+			t.Fatalf("min peak value %v, want ~-2", p.Value)
+		}
+	}
+}
+
+func TestFindPeaksIgnoresNoise(t *testing.T) {
+	// A flat series with small noise must produce no peaks at a
+	// prominence above the noise level.
+	r := rng.New(3)
+	n := 2000
+	ts := make([]float64, n)
+	xs := make([]float64, n)
+	for i := 0; i < n; i++ {
+		ts[i] = float64(i)
+		xs[i] = 0.01 * r.Norm()
+	}
+	if peaks := FindPeaks(ts, xs, 0.5); len(peaks) != 0 {
+		t.Fatalf("found %d peaks in noise", len(peaks))
+	}
+}
+
+func TestFindPeaksDegenerate(t *testing.T) {
+	if FindPeaks(nil, nil, 1) != nil {
+		t.Error("nil input should yield nil")
+	}
+	if FindPeaks([]float64{0, 1}, []float64{0, 1}, 1) != nil {
+		t.Error("too-short input should yield nil")
+	}
+	if FindPeaks([]float64{0, 1}, []float64{0, 1, 2}, 1) != nil {
+		t.Error("mismatched lengths should yield nil")
+	}
+}
+
+func TestMeasureOscillationSine(t *testing.T) {
+	ts, xs := sineSeries(10000, 5.0, 3.0)
+	osc := MeasureOscillation(ts, xs, 10, 0.5)
+	if math.Abs(osc.Amplitude-3) > 0.05 {
+		t.Fatalf("amplitude %v, want ~3", osc.Amplitude)
+	}
+	if math.Abs(osc.Period-5) > 0.1 {
+		t.Fatalf("period %v, want ~5", osc.Period)
+	}
+	if osc.NumCycles < 10 {
+		t.Fatalf("cycles %d, want >= 10", osc.NumCycles)
+	}
+}
+
+func TestMeasureOscillationConverged(t *testing.T) {
+	// Exponentially decaying series: late window has no oscillation.
+	n := 5000
+	ts := make([]float64, n)
+	xs := make([]float64, n)
+	for i := 0; i < n; i++ {
+		t := float64(i) * 0.01
+		ts[i] = t
+		xs[i] = 10 * math.Exp(-t) * math.Cos(2*math.Pi*t)
+	}
+	osc := MeasureOscillation(ts, xs, 30, 0.5)
+	if osc.Amplitude != 0 {
+		t.Fatalf("late amplitude %v, want 0", osc.Amplitude)
+	}
+	if !math.IsNaN(osc.Period) {
+		t.Fatalf("late period %v, want NaN", osc.Period)
+	}
+}
+
+func TestSwingOver(t *testing.T) {
+	ts := []float64{0, 1, 2, 3, 4}
+	xs := []float64{0, 10, -5, 3, 4}
+	if got := SwingOver(ts, xs, 0); got != 15 {
+		t.Fatalf("full swing = %v, want 15", got)
+	}
+	if got := SwingOver(ts, xs, 2.5); got != 1 {
+		t.Fatalf("late swing = %v, want 1", got)
+	}
+	if got := SwingOver(ts, xs, 100); got != 0 {
+		t.Fatalf("empty-window swing = %v, want 0", got)
+	}
+}

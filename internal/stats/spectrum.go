@@ -1,0 +1,122 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// Spectral analysis: a hand-rolled radix-2 FFT and a periodogram,
+// used as an independent cross-check of the peak-detection oscillation
+// metrics — the delay-induced limit cycles of Section 7 show up as a
+// sharp line at 1/period, whereas a converged trajectory has no
+// dominant line.
+
+// FFT computes the in-place decimation-in-time radix-2 fast Fourier
+// transform of x. len(x) must be a power of two (ErrNotPow2
+// otherwise).
+func FFT(x []complex128) error {
+	n := len(x)
+	if n == 0 || n&(n-1) != 0 {
+		return fmt.Errorf("stats: FFT length %d is not a power of two", n)
+	}
+	// Bit-reversal permutation.
+	for i, j := 1, 0; i < n; i++ {
+		bit := n >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j ^= bit
+		}
+		j ^= bit
+		if i < j {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	// Butterfly passes.
+	for length := 2; length <= n; length <<= 1 {
+		ang := -2 * math.Pi / float64(length)
+		wl := cmplx.Exp(complex(0, ang))
+		for start := 0; start < n; start += length {
+			w := complex(1, 0)
+			half := length / 2
+			for k := 0; k < half; k++ {
+				u := x[start+k]
+				v := x[start+k+half] * w
+				x[start+k] = u + v
+				x[start+k+half] = u - v
+				w *= wl
+			}
+		}
+	}
+	return nil
+}
+
+// Periodogram estimates the power spectral density of the real series
+// xs sampled every dt seconds: the mean is removed, the series is
+// zero-padded to the next power of two, and |X(f)|² is returned for
+// the positive frequencies. freqs[i] is in Hz (cycles per second).
+func Periodogram(xs []float64, dt float64) (freqs, power []float64, err error) {
+	if len(xs) < 4 {
+		return nil, nil, fmt.Errorf("stats: periodogram needs at least 4 samples, got %d", len(xs))
+	}
+	if !(dt > 0) {
+		return nil, nil, fmt.Errorf("stats: non-positive sample period %v", dt)
+	}
+	var mean float64
+	for _, v := range xs {
+		mean += v
+	}
+	mean /= float64(len(xs))
+	n := 1
+	for n < len(xs) {
+		n <<= 1
+	}
+	buf := make([]complex128, n)
+	for i, v := range xs {
+		buf[i] = complex(v-mean, 0)
+	}
+	if err := FFT(buf); err != nil {
+		return nil, nil, err
+	}
+	half := n / 2
+	freqs = make([]float64, half)
+	power = make([]float64, half)
+	for i := 0; i < half; i++ {
+		freqs[i] = float64(i) / (float64(n) * dt)
+		re, im := real(buf[i]), imag(buf[i])
+		power[i] = (re*re + im*im) / float64(n)
+	}
+	return freqs, power, nil
+}
+
+// DominantPeriod returns the period (seconds) of the strongest
+// spectral line of the series and the fraction of total power it
+// carries (a confidence proxy: sustained oscillation concentrates
+// power, noise spreads it). It returns NaN period when the series has
+// no positive-frequency power.
+func DominantPeriod(xs []float64, dt float64) (period, powerFrac float64, err error) {
+	freqs, power, err := Periodogram(xs, dt)
+	if err != nil {
+		return 0, 0, err
+	}
+	var total float64
+	best := -1
+	for i := 1; i < len(power); i++ { // skip DC
+		total += power[i]
+		if best < 0 || power[i] > power[best] {
+			best = i
+		}
+	}
+	if best < 0 || total == 0 || power[best] == 0 {
+		return math.NaN(), 0, nil
+	}
+	// Aggregate the line's immediate neighbours for the power
+	// fraction (spectral leakage spreads a line over a few bins).
+	line := power[best]
+	if best > 1 {
+		line += power[best-1]
+	}
+	if best+1 < len(power) {
+		line += power[best+1]
+	}
+	return 1 / freqs[best], line / total, nil
+}

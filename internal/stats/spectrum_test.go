@@ -1,0 +1,198 @@
+package stats
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+	"testing/quick"
+
+	"fpcc/internal/rng"
+)
+
+func TestFFTValidation(t *testing.T) {
+	if err := FFT(make([]complex128, 3)); err == nil {
+		t.Error("accepted non-power-of-two length")
+	}
+	if err := FFT(nil); err == nil {
+		t.Error("accepted empty input")
+	}
+}
+
+// TestFFTKnownTransform: the FFT of a pure tone is a single line.
+func TestFFTKnownTransform(t *testing.T) {
+	const n = 64
+	const k = 5 // tone bin
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = cmplx.Exp(complex(0, 2*math.Pi*float64(k*i)/n))
+	}
+	if err := FFT(x); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range x {
+		mag := cmplx.Abs(v)
+		if i == k {
+			if math.Abs(mag-n) > 1e-9 {
+				t.Fatalf("bin %d magnitude %v, want %v", i, mag, float64(n))
+			}
+		} else if mag > 1e-9 {
+			t.Fatalf("bin %d magnitude %v, want 0", i, mag)
+		}
+	}
+}
+
+// TestFFTMatchesDFT: cross-check against the O(n²) direct transform on
+// random input.
+func TestFFTMatchesDFT(t *testing.T) {
+	const n = 32
+	r := rng.New(9)
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(r.Norm(), r.Norm())
+	}
+	want := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		var sum complex128
+		for j := 0; j < n; j++ {
+			ang := -2 * math.Pi * float64(k*j) / n
+			sum += x[j] * cmplx.Exp(complex(0, ang))
+		}
+		want[k] = sum
+	}
+	if err := FFT(x); err != nil {
+		t.Fatal(err)
+	}
+	for k := range x {
+		if cmplx.Abs(x[k]-want[k]) > 1e-9 {
+			t.Fatalf("bin %d: FFT %v vs DFT %v", k, x[k], want[k])
+		}
+	}
+}
+
+// TestFFTParseval: energy is preserved (Parseval's theorem) for random
+// power-of-two lengths.
+func TestFFTParseval(t *testing.T) {
+	f := func(seed uint64, pRaw uint8) bool {
+		p := int(pRaw%6) + 2 // lengths 4..128
+		n := 1 << p
+		r := rng.New(seed)
+		x := make([]complex128, n)
+		var timeEnergy float64
+		for i := range x {
+			x[i] = complex(r.Norm(), 0)
+			timeEnergy += real(x[i]) * real(x[i])
+		}
+		if err := FFT(x); err != nil {
+			return false
+		}
+		var freqEnergy float64
+		for _, v := range x {
+			freqEnergy += real(v)*real(v) + imag(v)*imag(v)
+		}
+		freqEnergy /= float64(n)
+		return math.Abs(timeEnergy-freqEnergy) < 1e-6*(1+timeEnergy)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPeriodogramValidation(t *testing.T) {
+	if _, _, err := Periodogram([]float64{1, 2}, 0.1); err == nil {
+		t.Error("accepted too-short series")
+	}
+	if _, _, err := Periodogram(make([]float64, 16), 0); err == nil {
+		t.Error("accepted zero dt")
+	}
+}
+
+// TestDominantPeriodSine: a pure 5-second wave sampled at 100 Hz must
+// yield a 5 s dominant period carrying most of the power.
+func TestDominantPeriodSine(t *testing.T) {
+	const dt = 0.01
+	n := 4096
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = 3 * math.Sin(2*math.Pi*float64(i)*dt/5)
+	}
+	period, frac, err := DominantPeriod(xs, dt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(period-5)/5 > 0.05 {
+		t.Fatalf("dominant period %v, want ~5", period)
+	}
+	if frac < 0.8 {
+		t.Fatalf("line power fraction %v, want concentrated", frac)
+	}
+}
+
+// TestDominantPeriodNoise: white noise has no concentrated line.
+func TestDominantPeriodNoise(t *testing.T) {
+	r := rng.New(31)
+	xs := make([]float64, 4096)
+	for i := range xs {
+		xs[i] = r.Norm()
+	}
+	_, frac, err := DominantPeriod(xs, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frac > 0.1 {
+		t.Fatalf("noise line fraction %v, want diffuse", frac)
+	}
+}
+
+// TestDominantPeriodConstant: a constant series has no line at all.
+func TestDominantPeriodConstant(t *testing.T) {
+	xs := make([]float64, 64)
+	for i := range xs {
+		xs[i] = 7
+	}
+	period, _, err := DominantPeriod(xs, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(period) {
+		t.Fatalf("constant series period %v, want NaN", period)
+	}
+}
+
+// TestSpectrumAgreesWithPeakDetection: the two oscillation-measurement
+// paths (time-domain peaks and frequency-domain line) must agree on a
+// clean periodic series.
+func TestSpectrumAgreesWithPeakDetection(t *testing.T) {
+	const dt = 0.01
+	n := 8192
+	ts := make([]float64, n)
+	xs := make([]float64, n)
+	for i := range xs {
+		ts[i] = float64(i) * dt
+		xs[i] = 10 + 4*math.Sin(2*math.Pi*ts[i]/7)
+	}
+	osc := MeasureOscillation(ts, xs, 0, 1)
+	period, _, err := DominantPeriod(xs, dt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(osc.Period-period)/period > 0.05 {
+		t.Fatalf("peak-detection period %v vs spectral period %v", osc.Period, period)
+	}
+}
+
+func BenchmarkFFT4096(b *testing.B) {
+	x := make([]complex128, 4096)
+	r := rng.New(1)
+	for i := range x {
+		x[i] = complex(r.Norm(), 0)
+	}
+	buf := make([]complex128, len(x))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(buf, x)
+		if err := FFT(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package traffic
+
+import (
+	"fmt"
+	"math"
+
+	"fpcc/internal/rng"
+)
+
+// BatchPoisson generates batch arrivals: batches arrive as a Poisson
+// process and each batch carries a geometrically distributed number of
+// packets (mean BatchMean, support 1, 2, ...). The packet-level index
+// of dispersion for counts is exactly 2·BatchMean − 1, so the process
+// provides a one-knob burstiness dial with a closed form the tests
+// verify against.
+type BatchPoisson struct {
+	// PacketRate is the long-run packets/s; batches arrive at
+	// PacketRate/BatchMean.
+	PacketRate float64
+	// BatchMean is the mean geometric batch size (≥ 1; 1 = plain
+	// Poisson).
+	BatchMean float64
+}
+
+// NewBatchPoisson validates and returns a batch-Poisson source.
+func NewBatchPoisson(packetRate, batchMean float64) (*BatchPoisson, error) {
+	switch {
+	case !(packetRate > 0) || math.IsInf(packetRate, 1):
+		return nil, fmt.Errorf("traffic: packet rate must be positive, got %v", packetRate)
+	case !(batchMean >= 1) || math.IsInf(batchMean, 1):
+		return nil, fmt.Errorf("traffic: mean batch size must be ≥ 1, got %v", batchMean)
+	}
+	return &BatchPoisson{PacketRate: packetRate, BatchMean: batchMean}, nil
+}
+
+// IDC returns the exact large-window index of dispersion for counts,
+// 2·BatchMean − 1.
+func (b *BatchPoisson) IDC() float64 { return 2*b.BatchMean - 1 }
+
+// geometric draws from the geometric distribution on {1, 2, ...} with
+// mean m ≥ 1 (success probability 1/m).
+func geometric(r *rng.Source, m float64) int {
+	if m <= 1 {
+		return 1
+	}
+	// Inversion: k = ceil(ln U / ln(1 − p)) with p = 1/m.
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	k := int(math.Ceil(math.Log(u) / math.Log(1-1/m)))
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
+
+// Arrivals generates packet arrival times over [0, horizon]. Packets
+// in one batch share the batch's arrival instant (back-to-back line
+// rate is an idealization, as in batch-arrival queueing models).
+func (b *BatchPoisson) Arrivals(r *rng.Source, horizon float64) ([]float64, error) {
+	if !(horizon > 0) {
+		return nil, fmt.Errorf("traffic: horizon must be positive, got %v", horizon)
+	}
+	if r == nil {
+		return nil, fmt.Errorf("traffic: nil rng")
+	}
+	batchRate := b.PacketRate / b.BatchMean
+	var times []float64
+	t := 0.0
+	for {
+		t += r.Exp(batchRate)
+		if t > horizon {
+			return times, nil
+		}
+		n := geometric(r, b.BatchMean)
+		for i := 0; i < n; i++ {
+			times = append(times, t)
+		}
+	}
+}

@@ -1,0 +1,43 @@
+package traffic
+
+import (
+	"testing"
+
+	"fpcc/internal/rng"
+)
+
+// BenchmarkArrivalsMMPP times generating one second of modulated
+// arrivals at 10k packets/s (the open-loop generation path).
+func BenchmarkArrivalsMMPP(b *testing.B) {
+	m, err := NewMMPP2(2, 0.5, 1, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rng.New(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Arrivals(m, r, 10000, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkIDC times the dispersion measurement over 1e5 arrivals.
+func BenchmarkIDC(b *testing.B) {
+	m, err := NewOnOff(1, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	times, err := Arrivals(m, rng.New(2), 100, 1000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := IDC(times, 1, 1000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,103 @@
+package traffic
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// CountsInWindows partitions [0, horizon) into consecutive windows of
+// the given width and counts arrivals in each (a trailing partial
+// window is dropped). times must be sorted ascending.
+func CountsInWindows(times []float64, window, horizon float64) ([]int, error) {
+	if !(window > 0) || !(horizon > 0) {
+		return nil, fmt.Errorf("traffic: window and horizon must be positive, got %v / %v", window, horizon)
+	}
+	if !sort.Float64sAreSorted(times) {
+		return nil, fmt.Errorf("traffic: arrival times must be sorted")
+	}
+	n := int(horizon / window)
+	if n == 0 {
+		return nil, fmt.Errorf("traffic: horizon %v shorter than window %v", horizon, window)
+	}
+	counts := make([]int, n)
+	for _, t := range times {
+		k := int(t / window)
+		if k >= 0 && k < n {
+			counts[k]++
+		}
+	}
+	return counts, nil
+}
+
+// IDC returns the index of dispersion for counts at the given window
+// width: Var[N(window)] / E[N(window)]. Poisson processes have IDC = 1
+// at every width; bursty processes exceed 1, approaching their
+// asymptotic value as the window grows past the burst timescale.
+func IDC(times []float64, window, horizon float64) (float64, error) {
+	counts, err := CountsInWindows(times, window, horizon)
+	if err != nil {
+		return 0, err
+	}
+	if len(counts) < 2 {
+		return 0, fmt.Errorf("traffic: need at least 2 windows, have %d", len(counts))
+	}
+	var mean float64
+	for _, c := range counts {
+		mean += float64(c)
+	}
+	mean /= float64(len(counts))
+	if !(mean > 0) {
+		return 0, fmt.Errorf("traffic: no arrivals in the measurement horizon")
+	}
+	var ss float64
+	for _, c := range counts {
+		d := float64(c) - mean
+		ss += d * d
+	}
+	variance := ss / float64(len(counts)-1)
+	return variance / mean, nil
+}
+
+// IDCCurve evaluates IDC at several window widths, returning the
+// curve used to locate the burst timescale (IDC rises from ≈1 at
+// widths below the burst scale to the asymptote above it).
+func IDCCurve(times []float64, windows []float64, horizon float64) ([]float64, error) {
+	if len(windows) == 0 {
+		return nil, fmt.Errorf("traffic: no window widths")
+	}
+	out := make([]float64, len(windows))
+	for i, w := range windows {
+		v, err := IDC(times, w, horizon)
+		if err != nil {
+			return nil, fmt.Errorf("window %v: %w", w, err)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// PeakToMean returns the ratio of the busiest window's count to the
+// mean window count — a crude, scale-dependent burstiness measure
+// complementing IDC.
+func PeakToMean(times []float64, window, horizon float64) (float64, error) {
+	counts, err := CountsInWindows(times, window, horizon)
+	if err != nil {
+		return 0, err
+	}
+	var mean, peak float64
+	for _, c := range counts {
+		mean += float64(c)
+		if float64(c) > peak {
+			peak = float64(c)
+		}
+	}
+	mean /= float64(len(counts))
+	if !(mean > 0) {
+		return 0, fmt.Errorf("traffic: no arrivals in the measurement horizon")
+	}
+	if math.IsNaN(peak / mean) {
+		return 0, fmt.Errorf("traffic: degenerate counts")
+	}
+	return peak / mean, nil
+}
