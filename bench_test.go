@@ -1,9 +1,9 @@
 package fpcc_test
 
 // Benchmark harness regenerating every table and figure of the
-// paper's evaluation: one benchmark per experiment E1..E12 (see
-// DESIGN.md section 4 for the experiment index and EXPERIMENTS.md for
-// paper-vs-measured results). Each benchmark times a full experiment
+// paper's evaluation: one benchmark per experiment E1..E27 (see
+// EXPERIMENTS.md for the experiment index and paper-vs-measured
+// results). Each benchmark times a full experiment
 // run; on the first iteration it also verifies the experiment did not
 // flag a shape mismatch, so `go test -bench=.` doubles as a
 // reproduction check.
@@ -187,4 +187,16 @@ func BenchmarkE24MultiSource(b *testing.B) {
 // comparison at a finite buffer.
 func BenchmarkE25Implicit(b *testing.B) {
 	runExperiment(b, experiments.E25ImplicitVsExplicit)
+}
+
+// BenchmarkE26ParkingLot regenerates the parking-lot fairness table
+// on the arbitrary-topology simulator.
+func BenchmarkE26ParkingLot(b *testing.B) {
+	runExperiment(b, experiments.E26ParkingLotFairness)
+}
+
+// BenchmarkE27Migration regenerates the cross-traffic bottleneck
+// migration sweep (parallel sweep runner).
+func BenchmarkE27Migration(b *testing.B) {
+	runExperiment(b, experiments.E27BottleneckMigration)
 }

@@ -1,5 +1,5 @@
 // Command benchreport runs every experiment in the reproduction
-// (E1..E25, see DESIGN.md section 4) and prints the paper-style result
+// (E1..E27) and prints the paper-style result
 // tables.
 //
 // Usage:

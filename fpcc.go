@@ -48,6 +48,7 @@ import (
 	"fpcc/internal/fluid"
 	"fpcc/internal/fokkerplanck"
 	"fpcc/internal/markov"
+	"fpcc/internal/netsim"
 	"fpcc/internal/sde"
 	"fpcc/internal/stability"
 	"fpcc/internal/stats"
@@ -223,10 +224,77 @@ type TandemSource = des.TandemSource
 
 // TandemSim simulates flows over a path of store-and-forward hops —
 // the setting of the Zhang/Jacobson multi-hop unfairness observation.
+// New multi-hop code should prefer NetSim, which generalizes the
+// tandem chain to arbitrary topologies; TandemSim remains as the
+// hardwired special case netsim is tested against.
 type TandemSim = des.TandemSim
 
 // NewTandemSim builds a tandem-network simulator.
 func NewTandemSim(cfg TandemConfig) (*TandemSim, error) { return des.NewTandem(cfg) }
+
+// Arbitrary-topology packet network simulator (internal/netsim): a
+// directed graph of queues with per-node gateway disciplines,
+// carrying rate-controlled flows over explicit multi-hop routes. The
+// single-node and linear-chain special cases reduce to PacketSim and
+// TandemSim; new multi-hop code should start here.
+
+// NetNode is one store-and-forward queue in a netsim topology.
+type NetNode = netsim.Node
+
+// NetLink is a directed edge with propagation delay.
+type NetLink = netsim.Link
+
+// NetFlow is one rate-controlled sender following a fixed multi-hop
+// route.
+type NetFlow = netsim.Flow
+
+// NetConfig describes an arbitrary-topology packet simulation.
+type NetConfig = netsim.Config
+
+// NetSim is the general-topology packet simulator.
+type NetSim = netsim.Sim
+
+// NetResult summarizes a netsim run.
+type NetResult = netsim.Result
+
+// NewNetSim builds a general-topology packet simulator.
+func NewNetSim(cfg NetConfig) (*NetSim, error) { return netsim.New(cfg) }
+
+// ConstantRateLaw returns a zero-drift law: a flow using it sends at
+// its initial rate forever, modelling uncontrolled cross-traffic.
+func ConstantRateLaw() Law { return netsim.ConstantRate() }
+
+// ParkingLotConfig parameterizes the parking-lot fairness benchmark.
+type ParkingLotConfig = netsim.ParkingLotConfig
+
+// NewParkingLot builds the parking-lot topology: one long flow over a
+// chain of bottleneck hops, one short cross flow per hop.
+func NewParkingLot(pc ParkingLotConfig) (NetConfig, error) { return netsim.ParkingLot(pc) }
+
+// CrossChainConfig parameterizes the bottleneck-migration scenario.
+type CrossChainConfig = netsim.CrossChainConfig
+
+// NewCrossChain builds a two-hop chain with constant-rate cross
+// traffic at the second hop.
+func NewCrossChain(cc CrossChainConfig) (NetConfig, error) { return netsim.CrossChain(cc) }
+
+// SweepParam is one axis of a scenario-sweep grid.
+type SweepParam = netsim.Param
+
+// SweepConfig describes an N-dimensional scenario sweep evaluated in
+// parallel with deterministic per-cell seeds.
+type SweepConfig = netsim.SweepConfig
+
+// SweepCell is the aggregate of one sweep grid cell.
+type SweepCell = netsim.CellResult
+
+// SweepResult holds a completed sweep in grid order; WriteCSV and
+// WriteJSON render it byte-identically for any worker count.
+type SweepResult = netsim.SweepResult
+
+// RunSweep shards the grid across parallel workers and aggregates
+// per-flow throughput, fairness and queue statistics per cell.
+func RunSweep(cfg SweepConfig) (*SweepResult, error) { return netsim.Sweep(cfg) }
 
 // EnsembleConfig configures an SDE particle ensemble of the Eq. 14
 // diffusion (the Monte-Carlo ground truth for the PDE).

@@ -279,3 +279,64 @@ func TestFacadeStatsHelpers(t *testing.T) {
 		t.Errorf("deterministic train IDC = %v err=%v, want 0", idc, err)
 	}
 }
+
+func TestFacadeNetSim(t *testing.T) {
+	law, err := fpcc.NewAIMD(10, 2, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := fpcc.NewNetSim(fpcc.NetConfig{
+		Nodes: []fpcc.NetNode{{Name: "a", Mu: 60}, {Name: "b", Mu: 40}},
+		Links: []fpcc.NetLink{{From: 0, To: 1, Delay: 0.02}},
+		Seed:  1,
+		Flows: []fpcc.NetFlow{
+			{Law: law, Route: []int{0, 1}, IngressDelay: 0.02, ReturnDelay: 0.04,
+				FeedbackDelay: 0.08, Lambda0: 5, MinRate: 0.5},
+			{Law: fpcc.ConstantRateLaw(), Route: []int{1}, IngressDelay: 0.02,
+				ReturnDelay: 0.02, Lambda0: 10, MinRate: 10},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(400, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := res.Throughput[0] + res.Throughput[1]
+	if total < 25 || total > 40 {
+		t.Fatalf("total throughput %v, want near the 40 pk/s bottleneck", total)
+	}
+	if res.Throughput[1] < 8 {
+		t.Fatalf("constant cross flow starved: %v", res.Throughput[1])
+	}
+}
+
+func TestFacadeNetSweep(t *testing.T) {
+	law, err := fpcc.NewAIMD(10, 2, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := fpcc.RunSweep(fpcc.SweepConfig{
+		Params: []fpcc.SweepParam{{Name: "cross", Values: []float64{0, 30}}},
+		Build: func(values []float64, seed uint64) (fpcc.NetConfig, error) {
+			return fpcc.NewCrossChain(fpcc.CrossChainConfig{
+				Mu1: 40, Mu2: 60, Delay: 0.02, Law: law,
+				Lambda0: 10, MinRate: 0.5, CrossRate: values[0], Seed: seed,
+			})
+		},
+		Horizon:  200,
+		Warmup:   40,
+		BaseSeed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 2 {
+		t.Fatalf("got %d cells, want 2", len(res.Cells))
+	}
+	if res.Cells[1].Throughput[0] >= res.Cells[0].Throughput[0] {
+		t.Fatalf("cross traffic did not reduce the main flow: %v vs %v",
+			res.Cells[1].Throughput[0], res.Cells[0].Throughput[0])
+	}
+}

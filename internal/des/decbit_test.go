@@ -19,10 +19,11 @@ func TestAvgWindowValidation(t *testing.T) {
 // through a deterministic scenario: freeze the rate, run briefly, then
 // compare the windowed average against the exact step integral.
 func TestAvgQueueOver(t *testing.T) {
-	s := &Sim{}
+	var h QueueHistory
 	// Hand-build a history: q=0 on [0,1), q=2 on [1,3), q=1 on [3,∞).
-	s.histT = []float64{0, 1, 3}
-	s.histQ = []int{0, 2, 1}
+	h.Record(0, 0, 0, 0)
+	h.Record(1, 2, 0, 0)
+	h.Record(3, 1, 0, 0)
 	cases := []struct {
 		a, b, want float64
 	}{
@@ -34,12 +35,12 @@ func TestAvgQueueOver(t *testing.T) {
 		{-2, 0.5, 0}, // pre-history counts as empty
 	}
 	for _, tc := range cases {
-		if got := s.avgQueueOver(tc.a, tc.b); math.Abs(got-tc.want) > 1e-12 {
-			t.Errorf("avgQueueOver(%v, %v) = %v, want %v", tc.a, tc.b, got, tc.want)
+		if got := h.AvgOver(tc.a, tc.b); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("AvgOver(%v, %v) = %v, want %v", tc.a, tc.b, got, tc.want)
 		}
 	}
 	// Degenerate window falls back to the point value.
-	if got := s.avgQueueOver(2, 2); got != 2 {
+	if got := h.AvgOver(2, 2); got != 2 {
 		t.Errorf("point window = %v, want 2", got)
 	}
 }

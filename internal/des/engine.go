@@ -19,12 +19,12 @@
 package des
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"sort"
 
 	"fpcc/internal/control"
+	"fpcc/internal/eventq"
 	"fpcc/internal/rng"
 	"fpcc/internal/stats"
 	"fpcc/internal/traffic"
@@ -49,25 +49,8 @@ type event struct {
 	seq  uint64 // tie-breaker for deterministic ordering
 }
 
-// eventHeap is a min-heap on (t, seq).
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].t != h[j].t {
-		return h[i].t < h[j].t
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
-	return it
-}
+// Key implements eventq.Event: min-heap order on (t, seq).
+func (e event) Key() (float64, uint64) { return e.t, e.seq }
 
 // SourceConfig describes one sender.
 type SourceConfig struct {
@@ -208,7 +191,7 @@ type Result struct {
 type Sim struct {
 	cfg     Config
 	sources []*sourceState
-	events  eventHeap
+	events  eventq.Q[event]
 	seq     uint64
 	t       float64
 	queue   int   // packets in system
@@ -216,9 +199,7 @@ type Sim struct {
 	serving bool
 	rngSvc  *rng.Source
 	// queue-length history for delayed observation
-	histT    []float64
-	histQ    []int
-	gwS      []float64 // gateway signal history (parallel to histT; nil without gateway)
+	hist     QueueHistory
 	maxDelay float64
 }
 
@@ -228,13 +209,13 @@ func New(cfg Config) (*Sim, error) {
 		return nil, err
 	}
 	root := rng.New(cfg.Seed)
-	s := &Sim{cfg: cfg, rngSvc: root.Split()}
-	s.histT = append(s.histT, 0)
-	s.histQ = append(s.histQ, 0)
+	s := &Sim{cfg: cfg, rngSvc: root.Split(), hist: NewQueueHistory(cfg.Gateway != nil)}
+	var sig0 float64
 	if cfg.Gateway != nil {
 		cfg.Gateway.Reset()
-		s.gwS = append(s.gwS, cfg.Gateway.Signal(0, 0))
+		sig0 = cfg.Gateway.Signal(0, 0)
 	}
+	s.hist.Record(0, 0, sig0, 0)
 	for i, sc := range cfg.Sources {
 		st := &sourceState{cfg: sc, lambda: sc.Lambda0, rng: root.Split(), factor: 1}
 		s.sources = append(s.sources, st)
@@ -262,88 +243,17 @@ func New(cfg Config) (*Sim, error) {
 func (s *Sim) push(e event) {
 	e.seq = s.seq
 	s.seq++
-	heap.Push(&s.events, e)
+	s.events.Push(e)
 }
 
 // recordQueue appends the current queue length (and gateway signal)
-// to the history.
+// to the history, pruning outside the lookback window occasionally.
 func (s *Sim) recordQueue() {
-	s.histT = append(s.histT, s.t)
-	s.histQ = append(s.histQ, s.queue)
+	var sig float64
 	if s.cfg.Gateway != nil {
-		s.gwS = append(s.gwS, s.cfg.Gateway.Signal(s.t, s.queue))
+		sig = s.cfg.Gateway.Signal(s.t, s.queue)
 	}
-	// Prune outside the lookback window occasionally.
-	if len(s.histT) > 4096 {
-		cut := s.t - s.maxDelay - 1
-		k := sort.SearchFloat64s(s.histT, cut)
-		if k > 1 {
-			k-- // keep one sample at or before the cut
-			s.histT = append(s.histT[:0], s.histT[k:]...)
-			s.histQ = append(s.histQ[:0], s.histQ[k:]...)
-			if s.gwS != nil {
-				s.gwS = append(s.gwS[:0], s.gwS[k:]...)
-			}
-		}
-	}
-}
-
-// queueAt returns the queue length as it was at time t (the last
-// recorded change at or before t; 0 before the simulation started).
-func (s *Sim) queueAt(t float64) float64 {
-	k := sort.SearchFloat64s(s.histT, t)
-	// k is the first index with histT[k] >= t; we want the state at
-	// the last change <= t.
-	if k < len(s.histT) && s.histT[k] == t {
-		return float64(s.histQ[k])
-	}
-	if k == 0 {
-		return 0
-	}
-	return float64(s.histQ[k-1])
-}
-
-// signalAt returns the gateway signal as it was at time t.
-func (s *Sim) signalAt(t float64) float64 {
-	k := sort.SearchFloat64s(s.histT, t)
-	if k < len(s.histT) && s.histT[k] == t {
-		return s.gwS[k]
-	}
-	if k == 0 {
-		return 0
-	}
-	return s.gwS[k-1]
-}
-
-// avgQueueOver returns the time-average of the (piecewise-constant)
-// queue-length history over [a, b]. Times before the simulation start
-// contribute queue 0.
-func (s *Sim) avgQueueOver(a, b float64) float64 {
-	if b <= a {
-		return s.queueAt(b)
-	}
-	// Index of the last change at or before a.
-	k := sort.SearchFloat64s(s.histT, a)
-	if k >= len(s.histT) || s.histT[k] > a {
-		k--
-	}
-	var integral float64
-	t := a
-	for k < len(s.histT)-1 && s.histT[k+1] < b {
-		var q float64
-		if k >= 0 {
-			q = float64(s.histQ[k])
-		}
-		integral += q * (s.histT[k+1] - t)
-		t = s.histT[k+1]
-		k++
-	}
-	var q float64
-	if k >= 0 {
-		q = float64(s.histQ[k])
-	}
-	integral += q * (b - t)
-	return integral / (b - a)
+	s.hist.Record(s.t, s.queue, sig, s.t-s.maxDelay-1)
 }
 
 // pruneDrops discards drop records older than cut, keeping the slice
@@ -398,8 +308,8 @@ func (s *Sim) Run(horizon, warmup float64) (*Result, error) {
 	}
 	nextSample := 0.0
 	lastQChange := 0.0
-	for len(s.events) > 0 {
-		e := heap.Pop(&s.events).(event)
+	for s.events.Len() > 0 {
+		e := s.events.Pop()
 		if e.t > horizon {
 			break
 		}
@@ -482,11 +392,11 @@ func (s *Sim) Run(horizon, warmup float64) (*Result, error) {
 					qObs = st.cfg.Law.Target() + 1
 				}
 			case s.cfg.Gateway != nil:
-				qObs = s.cfg.Gateway.Observe(s.signalAt(obsT), st.cfg.Law.Target(), st.rng)
+				qObs = s.cfg.Gateway.Observe(s.hist.SignalAt(obsT), st.cfg.Law.Target(), st.rng)
 			case st.cfg.AvgWindow > 0:
-				qObs = s.avgQueueOver(obsT-st.cfg.AvgWindow, obsT)
+				qObs = s.hist.AvgOver(obsT-st.cfg.AvgWindow, obsT)
 			default:
-				qObs = s.queueAt(obsT)
+				qObs = s.hist.QueueAt(obsT)
 			}
 			st.lambda += st.cfg.Law.Drift(qObs, st.lambda) * st.cfg.Interval
 			if st.lambda < st.cfg.MinRate {

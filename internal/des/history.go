@@ -1,0 +1,109 @@
+package des
+
+import "sort"
+
+// QueueHistory is the timestamped queue-length record shared by the
+// delayed-feedback simulators (the single-bottleneck Engine here and
+// the per-node histories of internal/netsim): every queue change is
+// appended with its time — and, when a gateway owns the congestion
+// signal, the gateway's wire signal — so a controller observing with
+// delay τ reads the state exactly as it stood at t−τ, not an
+// approximation of it.
+//
+// The history is pruned lazily: once it exceeds a size threshold,
+// samples older than the caller-supplied lookback cut are discarded,
+// always keeping one sample at or before the cut so lookups just
+// inside the window still resolve.
+type QueueHistory struct {
+	t       []float64
+	q       []int
+	sig     []float64 // parallel gateway signal; nil when withSig is false
+	withSig bool
+}
+
+// NewQueueHistory returns an empty history; withSig enables the
+// parallel gateway-signal track. Callers record the initial (t=0)
+// state themselves.
+func NewQueueHistory(withSig bool) QueueHistory {
+	return QueueHistory{withSig: withSig}
+}
+
+// Record appends the queue length q (and gateway signal sig, ignored
+// without a signal track) at time t, pruning samples older than cut
+// once the history has grown past the size threshold.
+func (h *QueueHistory) Record(t float64, q int, sig, cut float64) {
+	h.t = append(h.t, t)
+	h.q = append(h.q, q)
+	if h.withSig {
+		h.sig = append(h.sig, sig)
+	}
+	if len(h.t) > 4096 {
+		k := sort.SearchFloat64s(h.t, cut)
+		if k > 1 {
+			k-- // keep one sample at or before the cut
+			h.t = append(h.t[:0], h.t[k:]...)
+			h.q = append(h.q[:0], h.q[k:]...)
+			if h.sig != nil {
+				h.sig = append(h.sig[:0], h.sig[k:]...)
+			}
+		}
+	}
+}
+
+// QueueAt returns the queue length as it was at time t (the last
+// recorded change at or before t; 0 before the first record).
+func (h *QueueHistory) QueueAt(t float64) float64 {
+	k := sort.SearchFloat64s(h.t, t)
+	// k is the first index with h.t[k] >= t; we want the state at the
+	// last change <= t.
+	if k < len(h.t) && h.t[k] == t {
+		return float64(h.q[k])
+	}
+	if k == 0 {
+		return 0
+	}
+	return float64(h.q[k-1])
+}
+
+// SignalAt returns the gateway signal as it was at time t.
+func (h *QueueHistory) SignalAt(t float64) float64 {
+	k := sort.SearchFloat64s(h.t, t)
+	if k < len(h.t) && h.t[k] == t {
+		return h.sig[k]
+	}
+	if k == 0 {
+		return 0
+	}
+	return h.sig[k-1]
+}
+
+// AvgOver returns the time-average of the (piecewise-constant) queue
+// history over [a, b]. Times before the first record contribute
+// queue 0.
+func (h *QueueHistory) AvgOver(a, b float64) float64 {
+	if b <= a {
+		return h.QueueAt(b)
+	}
+	// Index of the last change at or before a.
+	k := sort.SearchFloat64s(h.t, a)
+	if k >= len(h.t) || h.t[k] > a {
+		k--
+	}
+	var integral float64
+	t := a
+	for k < len(h.t)-1 && h.t[k+1] < b {
+		var q float64
+		if k >= 0 {
+			q = float64(h.q[k])
+		}
+		integral += q * (h.t[k+1] - t)
+		t = h.t[k+1]
+		k++
+	}
+	var q float64
+	if k >= 0 {
+		q = float64(h.q[k])
+	}
+	integral += q * (b - t)
+	return integral / (b - a)
+}

@@ -1,10 +1,10 @@
 package des
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 
+	"fpcc/internal/eventq"
 	"fpcc/internal/rng"
 	"fpcc/internal/stats"
 )
@@ -97,25 +97,8 @@ type tahoeEvent struct {
 	seq  uint64 // heap tie-breaker
 }
 
-// tahoeHeap is a min-heap on (t, seq).
-type tahoeHeap []tahoeEvent
-
-func (h tahoeHeap) Len() int { return len(h) }
-func (h tahoeHeap) Less(i, j int) bool {
-	if h[i].t != h[j].t {
-		return h[i].t < h[j].t
-	}
-	return h[i].seq < h[j].seq
-}
-func (h tahoeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *tahoeHeap) Push(x interface{}) { *h = append(*h, x.(tahoeEvent)) }
-func (h *tahoeHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
-	return it
-}
+// Key implements eventq.Event: min-heap order on (t, seq).
+func (e tahoeEvent) Key() (float64, uint64) { return e.t, e.seq }
 
 // tahoeFlow is the runtime state of one flow.
 type tahoeFlow struct {
@@ -160,7 +143,7 @@ type TahoeResult struct {
 type TahoeSim struct {
 	cfg    TahoeConfig
 	flows  []*tahoeFlow
-	events tahoeHeap
+	events eventq.Q[tahoeEvent]
 	seq    uint64
 	t      float64
 	queue  int
@@ -197,7 +180,7 @@ func NewTahoe(cfg TahoeConfig) (*TahoeSim, error) {
 func (s *TahoeSim) push(e tahoeEvent) {
 	e.seq = s.seq
 	s.seq++
-	heap.Push(&s.events, e)
+	s.events.Push(e)
 }
 
 // trySend launches packets while the window allows.
@@ -233,8 +216,8 @@ func (s *TahoeSim) Run(horizon, warmup float64) (*TahoeResult, error) {
 	rttSum := make([]float64, n)
 	nextSample := 0.0
 	lastQChange := 0.0
-	for len(s.events) > 0 {
-		e := heap.Pop(&s.events).(tahoeEvent)
+	for s.events.Len() > 0 {
+		e := s.events.Pop()
 		if e.t > horizon {
 			break
 		}

@@ -1,12 +1,12 @@
 package des
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"sort"
 
 	"fpcc/internal/control"
+	"fpcc/internal/eventq"
 	"fpcc/internal/rng"
 )
 
@@ -26,6 +26,12 @@ import (
 // (the sum of the queue lengths at its hops) as it stood one path
 // round-trip ago, and applies its control law every RTT. The law's
 // target q̂ is interpreted against that path backlog.
+//
+// Deprecated-in-spirit: new multi-hop code should use the
+// general-topology simulator in internal/netsim, which subsumes this
+// linear chain (netsim's tests hold it to TandemSim on a two-hop
+// topology). TandemSim stays for its existing callers and as the
+// reference the equivalence tests compare against.
 
 // TandemSource describes one flow through the network.
 type TandemSource struct {
@@ -100,24 +106,8 @@ type tandemEvent struct {
 	seq  uint64
 }
 
-type tandemHeap []tandemEvent
-
-func (h tandemHeap) Len() int { return len(h) }
-func (h tandemHeap) Less(i, j int) bool {
-	if h[i].t != h[j].t {
-		return h[i].t < h[j].t
-	}
-	return h[i].seq < h[j].seq
-}
-func (h tandemHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *tandemHeap) Push(x interface{}) { *h = append(*h, x.(tandemEvent)) }
-func (h *tandemHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
-	return it
-}
+// Key implements eventq.Event: min-heap order on (t, seq).
+func (e tandemEvent) Key() (float64, uint64) { return e.t, e.seq }
 
 // hopState is one store-and-forward queue.
 type hopState struct {
@@ -155,7 +145,7 @@ type TandemSim struct {
 	cfg     TandemConfig
 	hops    []hopState
 	sources []*tandemSourceState
-	events  tandemHeap
+	events  eventq.Q[tandemEvent]
 	seq     uint64
 	t       float64
 	rngSvc  *rng.Source
@@ -192,7 +182,7 @@ func NewTandem(cfg TandemConfig) (*TandemSim, error) {
 func (s *TandemSim) push(e tandemEvent) {
 	e.seq = s.seq
 	s.seq++
-	heap.Push(&s.events, e)
+	s.events.Push(e)
 }
 
 // pathBacklog returns the current total queue along source i's path.
@@ -275,8 +265,8 @@ func (s *TandemSim) Run(horizon, warmup float64) (*TandemResult, error) {
 	}
 	backlogW := make([]float64, len(s.hops))
 	var lastT float64
-	for len(s.events) > 0 {
-		e := heap.Pop(&s.events).(tandemEvent)
+	for s.events.Len() > 0 {
+		e := s.events.Pop()
 		if e.t > horizon {
 			break
 		}

@@ -1,0 +1,81 @@
+// Package eventq is the event queue shared by every discrete-event
+// simulator in the repository: a binary min-heap ordered by
+// (time, sequence number). The strict total order — time first, then
+// insertion sequence as the tie-breaker — is what makes the
+// simulators deterministic for a given seed: simultaneous events pop
+// in FIFO order, never in heap-internal order.
+//
+// The heap is generic over the simulator's event type, so each
+// simulator keeps its own plain event struct (no boxing through
+// container/heap's `any`) and implements the one-line Key method.
+package eventq
+
+// Event exposes the (time, sequence) ordering key of a simulator
+// event. Sequence numbers must be unique per queue, which makes the
+// order strict.
+type Event interface {
+	Key() (t float64, seq uint64)
+}
+
+// Q is a binary min-heap of events ordered by (time, sequence).
+// The zero value is an empty queue ready for use.
+type Q[E Event] struct {
+	es []E
+}
+
+// Len returns the number of queued events.
+func (q *Q[E]) Len() int { return len(q.es) }
+
+// less reports whether event i orders before event j.
+func (q *Q[E]) less(i, j int) bool {
+	ti, si := q.es[i].Key()
+	tj, sj := q.es[j].Key()
+	if ti != tj {
+		return ti < tj
+	}
+	return si < sj
+}
+
+// Push adds an event to the queue.
+func (q *Q[E]) Push(e E) {
+	q.es = append(q.es, e)
+	// Sift up.
+	i := len(q.es) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q.es[i], q.es[parent] = q.es[parent], q.es[i]
+		i = parent
+	}
+}
+
+// Pop removes and returns the earliest event. It panics on an empty
+// queue (callers guard with Len, as with container/heap).
+func (q *Q[E]) Pop() E {
+	top := q.es[0]
+	n := len(q.es) - 1
+	q.es[0] = q.es[n]
+	var zero E
+	q.es[n] = zero // release references held by the vacated slot
+	q.es = q.es[:n]
+	// Sift down.
+	i := 0
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		child := left
+		if right := left + 1; right < n && q.less(right, left) {
+			child = right
+		}
+		if !q.less(child, i) {
+			break
+		}
+		q.es[i], q.es[child] = q.es[child], q.es[i]
+		i = child
+	}
+	return top
+}

@@ -1,0 +1,65 @@
+package eventq
+
+import (
+	"sort"
+	"testing"
+
+	"fpcc/internal/rng"
+)
+
+type ev struct {
+	t   float64
+	seq uint64
+}
+
+func (e ev) Key() (float64, uint64) { return e.t, e.seq }
+
+// TestPopOrder: events pop in (t, seq) order regardless of push
+// order, including FIFO ordering of simultaneous events.
+func TestPopOrder(t *testing.T) {
+	r := rng.New(1)
+	var q Q[ev]
+	var want []ev
+	for seq := uint64(0); seq < 2000; seq++ {
+		// Coarse times force plenty of ties to exercise the seq
+		// tie-breaker.
+		e := ev{t: float64(r.Intn(50)), seq: seq}
+		q.Push(e)
+		want = append(want, e)
+	}
+	sort.Slice(want, func(i, j int) bool {
+		if want[i].t != want[j].t {
+			return want[i].t < want[j].t
+		}
+		return want[i].seq < want[j].seq
+	})
+	for i, w := range want {
+		if q.Len() != len(want)-i {
+			t.Fatalf("Len = %d at pop %d, want %d", q.Len(), i, len(want)-i)
+		}
+		if got := q.Pop(); got != w {
+			t.Fatalf("pop %d = %+v, want %+v", i, got, w)
+		}
+	}
+	if q.Len() != 0 {
+		t.Fatalf("queue not empty after draining: Len = %d", q.Len())
+	}
+}
+
+// TestInterleaved: pushes interleaved with pops keep the order.
+func TestInterleaved(t *testing.T) {
+	var q Q[ev]
+	q.Push(ev{t: 5, seq: 0})
+	q.Push(ev{t: 1, seq: 1})
+	if e := q.Pop(); e.t != 1 {
+		t.Fatalf("got t=%v, want 1", e.t)
+	}
+	q.Push(ev{t: 3, seq: 2})
+	q.Push(ev{t: 3, seq: 3})
+	q.Push(ev{t: 0.5, seq: 4})
+	for i, want := range []ev{{0.5, 4}, {3, 2}, {3, 3}, {5, 0}} {
+		if got := q.Pop(); got != want {
+			t.Fatalf("pop %d = %+v, want %+v", i, got, want)
+		}
+	}
+}

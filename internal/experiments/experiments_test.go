@@ -148,8 +148,8 @@ func TestE16(t *testing.T) {
 
 func TestAllRegistryComplete(t *testing.T) {
 	all := All()
-	if len(all) != 25 {
-		t.Fatalf("registry has %d experiments, want 25", len(all))
+	if len(all) != 27 {
+		t.Fatalf("registry has %d experiments, want 27", len(all))
 	}
 	seen := map[string]bool{}
 	for _, r := range all {
@@ -250,4 +250,20 @@ func TestE25(t *testing.T) {
 	}
 	tb, err := E25ImplicitVsExplicit()
 	checkTable(t, tb, err, 3)
+}
+
+func TestE26(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long netsim run")
+	}
+	tb, err := E26ParkingLotFairness()
+	checkTable(t, tb, err, 4)
+}
+
+func TestE27(t *testing.T) {
+	if testing.Short() {
+		t.Skip("netsim sweep")
+	}
+	tb, err := E27BottleneckMigration()
+	checkTable(t, tb, err, 6)
 }

@@ -73,8 +73,8 @@ func E13WindowRateEquivalence() (*Table, error) {
 }
 
 // E14SchemeAblation quantifies the numerical design choice in the FP
-// solver (DESIGN.md: "first-order upwind with optional second-order
-// MUSCL/minmod limiter"): both schemes against the Monte-Carlo ground
+// solver — first-order upwind advection with an optional second-order
+// MUSCL/minmod limiter: both schemes against the Monte-Carlo ground
 // truth at the same grid, plus their cost per step.
 func E14SchemeAblation() (*Table, error) {
 	t := &Table{

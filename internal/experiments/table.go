@@ -1,9 +1,9 @@
 // Package experiments regenerates every table and figure of the
-// paper's evaluation (as inventoried in DESIGN.md): each experiment
-// E1..E25 is a function returning a Table of labelled rows that a CLI
-// (cmd/benchreport) or a benchmark (bench_test.go at the repository
-// root) can print and time. EXPERIMENTS.md records the paper's claim
-// next to the measured outcome for each.
+// paper's evaluation, plus the extensions layered on it: each
+// experiment E1..E27 is a function returning a Table of labelled rows
+// that a CLI (cmd/benchreport) or a benchmark (bench_test.go at the
+// repository root) can print and time. EXPERIMENTS.md records the
+// paper's claim next to the measured outcome for each.
 //
 // Every experiment is deterministic: stochastic components take fixed
 // seeds, so the printed tables are reproducible run to run.
@@ -28,7 +28,7 @@ type Table struct {
 
 // AddRow appends a formatted row; values are Sprint'ed with %v unless
 // they are float64, which use %.4g.
-func (t *Table) AddRow(cells ...interface{}) {
+func (t *Table) AddRow(cells ...any) {
 	row := make([]string, len(cells))
 	for i, c := range cells {
 		switch v := c.(type) {
@@ -42,7 +42,7 @@ func (t *Table) AddRow(cells ...interface{}) {
 }
 
 // AddFinding records a qualitative outcome line.
-func (t *Table) AddFinding(format string, args ...interface{}) {
+func (t *Table) AddFinding(format string, args ...any) {
 	t.Findings = append(t.Findings, fmt.Sprintf(format, args...))
 }
 
@@ -94,8 +94,8 @@ type Runner struct {
 	Run  func() (*Table, error)
 }
 
-// All returns every experiment in order. The list is the per-
-// experiment index of DESIGN.md section 4.
+// All returns every experiment in order; EXPERIMENTS.md is the
+// companion index of claims and measured outcomes.
 func All() []Runner {
 	return []Runner{
 		{"E1", "characteristic drift directions (Figure 2)", E1QuadrantDrifts},
@@ -123,5 +123,7 @@ func All() []Runner {
 		{"E23", "engineering the delay budget: AIMD vs PD damping", E23DelayBudgetEngineering},
 		{"E24", "n delayed sources: shared-loop oscillation, invariant budget", E24MultiSourceDelay},
 		{"E25", "explicit queue feedback vs implicit loss feedback", E25ImplicitVsExplicit},
+		{"E26", "parking-lot topology fairness (netsim)", E26ParkingLotFairness},
+		{"E27", "cross-traffic bottleneck migration (netsim sweep)", E27BottleneckMigration},
 	}
 }

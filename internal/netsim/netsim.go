@@ -1,0 +1,235 @@
+// Package netsim is a packet-level discrete-event simulator for
+// arbitrary network topologies: a directed graph of store-and-forward
+// Nodes (FIFO queues with configurable service rate, buffer limit and
+// gateway discipline) connected by Links with propagation delay,
+// carrying Flows that follow explicit multi-hop routes and adjust
+// their sending rate through the internal/control feedback laws.
+//
+// It generalizes the two hardwired simulators in internal/des — the
+// single-bottleneck Engine of the paper's model and the linear
+// TandemSim — to the scenario class the congestion-avoidance
+// literature evaluates on: multi-bottleneck paths, parking-lot
+// topologies, cross-traffic, and mixed gateway disciplines (drop-tail
+// via finite buffers, DECbit-style averaged feedback, RED marking)
+// on the same network. The proven idioms carry over unchanged: a
+// binary-heap event loop ordered by (t, seq) for determinism, exact
+// per-node queue-length histories for delayed feedback, and
+// deterministic rng sub-streams split per node and per flow so a run
+// is reproducible from a single integer seed.
+//
+// The degenerate cases reduce to the des simulators (and the tests
+// hold netsim to them): a single-node topology reproduces des.Engine,
+// a linear chain reproduces des.TandemSim.
+//
+// On top of the simulator, Sweep (sweep.go) shards an N-dimensional
+// parameter grid across parallel workers with deterministic per-cell
+// seeds and aggregates per-flow throughput, fairness and queue
+// statistics into CSV or JSON.
+package netsim
+
+import (
+	"fmt"
+	"math"
+
+	"fpcc/internal/control"
+	"fpcc/internal/des"
+)
+
+// Node is one store-and-forward queue in the topology.
+type Node struct {
+	// Name labels the node in reports (defaults to its index).
+	Name string
+	// Mu is the service rate in packets/s (> 0, exponential server).
+	Mu float64
+	// Buffer, when positive, bounds the queue (including the packet
+	// in service): arrivals beyond it are dropped, drop-tail style.
+	// 0 means an infinite queue.
+	Buffer int
+	// Gateway, when non-nil, owns this node's congestion signal: the
+	// recorded feedback history holds Gateway.Signal (e.g. a DECbit
+	// EWMA of the queue) and flow observations pass the delayed
+	// signal through Gateway.Observe (e.g. RED marking) before the
+	// law sees it. Nil means transparent feedback — the raw queue
+	// length. Gateways are stateful and must not be shared between
+	// nodes or between concurrently running simulators.
+	Gateway des.Gateway
+}
+
+// Link is a directed edge with propagation delay.
+type Link struct {
+	From, To int     // node indices
+	Delay    float64 // one-way propagation delay in seconds (>= 0)
+}
+
+// Flow is one rate-controlled sender following a fixed multi-hop
+// route through the topology.
+type Flow struct {
+	// Name labels the flow in reports (defaults to its index).
+	Name string
+	// Law is the rate-control law driven by the delayed path
+	// feedback (the sum of observed congestion over the route's
+	// nodes; see Sim documentation).
+	Law control.Law
+	// Route is the ordered list of node indices the flow traverses.
+	// Every consecutive pair must be connected by a Link.
+	Route []int
+	// IngressDelay is the propagation delay from the sender to the
+	// first node of the route.
+	IngressDelay float64
+	// ReturnDelay is the propagation delay from the last node back
+	// to the sender (the ack path). It contributes to RTT only.
+	ReturnDelay float64
+	// FeedbackDelay is the age of the path observation at the
+	// controller. 0 means instantaneous observation; set it to the
+	// flow's RTT for the once-around-the-loop feedback of
+	// des.TandemSim.
+	FeedbackDelay float64
+	// Interval is the control-update period. 0 means once per RTT
+	// (which must then be positive).
+	Interval float64
+	// Lambda0 is the initial sending rate (packets/s).
+	Lambda0 float64
+	// MinRate is the rate floor (> 0 keeps a silenced flow probing).
+	MinRate float64
+}
+
+// Config describes a netsim run.
+type Config struct {
+	Nodes []Node
+	Links []Link
+	Flows []Flow
+	Seed  uint64
+	// SampleEvery records every node's queue length each SampleEvery
+	// seconds into Result.TraceQ (0 disables tracing).
+	SampleEvery float64
+}
+
+// linkKey indexes the delay table by directed edge.
+type linkKey struct{ from, to int }
+
+// linkTable builds the directed-edge -> delay lookup, rejecting
+// duplicate edges.
+func (c *Config) linkTable() (map[linkKey]float64, error) {
+	tab := make(map[linkKey]float64, len(c.Links))
+	for i, l := range c.Links {
+		if l.From < 0 || l.From >= len(c.Nodes) || l.To < 0 || l.To >= len(c.Nodes) {
+			return nil, fmt.Errorf("netsim: link %d endpoints (%d -> %d) out of range", i, l.From, l.To)
+		}
+		if l.From == l.To {
+			return nil, fmt.Errorf("netsim: link %d is a self-loop at node %d", i, l.From)
+		}
+		if !(l.Delay >= 0) || math.IsInf(l.Delay, 1) {
+			return nil, fmt.Errorf("netsim: link %d has invalid delay %v", i, l.Delay)
+		}
+		k := linkKey{l.From, l.To}
+		if _, dup := tab[k]; dup {
+			return nil, fmt.Errorf("netsim: duplicate link %d -> %d", l.From, l.To)
+		}
+		tab[k] = l.Delay
+	}
+	return tab, nil
+}
+
+// FlowRTT returns the base (propagation-only) round-trip time of flow
+// i: ingress + route links + return.
+func (c *Config) FlowRTT(i int) (float64, error) {
+	if i < 0 || i >= len(c.Flows) {
+		return 0, fmt.Errorf("netsim: flow index %d out of range", i)
+	}
+	tab, err := c.linkTable()
+	if err != nil {
+		return 0, err
+	}
+	f := &c.Flows[i]
+	rtt := f.IngressDelay + f.ReturnDelay
+	for k := 0; k+1 < len(f.Route); k++ {
+		d, ok := tab[linkKey{f.Route[k], f.Route[k+1]}]
+		if !ok {
+			return 0, fmt.Errorf("netsim: flow %d route hop %d -> %d has no link", i, f.Route[k], f.Route[k+1])
+		}
+		rtt += d
+	}
+	return rtt, nil
+}
+
+// Validate checks the configuration.
+func (c *Config) Validate() error {
+	if len(c.Nodes) == 0 {
+		return fmt.Errorf("netsim: no nodes")
+	}
+	for i, n := range c.Nodes {
+		if !(n.Mu > 0) || math.IsInf(n.Mu, 1) {
+			return fmt.Errorf("netsim: node %d service rate must be positive, got %v", i, n.Mu)
+		}
+		if n.Buffer < 0 {
+			return fmt.Errorf("netsim: node %d has negative buffer %d", i, n.Buffer)
+		}
+	}
+	if _, err := c.linkTable(); err != nil {
+		return err
+	}
+	if len(c.Flows) == 0 {
+		return fmt.Errorf("netsim: no flows")
+	}
+	for i, f := range c.Flows {
+		switch {
+		case f.Law == nil:
+			return fmt.Errorf("netsim: flow %d has nil law", i)
+		case len(f.Route) == 0:
+			return fmt.Errorf("netsim: flow %d has empty route", i)
+		case !(f.IngressDelay >= 0) || !(f.ReturnDelay >= 0):
+			return fmt.Errorf("netsim: flow %d has negative access delay", i)
+		case !(f.FeedbackDelay >= 0):
+			return fmt.Errorf("netsim: flow %d has negative feedback delay %v", i, f.FeedbackDelay)
+		case !(f.Interval >= 0) || math.IsInf(f.Interval, 1):
+			return fmt.Errorf("netsim: flow %d has invalid control interval %v", i, f.Interval)
+		case !(f.Lambda0 >= 0) || math.IsInf(f.Lambda0, 1):
+			return fmt.Errorf("netsim: flow %d has invalid initial rate %v", i, f.Lambda0)
+		case !(f.MinRate >= 0) || math.IsInf(f.MinRate, 1):
+			return fmt.Errorf("netsim: flow %d has invalid rate floor %v", i, f.MinRate)
+		}
+		for _, h := range f.Route {
+			if h < 0 || h >= len(c.Nodes) {
+				return fmt.Errorf("netsim: flow %d route node %d out of range", i, h)
+			}
+		}
+		rtt, err := c.FlowRTT(i)
+		if err != nil {
+			return err
+		}
+		if f.Interval == 0 && !(rtt > 0) {
+			return fmt.Errorf("netsim: flow %d has zero control interval and zero RTT; set Interval", i)
+		}
+	}
+	if c.SampleEvery < 0 {
+		return fmt.Errorf("netsim: negative sample period %v", c.SampleEvery)
+	}
+	return nil
+}
+
+// NodeName returns the display name of node h.
+func (c *Config) NodeName(h int) string {
+	if h >= 0 && h < len(c.Nodes) && c.Nodes[h].Name != "" {
+		return c.Nodes[h].Name
+	}
+	return fmt.Sprintf("N%d", h)
+}
+
+// FlowName returns the display name of flow i.
+func (c *Config) FlowName(i int) string {
+	if i >= 0 && i < len(c.Flows) && c.Flows[i].Name != "" {
+		return c.Flows[i].Name
+	}
+	return fmt.Sprintf("F%d", i)
+}
+
+// ConstantRate returns a law whose drift is identically zero: a flow
+// using it sends at Lambda0 forever, ignoring feedback. It models
+// uncontrolled cross-traffic (the background load that migrates a
+// bottleneck or beats down adaptive flows).
+func ConstantRate() control.Law {
+	return control.Custom{
+		DriftFunc: func(q, lambda float64) float64 { return 0 },
+		LawName:   "constant",
+	}
+}

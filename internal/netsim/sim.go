@@ -1,0 +1,355 @@
+package netsim
+
+import (
+	"fmt"
+	"math"
+
+	"fpcc/internal/des"
+	"fpcc/internal/eventq"
+	"fpcc/internal/rng"
+	"fpcc/internal/stats"
+)
+
+// eventKind enumerates the simulator's event types.
+type eventKind int
+
+const (
+	evSend    eventKind = iota // a flow emits a packet
+	evArrive                   // a packet reaches a node's queue
+	evDepart                   // a node's server finishes a packet
+	evControl                  // a flow applies its control law
+)
+
+// event is one scheduled occurrence.
+type event struct {
+	t    float64
+	kind eventKind
+	flow int
+	node int // for evArrive/evDepart
+	leg  int // index into the packet's route for evArrive
+	seq  uint64
+}
+
+// Key implements eventq.Event: min-heap order on (t, seq), time
+// order with deterministic FIFO tie-breaking.
+func (e event) Key() (float64, uint64) { return e.t, e.seq }
+
+// packetRef identifies a queued packet: whose it is and how far along
+// its route it has come.
+type packetRef struct {
+	flow int
+	leg  int
+}
+
+// nodeState is the runtime state of one queue.
+type nodeState struct {
+	cfg     Node
+	queue   []packetRef // FIFO, head in service when serving
+	serving bool
+	rng     *rng.Source
+	// Queue-length (and gateway-signal) history for delayed
+	// observation, recorded at every change and pruned outside the
+	// longest lookback window.
+	hist       des.QueueHistory
+	drops      int64   // post-warmup drop-tail losses at this node
+	lastChange float64 // when the queue last changed (for time-weighted stats)
+}
+
+// flowState is the runtime state of one sender.
+type flowState struct {
+	cfg      Flow
+	lambda   float64
+	rng      *rng.Source
+	nextAt   float64 // next scheduled emission (superseded sends detected against it)
+	rtt      float64
+	interval float64 // resolved control period (cfg.Interval or RTT)
+}
+
+// Result summarizes a netsim run.
+type Result struct {
+	// TraceT / TraceQ[h] trace each node's queue length over time
+	// (present when SampleEvery > 0).
+	TraceT []float64
+	TraceQ [][]float64
+	// RateT/RateL[i] trace each flow's rate at its control updates.
+	RateT [][]float64
+	RateL [][]float64
+	// Delivered[i] counts flow i's packets that exited the network
+	// after warmup; Dropped[i] its post-warmup drop-tail losses.
+	Delivered []int64
+	Dropped   []int64
+	// Throughput[i] is Delivered[i] / measurement window (packets/s).
+	Throughput []float64
+	// NodeDropped[h] counts post-warmup losses at node h.
+	NodeDropped []int64
+	// NodeQueue[h] aggregates the time-weighted queue length at node
+	// h after warmup.
+	NodeQueue []stats.WeightedMoments
+	// FlowRTT[i] is flow i's base (propagation-only) round-trip time.
+	FlowRTT []float64
+	// FinalT is the simulation end time; WarmupT the warmup boundary.
+	FinalT  float64
+	WarmupT float64
+}
+
+// Sim is the simulator instance. Create with New, execute with Run.
+//
+// Feedback model: a flow's controller observes the sum, over the
+// nodes of its route, of each node's congestion value as it stood
+// FeedbackDelay seconds ago — the raw queue length for transparent
+// nodes, Gateway.Observe of the recorded signal for gateway nodes
+// (so a RED mark at any hop pushes the sum past the law's threshold,
+// the path analogue of a receiver OR-ing congestion bits). The sum
+// over raw queues is exactly the path backlog of des.TandemSim.
+type Sim struct {
+	cfg     Config
+	links   map[linkKey]float64
+	nodes   []*nodeState
+	flows   []*flowState
+	events  eventq.Q[event]
+	seq     uint64
+	t       float64
+	maxLook float64
+}
+
+// New builds a simulator.
+func New(cfg Config) (*Sim, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	links, err := cfg.linkTable()
+	if err != nil {
+		return nil, err
+	}
+	root := rng.New(cfg.Seed)
+	s := &Sim{cfg: cfg, links: links}
+	for _, nc := range cfg.Nodes {
+		ns := &nodeState{cfg: nc, rng: root.Split(), hist: des.NewQueueHistory(nc.Gateway != nil)}
+		var sig0 float64
+		if nc.Gateway != nil {
+			nc.Gateway.Reset()
+			sig0 = nc.Gateway.Signal(0, 0)
+		}
+		ns.hist.Record(0, 0, sig0, 0)
+		s.nodes = append(s.nodes, ns)
+	}
+	for i, fc := range cfg.Flows {
+		rtt, err := cfg.FlowRTT(i)
+		if err != nil {
+			return nil, err
+		}
+		fs := &flowState{cfg: fc, lambda: fc.Lambda0, rng: root.Split(), rtt: rtt}
+		fs.interval = fc.Interval
+		if fs.interval == 0 {
+			fs.interval = rtt
+		}
+		if fc.FeedbackDelay > s.maxLook {
+			s.maxLook = fc.FeedbackDelay
+		}
+		s.flows = append(s.flows, fs)
+		// First control update staggered by flow index to avoid
+		// artificial lock-step (same discipline as des.Engine).
+		stagger := fs.interval * (1 + float64(i)/float64(len(cfg.Flows)))
+		s.push(event{t: stagger, kind: evControl, flow: i})
+		s.scheduleSend(i)
+	}
+	return s, nil
+}
+
+func (s *Sim) push(e event) {
+	e.seq = s.seq
+	s.seq++
+	s.events.Push(e)
+}
+
+// recordNode appends node h's current queue length (and gateway
+// signal) to its history, pruning samples outside the lookback
+// window occasionally.
+func (s *Sim) recordNode(h int) {
+	ns := s.nodes[h]
+	var sig float64
+	if ns.cfg.Gateway != nil {
+		sig = ns.cfg.Gateway.Signal(s.t, len(ns.queue))
+	}
+	ns.hist.Record(s.t, len(ns.queue), sig, s.t-s.maxLook-1)
+}
+
+// observePath returns the congestion value flow i's controller sees:
+// the delayed path observation summed over its route.
+func (s *Sim) observePath(i int, obsT float64) float64 {
+	fs := s.flows[i]
+	var total float64
+	for _, h := range fs.cfg.Route {
+		ns := s.nodes[h]
+		if ns.cfg.Gateway != nil {
+			total += ns.cfg.Gateway.Observe(ns.hist.SignalAt(obsT), fs.cfg.Law.Target(), fs.rng)
+		} else {
+			total += ns.hist.QueueAt(obsT)
+		}
+	}
+	return total
+}
+
+// scheduleSend draws the next emission for flow i at its current
+// rate. A zero-rate flow gets no emission scheduled; the next control
+// update reschedules when the rate rises.
+func (s *Sim) scheduleSend(i int) {
+	fs := s.flows[i]
+	if fs.lambda <= 0 {
+		fs.nextAt = math.Inf(1)
+		return
+	}
+	fs.nextAt = s.t + fs.rng.Exp(fs.lambda)
+	s.push(event{t: fs.nextAt, kind: evSend, flow: i})
+}
+
+// startService begins serving the head packet at node h if idle.
+func (s *Sim) startService(h int) {
+	ns := s.nodes[h]
+	if ns.serving || len(ns.queue) == 0 {
+		return
+	}
+	ns.serving = true
+	s.push(event{t: s.t + ns.rng.Exp(ns.cfg.Mu), kind: evDepart, node: h})
+}
+
+// Run executes the simulation until time horizon, treating the first
+// warmup seconds as transient (excluded from throughput, drop and
+// queue statistics). Run may be called once per Sim.
+func (s *Sim) Run(horizon, warmup float64) (*Result, error) {
+	if !(horizon > 0) || warmup < 0 || warmup >= horizon {
+		return nil, fmt.Errorf("netsim: invalid horizon %v / warmup %v", horizon, warmup)
+	}
+	res := &Result{
+		Delivered:   make([]int64, len(s.flows)),
+		Dropped:     make([]int64, len(s.flows)),
+		Throughput:  make([]float64, len(s.flows)),
+		RateT:       make([][]float64, len(s.flows)),
+		RateL:       make([][]float64, len(s.flows)),
+		NodeDropped: make([]int64, len(s.nodes)),
+		NodeQueue:   make([]stats.WeightedMoments, len(s.nodes)),
+		FlowRTT:     make([]float64, len(s.flows)),
+		WarmupT:     warmup,
+	}
+	for i, fs := range s.flows {
+		res.FlowRTT[i] = fs.rtt
+	}
+	if s.cfg.SampleEvery > 0 {
+		res.TraceQ = make([][]float64, len(s.nodes))
+	}
+	// accrue adds node h's time-weighted queue statistic for the
+	// constant stretch from its last change to now. Accumulating at
+	// each node's own change points keeps the statistics O(events)
+	// rather than O(nodes x events).
+	accrue := func(h int, now float64) {
+		ns := s.nodes[h]
+		if now > warmup {
+			from := math.Max(ns.lastChange, warmup)
+			if w := now - from; w > 0 {
+				res.NodeQueue[h].Add(float64(len(ns.queue)), w)
+			}
+		}
+		ns.lastChange = now
+	}
+	nextSample := 0.0
+	for s.events.Len() > 0 {
+		e := s.events.Pop()
+		if e.t > horizon {
+			break
+		}
+		// Trace sampling between events (piecewise-constant queues).
+		if s.cfg.SampleEvery > 0 {
+			for nextSample <= e.t {
+				res.TraceT = append(res.TraceT, nextSample)
+				for h, ns := range s.nodes {
+					res.TraceQ[h] = append(res.TraceQ[h], float64(len(ns.queue)))
+				}
+				nextSample += s.cfg.SampleEvery
+			}
+		}
+		s.t = e.t
+
+		switch e.kind {
+		case evSend:
+			fs := s.flows[e.flow]
+			if e.t != fs.nextAt {
+				break // superseded by a reschedule
+			}
+			s.push(event{
+				t: s.t + fs.cfg.IngressDelay, kind: evArrive,
+				flow: e.flow, leg: 0, node: fs.cfg.Route[0],
+			})
+			s.scheduleSend(e.flow)
+
+		case evArrive:
+			ns := s.nodes[e.node]
+			if ns.cfg.Buffer > 0 && len(ns.queue) >= ns.cfg.Buffer {
+				// Drop-tail loss at the finite buffer.
+				if e.t > warmup {
+					res.Dropped[e.flow]++
+					ns.drops++
+				}
+				break
+			}
+			accrue(e.node, s.t)
+			ns.queue = append(ns.queue, packetRef{flow: e.flow, leg: e.leg})
+			s.recordNode(e.node)
+			s.startService(e.node)
+
+		case evDepart:
+			ns := s.nodes[e.node]
+			if len(ns.queue) == 0 {
+				break // defensive; should not happen
+			}
+			accrue(e.node, s.t)
+			pkt := ns.queue[0]
+			ns.queue = ns.queue[1:]
+			ns.serving = false
+			s.recordNode(e.node)
+			s.startService(e.node)
+			route := s.flows[pkt.flow].cfg.Route
+			if pkt.leg+1 < len(route) {
+				next := route[pkt.leg+1]
+				s.push(event{
+					t: s.t + s.links[linkKey{e.node, next}], kind: evArrive,
+					flow: pkt.flow, leg: pkt.leg + 1, node: next,
+				})
+			} else if s.t > warmup {
+				res.Delivered[pkt.flow]++
+			}
+
+		case evControl:
+			fs := s.flows[e.flow]
+			qObs := s.observePath(e.flow, s.t-fs.cfg.FeedbackDelay)
+			fs.lambda += fs.cfg.Law.Drift(qObs, fs.lambda) * fs.interval
+			if fs.lambda < fs.cfg.MinRate {
+				fs.lambda = fs.cfg.MinRate
+			}
+			res.RateT[e.flow] = append(res.RateT[e.flow], s.t)
+			res.RateL[e.flow] = append(res.RateL[e.flow], fs.lambda)
+			// Reschedule this flow's emissions at the new rate
+			// (memorylessness makes the fresh draw unbiased).
+			s.scheduleSend(e.flow)
+			s.push(event{t: s.t + fs.interval, kind: evControl, flow: e.flow})
+		}
+	}
+	res.FinalT = math.Min(s.t, horizon)
+	// Flush each node's final constant stretch up to the last
+	// processed event, matching the every-event accumulation of
+	// des.Engine (the [last event, horizon] tail is excluded there
+	// too).
+	for h := range s.nodes {
+		accrue(h, res.FinalT)
+	}
+	window := horizon - warmup
+	for i := range res.Throughput {
+		res.Throughput[i] = float64(res.Delivered[i]) / window
+	}
+	for h, ns := range s.nodes {
+		res.NodeDropped[h] = ns.drops
+	}
+	return res, nil
+}
+
+// RTT returns the base (propagation-only) round-trip time of flow i.
+func (s *Sim) RTT(i int) float64 { return s.flows[i].rtt }

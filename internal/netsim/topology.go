@@ -1,0 +1,115 @@
+package netsim
+
+import (
+	"fmt"
+
+	"fpcc/internal/control"
+)
+
+// Canned topologies for the scenario classes the congestion-avoidance
+// literature evaluates on (DECbit's multi-bottleneck configurations,
+// the parking-lot fairness benchmark, cross-traffic studies). Each
+// builder returns a complete Config ready for New or for a Sweep
+// Build function to perturb.
+
+// ParkingLotConfig parameterizes ParkingLot.
+type ParkingLotConfig struct {
+	Hops    int     // number of bottleneck hops (>= 1)
+	Mu      float64 // service rate of every hop
+	Delay   float64 // per-link propagation delay
+	Law     control.Law
+	Lambda0 float64 // initial rate of every flow
+	MinRate float64 // probe floor of every flow
+	Buffer  int     // per-node buffer (0 = infinite)
+	Seed    uint64
+}
+
+// ParkingLot builds the classic parking-lot fairness benchmark: a
+// chain of Hops identical bottleneck nodes, one long flow crossing
+// the whole chain, and one short cross flow entering at each hop and
+// exiting after it. Every hop is shared by the long flow and exactly
+// one short flow; max-min fairness gives all flows an equal share,
+// while AIMD-style control is known to beat the long flow down below
+// it (it sees the congestion of every hop at once and pays a longer
+// RTT).
+func ParkingLot(pc ParkingLotConfig) (Config, error) {
+	if pc.Hops < 1 {
+		return Config{}, fmt.Errorf("netsim: parking lot needs >= 1 hop, got %d", pc.Hops)
+	}
+	cfg := Config{Seed: pc.Seed}
+	for h := 0; h < pc.Hops; h++ {
+		cfg.Nodes = append(cfg.Nodes, Node{
+			Name: fmt.Sprintf("hop%d", h), Mu: pc.Mu, Buffer: pc.Buffer,
+		})
+		if h > 0 {
+			cfg.Links = append(cfg.Links, Link{From: h - 1, To: h, Delay: pc.Delay})
+		}
+	}
+	longRoute := make([]int, pc.Hops)
+	for h := range longRoute {
+		longRoute[h] = h
+	}
+	long := Flow{
+		Name: "long", Law: pc.Law, Route: longRoute,
+		IngressDelay: pc.Delay, ReturnDelay: float64(pc.Hops) * pc.Delay,
+		Lambda0: pc.Lambda0, MinRate: pc.MinRate,
+	}
+	long.FeedbackDelay = long.IngressDelay + float64(pc.Hops-1)*pc.Delay + long.ReturnDelay
+	cfg.Flows = append(cfg.Flows, long)
+	for h := 0; h < pc.Hops; h++ {
+		cross := Flow{
+			Name: fmt.Sprintf("cross%d", h), Law: pc.Law, Route: []int{h},
+			IngressDelay: pc.Delay, ReturnDelay: pc.Delay,
+			Lambda0: pc.Lambda0, MinRate: pc.MinRate,
+		}
+		cross.FeedbackDelay = cross.IngressDelay + cross.ReturnDelay
+		cfg.Flows = append(cfg.Flows, cross)
+	}
+	return cfg, nil
+}
+
+// CrossChainConfig parameterizes CrossChain.
+type CrossChainConfig struct {
+	Mu1, Mu2  float64 // service rates of the two hops
+	Delay     float64 // per-link propagation delay
+	Law       control.Law
+	Lambda0   float64 // initial rate of the adaptive flow
+	MinRate   float64 // probe floor of the adaptive flow
+	CrossRate float64 // constant (uncontrolled) cross-traffic rate at hop 2; 0 = idle cross flow
+	Buffer    int     // per-node buffer (0 = infinite)
+	Seed      uint64
+}
+
+// CrossChain builds the bottleneck-migration scenario: one adaptive
+// flow crossing two hops in series, plus uncontrolled constant-rate
+// cross traffic injected at the second hop. With no cross traffic
+// the slower hop is the bottleneck; as CrossRate grows, hop 2's
+// residual capacity Mu2−CrossRate shrinks below Mu1 and the
+// bottleneck — the queue the adaptive flow's feedback actually
+// tracks — migrates from hop 1 to hop 2.
+func CrossChain(cc CrossChainConfig) (Config, error) {
+	cfg := Config{
+		Seed: cc.Seed,
+		Nodes: []Node{
+			{Name: "hop1", Mu: cc.Mu1, Buffer: cc.Buffer},
+			{Name: "hop2", Mu: cc.Mu2, Buffer: cc.Buffer},
+		},
+		Links: []Link{{From: 0, To: 1, Delay: cc.Delay}},
+	}
+	main := Flow{
+		Name: "main", Law: cc.Law, Route: []int{0, 1},
+		IngressDelay: cc.Delay, ReturnDelay: 2 * cc.Delay,
+		Lambda0: cc.Lambda0, MinRate: cc.MinRate,
+	}
+	main.FeedbackDelay = main.IngressDelay + cc.Delay + main.ReturnDelay
+	cfg.Flows = append(cfg.Flows, main)
+	// The cross flow is always present — idle at CrossRate 0 — so
+	// every cell of a sweep over CrossRate has the same flow list and
+	// the aggregate columns stay comparable across cells.
+	cfg.Flows = append(cfg.Flows, Flow{
+		Name: "cross", Law: ConstantRate(), Route: []int{1},
+		IngressDelay: cc.Delay, ReturnDelay: cc.Delay,
+		Lambda0: cc.CrossRate, MinRate: cc.CrossRate,
+	})
+	return cfg, nil
+}

@@ -38,6 +38,14 @@ func splitMix64(x *uint64) uint64 {
 	return z ^ (z >> 31)
 }
 
+// Mix advances x by the golden-ratio increment and returns its
+// SplitMix64 finalizer: a cheap, well-mixed hash for deriving
+// deterministic sub-seeds (e.g. per-cell seeds of a parameter sweep)
+// from a base seed, using the same mixing this package seeds with.
+func Mix(x uint64) uint64 {
+	return splitMix64(&x)
+}
+
 // New returns a Source seeded from seed. Two Sources built from the
 // same seed produce identical streams.
 func New(seed uint64) *Source {
