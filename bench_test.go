@@ -1,202 +1,42 @@
 package fpcc_test
 
 // Benchmark harness regenerating every table and figure of the
-// paper's evaluation: one benchmark per experiment E1..E27 (see
+// paper's evaluation: one sub-benchmark per registry entry (see
 // EXPERIMENTS.md for the experiment index and paper-vs-measured
-// results). Each benchmark times a full experiment
-// run; on the first iteration it also verifies the experiment did not
-// flag a shape mismatch, so `go test -bench=.` doubles as a
-// reproduction check.
+// results), driven off experiments.All() so new experiments are
+// benchmarked automatically. Each sub-benchmark times a full
+// experiment run; on the first iteration it also verifies the
+// experiment did not flag a shape mismatch, so
+// `go test -bench=.` doubles as a reproduction check.
+//
+// Run one experiment with `go test -bench=BenchmarkExperiments/E6$`.
 //
 // Micro-benchmarks for the individual substrates live in their
 // packages (e.g. internal/fokkerplanck.BenchmarkStep).
 
 import (
-	"strings"
 	"testing"
 
 	"fpcc/internal/experiments"
 )
 
-// runExperiment executes one experiment per iteration, failing the
-// benchmark if the experiment errors or records an alarmed finding.
-func runExperiment(b *testing.B, run func() (*experiments.Table, error)) {
-	b.Helper()
-	for i := 0; i < b.N; i++ {
-		tb, err := run()
-		if err != nil {
-			b.Fatal(err)
-		}
-		if i == 0 {
-			for _, f := range tb.Findings {
-				for _, alarm := range []string{"MISMATCH", "UNEXPECTED", "VIOLATED", "FAILURE", "DEVIATION", "NOT REACHED", "GAP:"} {
-					if strings.Contains(f, alarm) {
-						b.Fatalf("%s: %s", tb.ID, f)
+func BenchmarkExperiments(b *testing.B) {
+	for _, e := range experiments.All() {
+		b.Run(e.ID, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				tb, err := e.Run()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					if alarm := tb.Alarm(); alarm != "" {
+						b.Fatalf("%s: %s", tb.ID, alarm)
+					}
+					if testing.Verbose() {
+						b.Log("\n" + tb.String())
 					}
 				}
 			}
-			if testing.Verbose() {
-				b.Log("\n" + tb.String())
-			}
-		}
+		})
 	}
-}
-
-// BenchmarkE1Quadrants regenerates Figure 2 (drift directions).
-func BenchmarkE1Quadrants(b *testing.B) {
-	runExperiment(b, experiments.E1QuadrantDrifts)
-}
-
-// BenchmarkE2Spiral regenerates Figure 3 / Theorem 1 (convergent
-// spiral, Poincaré contraction).
-func BenchmarkE2Spiral(b *testing.B) {
-	runExperiment(b, experiments.E2ConvergentSpiral)
-}
-
-// BenchmarkE3Trace regenerates the Figure 1 queue-trace artifact from
-// the packet-level simulator.
-func BenchmarkE3Trace(b *testing.B) {
-	runExperiment(b, experiments.E3QueueTrace)
-}
-
-// BenchmarkE4EqualShare regenerates the Section 6 equal-parameter
-// fairness result (fluid + packet systems).
-func BenchmarkE4EqualShare(b *testing.B) {
-	runExperiment(b, experiments.E4FairnessEqual)
-}
-
-// BenchmarkE5HeteroShare regenerates the Section 6 exact-share law
-// (λᵢ ∝ C0ᵢ/C1ᵢ).
-func BenchmarkE5HeteroShare(b *testing.B) {
-	runExperiment(b, experiments.E5FairnessHetero)
-}
-
-// BenchmarkE6DelayCycle regenerates the Section 7 delay sweep
-// (limit-cycle amplitude/period vs τ).
-func BenchmarkE6DelayCycle(b *testing.B) {
-	runExperiment(b, experiments.E6DelayOscillation)
-}
-
-// BenchmarkE7DelayUnfair regenerates the Section 7 unfairness result
-// (pure-delay symmetry vs full RTT coupling).
-func BenchmarkE7DelayUnfair(b *testing.B) {
-	runExperiment(b, experiments.E7DelayUnfairness)
-}
-
-// BenchmarkE8Aiad regenerates the AIMD-vs-AIAD contrast (algorithm-
-// induced vs delay-induced oscillation).
-func BenchmarkE8Aiad(b *testing.B) {
-	runExperiment(b, experiments.E8AlgorithmOscillation)
-}
-
-// BenchmarkE9FPvMC regenerates the Eq. 14 validation against the
-// Monte-Carlo ensemble.
-func BenchmarkE9FPvMC(b *testing.B) {
-	runExperiment(b, experiments.E9FokkerPlanckVsMonteCarlo)
-}
-
-// BenchmarkE10FPvFluid regenerates the variability comparison against
-// the fluid approximation (overflow probabilities).
-func BenchmarkE10FPvFluid(b *testing.B) {
-	runExperiment(b, experiments.E10VariabilityVsFluid)
-}
-
-// BenchmarkE11ParamTable regenerates the (C0, C1) convergence sweep.
-func BenchmarkE11ParamTable(b *testing.B) {
-	runExperiment(b, experiments.E11ParameterSweep)
-}
-
-// BenchmarkE12SigmaSweep regenerates the stationary-spread-vs-σ sweep.
-func BenchmarkE12SigmaSweep(b *testing.B) {
-	runExperiment(b, experiments.E12DiffusionSpread)
-}
-
-// BenchmarkE13WindowRate regenerates the Eq. 1 window protocol vs
-// Eq. 2 rate analogue comparison.
-func BenchmarkE13WindowRate(b *testing.B) {
-	runExperiment(b, experiments.E13WindowRateEquivalence)
-}
-
-// BenchmarkE14SchemeAblation regenerates the FP advection scheme
-// ablation (first-order upwind vs MUSCL/minmod).
-func BenchmarkE14SchemeAblation(b *testing.B) {
-	runExperiment(b, experiments.E14SchemeAblation)
-}
-
-// BenchmarkE15ReturnMap regenerates the Poincaré return-map table and
-// the quadratic contraction-law fit.
-func BenchmarkE15ReturnMap(b *testing.B) {
-	runExperiment(b, experiments.E15ReturnMapLaw)
-}
-
-// BenchmarkE16Tandem regenerates the multi-hop share-vs-hop-count
-// table (the Zhang/Jacobson observation in a real tandem network).
-func BenchmarkE16Tandem(b *testing.B) {
-	runExperiment(b, experiments.E16TandemHopCount)
-}
-
-// BenchmarkE17FPvMarkov regenerates the Fokker-Planck vs exact-CTMC
-// comparison (the strongest Eq. 14 ground truth in the repository).
-func BenchmarkE17FPvMarkov(b *testing.B) {
-	runExperiment(b, experiments.E17FokkerPlanckVsMarkov)
-}
-
-// BenchmarkE18Burst regenerates the burstiness sweep (queue
-// variability under on/off modulated traffic at fixed offered load).
-func BenchmarkE18Burst(b *testing.B) {
-	runExperiment(b, experiments.E18BurstinessSweep)
-}
-
-// BenchmarkE19Stability regenerates the delayed-feedback stability
-// boundary: closed-form Hopf point vs the nonlinear DDE.
-func BenchmarkE19Stability(b *testing.B) {
-	runExperiment(b, experiments.E19StabilityBoundary)
-}
-
-// BenchmarkE20Gateway regenerates the gateway-discipline comparison
-// (threshold vs DECbit-EWMA vs RED marking).
-func BenchmarkE20Gateway(b *testing.B) {
-	runExperiment(b, experiments.E20GatewayComparison)
-}
-
-// BenchmarkE21Tahoe regenerates the TCP-Tahoe share-vs-RTT-ratio
-// table (the protocol-level unfairness observation).
-func BenchmarkE21Tahoe(b *testing.B) {
-	runExperiment(b, experiments.E21TahoeRTTShare)
-}
-
-// BenchmarkE22Integrators regenerates the stiff-law integrator
-// ablation (explicit RK4 vs implicit trapezoid vs BDF2).
-func BenchmarkE22Integrators(b *testing.B) {
-	runExperiment(b, experiments.E22IntegratorAblation)
-}
-
-// BenchmarkE23PDLaw regenerates the delay-budget engineering table
-// (AIMD's fixed damping vs a PD damping sweep).
-func BenchmarkE23PDLaw(b *testing.B) {
-	runExperiment(b, experiments.E23DelayBudgetEngineering)
-}
-
-// BenchmarkE24MultiSource regenerates the n-delayed-sources table
-// (shared-loop oscillation, head-count-invariant delay budget).
-func BenchmarkE24MultiSource(b *testing.B) {
-	runExperiment(b, experiments.E24MultiSourceDelay)
-}
-
-// BenchmarkE25Implicit regenerates the explicit-vs-implicit feedback
-// comparison at a finite buffer.
-func BenchmarkE25Implicit(b *testing.B) {
-	runExperiment(b, experiments.E25ImplicitVsExplicit)
-}
-
-// BenchmarkE26ParkingLot regenerates the parking-lot fairness table
-// on the arbitrary-topology simulator.
-func BenchmarkE26ParkingLot(b *testing.B) {
-	runExperiment(b, experiments.E26ParkingLotFairness)
-}
-
-// BenchmarkE27Migration regenerates the cross-traffic bottleneck
-// migration sweep (parallel sweep runner).
-func BenchmarkE27Migration(b *testing.B) {
-	runExperiment(b, experiments.E27BottleneckMigration)
 }

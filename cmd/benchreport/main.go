@@ -1,52 +1,129 @@
-// Command benchreport runs every experiment in the reproduction
-// (E1..E27) and prints the paper-style result
-// tables.
+// Command benchreport runs the experiment registry (E1..E27) through
+// the parallel suite runner and prints the paper-style result tables
+// as text, CSV or JSON. The CSV/JSON renderings carry full-precision
+// values and are byte-identical for any worker count.
 //
 // Usage:
 //
-//	benchreport            # run everything
-//	benchreport -only E6   # run one experiment
-//	benchreport -list      # list experiments
+//	benchreport                          # run everything, text tables
+//	benchreport -run 'E(6|19)$'          # run by id regex
+//	benchreport -run sweep               # run by tag or title
+//	benchreport -only E6                 # run one experiment (exact id)
+//	benchreport -workers 8 -format json  # parallel, machine output
+//	benchreport -bench-json bench.json   # also write per-experiment timings
+//	benchreport -list                    # list the registry
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"regexp"
+	"runtime"
+	"strings"
 	"time"
 
 	"fpcc/internal/experiments"
 )
 
 func main() {
-	only := flag.String("only", "", "run only the experiment with this id (e.g. E6)")
+	only := flag.String("only", "", "run only the experiment with this exact id (e.g. E6)")
+	run := flag.String("run", "", "run experiments whose id, title or tag matches this regexp")
+	workers := flag.Int("workers", 0, "experiment worker count (0 = GOMAXPROCS)")
+	format := flag.String("format", "text", "output format: text, csv or json")
+	benchJSON := flag.String("bench-json", "", "write a machine-readable per-experiment timing report here")
 	list := flag.Bool("list", false, "list experiments and exit")
 	flag.Parse()
 
-	all := experiments.All()
 	if *list {
-		for _, r := range all {
-			fmt.Printf("%-4s %s\n", r.ID, r.Name)
+		for _, e := range experiments.All() {
+			fmt.Printf("%-4s %-62s [%s]\n", e.ID, e.Title, strings.Join(e.Tags, " "))
 		}
 		return
 	}
-	ran := 0
-	for _, r := range all {
-		if *only != "" && r.ID != *only {
-			continue
-		}
-		ran++
-		start := time.Now()
-		tb, err := r.Run()
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s failed: %v\n", r.ID, err)
-			os.Exit(1)
-		}
-		fmt.Println(tb.String())
-		fmt.Printf("(%s completed in %v)\n\n", r.ID, time.Since(start).Round(time.Millisecond))
+
+	filter, err := buildFilter(*only, *run)
+	if err != nil {
+		fatal(err)
 	}
-	if ran == 0 {
-		fmt.Fprintf(os.Stderr, "no experiment matches %q (use -list)\n", *only)
+	var render func(*experiments.Suite, io.Writer) error
+	switch *format {
+	case "text":
+		render = (*experiments.Suite).WriteText
+	case "csv":
+		render = (*experiments.Suite).WriteCSV
+	case "json":
+		render = (*experiments.Suite).WriteJSON
+	default:
+		fatal(fmt.Errorf("unknown format %q (want text, csv or json)", *format))
+	}
+	if *workers <= 0 {
+		*workers = runtime.GOMAXPROCS(0)
+	}
+	start := time.Now()
+	suite, err := experiments.RunSuite(experiments.SuiteConfig{Filter: filter, Workers: *workers})
+	if err != nil {
+		if errors.Is(err, experiments.ErrNoMatch) {
+			err = fmt.Errorf("%w (use -list to see the registry)", err)
+		}
+		fatal(err)
+	}
+	total := time.Since(start)
+
+	if err := render(suite, os.Stdout); err != nil {
+		fatal(err)
+	}
+
+	if *benchJSON != "" {
+		f, err := os.Create(*benchJSON)
+		if err != nil {
+			fatal(err)
+		}
+		if err := suite.WriteBenchJSON(f, *workers, total); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
+
+	// Timing and reproduction summary on stderr, keeping stdout
+	// deterministic for any worker count.
+	for _, r := range suite.Reports {
+		fmt.Fprintf(os.Stderr, "%-4s %v\n", r.Experiment.ID, r.Elapsed.Round(time.Millisecond))
+	}
+	fmt.Fprintf(os.Stderr, "%d experiments in %v (workers=%d)\n",
+		len(suite.Reports), total.Round(time.Millisecond), *workers)
+	if alarms := suite.Alarms(); len(alarms) > 0 {
+		for _, a := range alarms {
+			fmt.Fprintf(os.Stderr, "ALARMED: %s\n", a)
+		}
 		os.Exit(1)
 	}
+}
+
+// buildFilter combines -only (exact id) and -run (regexp) into one
+// selection regexp.
+func buildFilter(only, run string) (*regexp.Regexp, error) {
+	switch {
+	case only != "" && run != "":
+		return nil, fmt.Errorf("-only and -run are mutually exclusive")
+	case only != "":
+		return regexp.Compile("^" + regexp.QuoteMeta(only) + "$")
+	case run != "":
+		re, err := regexp.Compile(run)
+		if err != nil {
+			return nil, fmt.Errorf("bad -run regexp: %v", err)
+		}
+		return re, nil
+	default:
+		return nil, nil
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
+	os.Exit(1)
 }

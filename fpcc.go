@@ -52,6 +52,7 @@ import (
 	"fpcc/internal/sde"
 	"fpcc/internal/stability"
 	"fpcc/internal/stats"
+	"fpcc/internal/sweep"
 	"fpcc/internal/traffic"
 )
 
@@ -295,6 +296,48 @@ type SweepResult = netsim.SweepResult
 // RunSweep shards the grid across parallel workers and aggregates
 // per-flow throughput, fairness and queue statistics per cell.
 func RunSweep(cfg SweepConfig) (*SweepResult, error) { return netsim.Sweep(cfg) }
+
+// Engine-agnostic parameter sweeps (internal/sweep): the worker-pool,
+// deterministic-seeding and byte-stable-aggregation machinery behind
+// RunSweep, usable with any evaluation function — Fokker-Planck
+// solves, DDE integrations, packet simulations, or anything else.
+// Results (and any error) are independent of the worker count.
+
+// GridDim is one named axis of a generic sweep grid.
+type GridDim = sweep.Dim
+
+// Grid is an N-dimensional parameter grid enumerated row-major (last
+// dimension fastest).
+type Grid = sweep.Grid
+
+// GridCell is one evaluated point: its index in grid order, decoded
+// dimension values, and deterministic per-cell seed.
+type GridCell = sweep.Cell
+
+// GridConfig describes a generic sweep: grid, base seed, worker bound.
+type GridConfig = sweep.Config
+
+// GridRow is one cell's output under a named-column schema (float64,
+// integer, string or []float64 values).
+type GridRow = sweep.Row
+
+// GridResult holds a completed row-producing sweep; its WriteCSV and
+// WriteJSON render full-precision output byte-identically for any
+// worker count.
+type GridResult = sweep.Result
+
+// SweepGrid evaluates fn over every cell of the grid on up to
+// cfg.Workers goroutines and returns the results in grid order. The
+// error, if any, reports the lowest-indexed failing cell.
+func SweepGrid[T any](cfg GridConfig, fn func(GridCell) (T, error)) ([]T, error) {
+	return sweep.Run(cfg, fn)
+}
+
+// SweepGridRows evaluates a sweep whose cells produce named-column
+// rows, for byte-stable CSV/JSON emission.
+func SweepGridRows(cfg GridConfig, columns []string, fn func(GridCell) (GridRow, error)) (*GridResult, error) {
+	return sweep.RunRows(cfg, columns, fn)
+}
 
 // EnsembleConfig configures an SDE particle ensemble of the Eq. 14
 // diffusion (the Monte-Carlo ground truth for the PDE).

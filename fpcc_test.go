@@ -2,6 +2,7 @@ package fpcc_test
 
 import (
 	"math"
+	"strings"
 	"testing"
 
 	"fpcc"
@@ -338,5 +339,54 @@ func TestFacadeNetSweep(t *testing.T) {
 	if res.Cells[1].Throughput[0] >= res.Cells[0].Throughput[0] {
 		t.Fatalf("cross traffic did not reduce the main flow: %v vs %v",
 			res.Cells[1].Throughput[0], res.Cells[0].Throughput[0])
+	}
+}
+
+// TestFacadeGenericSweep drives the engine-agnostic sweep through the
+// facade with a non-netsim engine (the closed-form characteristics
+// tracer), the workload class the generic runner exists for.
+func TestFacadeGenericSweep(t *testing.T) {
+	cfg := fpcc.GridConfig{
+		Grid: fpcc.Grid{Dims: []fpcc.GridDim{
+			{Name: "c0", Values: []float64{1, 2, 4}},
+			{Name: "c1", Values: []float64{0.4, 0.8}},
+		}},
+		Workers: 3,
+	}
+	amps, err := fpcc.SweepGrid(cfg, func(c fpcc.GridCell) (float64, error) {
+		law, err := fpcc.NewAIMD(c.Values[0], c.Values[1], 20)
+		if err != nil {
+			return 0, err
+		}
+		return fpcc.ReturnMap(law, 10, 4)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(amps) != 6 {
+		t.Fatalf("got %d cells, want 6", len(amps))
+	}
+	for i, a := range amps {
+		if !(a > 0 && a < 4) {
+			t.Fatalf("cell %d: return-map amplitude %v not contracted into (0, 4)", i, a)
+		}
+	}
+	rows, err := fpcc.SweepGridRows(cfg, []string{"amp"}, func(c fpcc.GridCell) (fpcc.GridRow, error) {
+		law, err := fpcc.NewAIMD(c.Values[0], c.Values[1], 20)
+		if err != nil {
+			return nil, err
+		}
+		a, err := fpcc.ReturnMap(law, 10, 4)
+		return fpcc.GridRow{a}, err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var csv strings.Builder
+	if err := rows.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(csv.String(), "index,c0,c1,amp\n") {
+		t.Fatalf("generic sweep CSV header wrong:\n%s", csv.String())
 	}
 }

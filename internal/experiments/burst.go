@@ -3,6 +3,7 @@ package experiments
 import (
 	"fpcc/internal/control"
 	"fpcc/internal/des"
+	"fpcc/internal/sweep"
 	"fpcc/internal/traffic"
 )
 
@@ -12,7 +13,8 @@ import (
 // from fluid approximations. The long-run offered rate is identical
 // in every row (the modulators have mean factor 1); only the packet-
 // scale variability changes. Burstiness β is the on/off peak factor;
-// the equivalent index of dispersion grows with β.
+// the equivalent index of dispersion grows with β. The β grid runs on
+// the parallel sweep runner, one independent DES per cell.
 func E18BurstinessSweep() (*Table, error) {
 	t := &Table{
 		ID:      "E18",
@@ -29,7 +31,21 @@ func E18BurstinessSweep() (*Table, error) {
 		horizon = 4000.0
 		warmup  = 500.0
 	)
-	run := func(mod traffic.Modulator) (*des.Result, error) {
+	betas := []float64{1, 2, 4, 8} // β = 1 is plain Poisson
+	type cellOut struct {
+		throughput, util, meanQ, stdQ float64
+	}
+	cells, err := sweep.Run(sweep.Config{
+		Grid: sweep.Grid{Dims: []sweep.Dim{{Name: "beta", Values: betas}}},
+	}, func(c sweep.Cell) (cellOut, error) {
+		var mod traffic.Modulator
+		if beta := c.Values[0]; beta > 1 {
+			m, err := traffic.NewOnOff(cycle/beta, cycle-cycle/beta)
+			if err != nil {
+				return cellOut{}, err
+			}
+			mod = m
+		}
 		sim, err := des.New(des.Config{
 			Mu:   mu,
 			Seed: 33,
@@ -38,34 +54,27 @@ func E18BurstinessSweep() (*Table, error) {
 			}},
 		})
 		if err != nil {
-			return nil, err
+			return cellOut{}, err
 		}
-		return sim.Run(horizon, warmup)
-	}
-
-	type row struct {
-		beta float64
-		mod  traffic.Modulator
-	}
-	rows := []row{{1, nil}} // β = 1 is plain Poisson
-	for _, beta := range []float64{2, 4, 8} {
-		mod, err := traffic.NewOnOff(cycle/beta, cycle-cycle/beta)
+		res, err := sim.Run(horizon, warmup)
 		if err != nil {
-			return nil, err
+			return cellOut{}, err
 		}
-		rows = append(rows, row{beta, mod})
+		return cellOut{
+			throughput: res.Throughput[0],
+			util:       res.Throughput[0] / mu,
+			meanQ:      res.QueueStats.Mean(),
+			stdQ:       res.QueueStats.StdDev(),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	var stds, utils []float64
-	for _, r := range rows {
-		res, err := run(r.mod)
-		if err != nil {
-			return nil, err
-		}
-		util := res.Throughput[0] / mu
-		t.AddRow(r.beta, res.Throughput[0], util,
-			res.QueueStats.Mean(), res.QueueStats.StdDev())
-		stds = append(stds, res.QueueStats.StdDev())
-		utils = append(utils, util)
+	for i, c := range cells {
+		t.AddRow(betas[i], c.throughput, c.util, c.meanQ, c.stdQ)
+		stds = append(stds, c.stdQ)
+		utils = append(utils, c.util)
 	}
 	if stds[len(stds)-1] > 1.5*stds[0] {
 		t.AddFinding("queue variability grows with burstiness (std %.2f → %.2f) at identical offered load — the spread a fluid model cannot represent", stds[0], stds[len(stds)-1])

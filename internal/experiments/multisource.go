@@ -6,6 +6,7 @@ import (
 	"fpcc/internal/control"
 	"fpcc/internal/dde"
 	"fpcc/internal/stability"
+	"fpcc/internal/sweep"
 )
 
 // E24MultiSourceDelay joins the paper's Section 6 (many sources) and
@@ -14,7 +15,8 @@ import (
 // linearized system splits into one delayed symmetric mode (whose
 // Hopf point CriticalDelay computes) and n−1 undelayed, exponentially
 // damped difference modes. Predictions verified against the full
-// nonlinear n-source DDE:
+// nonlinear n-source DDE, one head count per cell of the parallel
+// sweep runner:
 //
 //   - the delay budget τ* barely moves with n (≈ width/μ throughout);
 //   - the Hopf frequency rises with n but saturates at √(C1·μ/width);
@@ -90,32 +92,43 @@ func E24MultiSourceDelay() (*Table, error) {
 		return swing, spreadFrac, nil
 	}
 
-	var tauStars []float64
-	for _, n := range []int{1, 2, 4, 8} {
+	ns := []float64{1, 2, 4, 8}
+	type cellOut struct {
+		tauStar, omega, closed, diffRate, swing, spread float64
+	}
+	cells, err := sweep.Run(sweep.Config{
+		Grid: sweep.Grid{Dims: []sweep.Dim{{Name: "n", Values: ns}}},
+	}, func(c sweep.Cell) (cellOut, error) {
+		n := int(c.Values[0])
 		lin, err := stability.MultiSourceLinearize(law, mu, n, 0, 400)
 		if err != nil {
-			return nil, err
+			return cellOut{}, err
 		}
 		tauStar, omega, err := stability.CriticalDelay(lin.A, lin.B)
 		if err != nil {
-			return nil, err
+			return cellOut{}, err
 		}
-		tauStars = append(tauStars, tauStar)
 		closed := math.Sqrt(c0 * c1 * mu / ((c0 + c1*mu/float64(n)) * width))
-		var diffRate float64
+		diffRate := math.NaN()
 		if n >= 2 {
 			diffRate, err = stability.DifferenceModeRate(law, mu, n, 0, 400)
 			if err != nil {
-				return nil, err
+				return cellOut{}, err
 			}
-		} else {
-			diffRate = math.NaN()
 		}
 		swing, spread, err := simulate(n)
 		if err != nil {
-			return nil, err
+			return cellOut{}, err
 		}
-		t.AddRow(n, tauStar, omega, closed, diffRate, swing, spread)
+		return cellOut{tauStar: tauStar, omega: omega, closed: closed, diffRate: diffRate, swing: swing, spread: spread}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var tauStars []float64
+	for i, c := range cells {
+		tauStars = append(tauStars, c.tauStar)
+		t.AddRow(int(ns[i]), c.tauStar, c.omega, c.closed, c.diffRate, c.swing, c.spread)
 	}
 	minTau, maxTau := tauStars[0], tauStars[0]
 	for _, ts := range tauStars {

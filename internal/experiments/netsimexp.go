@@ -63,8 +63,8 @@ func E26ParkingLotFairness() (*Table, error) {
 }
 
 // E27BottleneckMigration sweeps uncontrolled cross-traffic injected
-// at the second of two hops in series, using the parallel sweep
-// runner. With no cross traffic the slower first hop (μ1 = 40) is
+// at the second of two hops in series, using netsim's client of the
+// engine-agnostic parallel sweep runner. With no cross traffic the slower first hop (μ1 = 40) is
 // the bottleneck; once the cross rate x pushes hop 2's residual
 // capacity μ2 − x below μ1, the bottleneck — the hop where the
 // standing queue lives — migrates downstream, and the adaptive flow's

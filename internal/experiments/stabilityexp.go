@@ -6,6 +6,7 @@ import (
 	"fpcc/internal/control"
 	"fpcc/internal/dde"
 	"fpcc/internal/stability"
+	"fpcc/internal/sweep"
 )
 
 // E19StabilityBoundary sharpens the paper's Section 7 observation —
@@ -14,6 +15,8 @@ import (
 // critical delay τ* (Hopf point) against the full nonlinear DDE. Each
 // row reports the analytic growth rate Re(s) of the dominant
 // characteristic root and the simulated tail amplitude of the rate.
+// The τ/τ* grid runs on the parallel sweep runner, one DDE solve per
+// cell.
 func E19StabilityBoundary() (*Table, error) {
 	t := &Table{
 		ID:      "E19",
@@ -61,23 +64,36 @@ func E19StabilityBoundary() (*Table, error) {
 		return hi - lo, nil
 	}
 
-	var firstUnstableSwing, lastStableSwing float64
-	for _, frac := range []float64{0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 3.0} {
-		tau := frac * tauStar
+	fracs := []float64{0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 3.0}
+	type cellOut struct {
+		tau, reRoot, imRoot, swing float64
+	}
+	cells, err := sweep.Run(sweep.Config{
+		Grid: sweep.Grid{Dims: []sweep.Dim{{Name: "tau_frac", Values: fracs}}},
+	}, func(c sweep.Cell) (cellOut, error) {
+		tau := c.Values[0] * tauStar
 		root, err := stability.DominantRoot(lin.A, lin.B, tau)
 		if err != nil {
-			return nil, err
+			return cellOut{}, err
 		}
 		sw, err := swing(tau)
 		if err != nil {
-			return nil, err
+			return cellOut{}, err
 		}
-		t.AddRow(frac, tau, real(root), imag(root), sw)
+		return cellOut{tau: tau, reRoot: real(root), imRoot: imag(root), swing: sw}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var firstUnstableSwing, lastStableSwing float64
+	for i, c := range cells {
+		frac := fracs[i]
+		t.AddRow(frac, c.tau, c.reRoot, c.imRoot, c.swing)
 		if frac == 0.75 {
-			lastStableSwing = sw
+			lastStableSwing = c.swing
 		}
 		if frac == 1.5 {
-			firstUnstableSwing = sw
+			firstUnstableSwing = c.swing
 		}
 	}
 	if firstUnstableSwing > 10*math.Max(lastStableSwing, 1e-9) {

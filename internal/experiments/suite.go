@@ -1,0 +1,200 @@
+package experiments
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"regexp"
+	"time"
+
+	"fpcc/internal/sweep"
+)
+
+// This file is the parallel suite runner: it executes any selection
+// of the registry on the engine-agnostic worker pool of
+// internal/sweep. Experiments are mutually independent and
+// internally deterministic, so the suite's text/CSV/JSON renderings
+// are byte-identical for any worker count; only the timing report
+// (WriteBenchJSON) varies run to run.
+
+// SuiteConfig selects and bounds a suite run.
+type SuiteConfig struct {
+	// Filter selects experiments whose ID, Title or any Tag matches;
+	// nil runs everything.
+	Filter *regexp.Regexp
+	// Workers bounds the parallelism (0 means GOMAXPROCS).
+	Workers int
+}
+
+// Report is one executed experiment: its registry entry, the table it
+// produced, and the wall-clock time it took.
+type Report struct {
+	Experiment Experiment
+	Table      *Table
+	Elapsed    time.Duration
+}
+
+// Suite holds the reports of a completed run in registry order.
+type Suite struct {
+	Reports []Report
+}
+
+// Select returns the registry entries matched by filter (nil = all),
+// in registry order.
+func Select(filter *regexp.Regexp) []Experiment {
+	all := All()
+	if filter == nil {
+		return all
+	}
+	var out []Experiment
+	for _, e := range all {
+		if matches(e, filter) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// matches reports whether the filter hits the experiment's ID, Title
+// or any Tag.
+func matches(e Experiment, filter *regexp.Regexp) bool {
+	if filter.MatchString(e.ID) || filter.MatchString(e.Title) {
+		return true
+	}
+	for _, tag := range e.Tags {
+		if filter.MatchString(tag) {
+			return true
+		}
+	}
+	return false
+}
+
+// ErrNoMatch reports a filter that selects nothing; callers can
+// errors.Is on it to suggest the registry listing.
+var ErrNoMatch = errors.New("no experiment matches the filter")
+
+// RunSuite executes the selected experiments in parallel and returns
+// their reports in registry order. A failing experiment aborts the
+// suite; the reported error names the lowest-indexed failure
+// regardless of worker count.
+func RunSuite(cfg SuiteConfig) (*Suite, error) {
+	selected := Select(cfg.Filter)
+	if len(selected) == 0 {
+		return nil, fmt.Errorf("experiments: %w", ErrNoMatch)
+	}
+	reports, err := sweep.Map(len(selected), cfg.Workers, func(i int) (Report, error) {
+		start := time.Now()
+		tb, err := selected[i].Run()
+		if err != nil {
+			return Report{}, fmt.Errorf("%s: %w", selected[i].ID, err)
+		}
+		return Report{Experiment: selected[i], Table: tb, Elapsed: time.Since(start)}, nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: suite %w", err)
+	}
+	return &Suite{Reports: reports}, nil
+}
+
+// Alarms returns every alarmed finding across the suite, prefixed
+// with its experiment id.
+func (s *Suite) Alarms() []string {
+	var out []string
+	for _, r := range s.Reports {
+		if a := r.Table.Alarm(); a != "" {
+			out = append(out, r.Experiment.ID+": "+a)
+		}
+	}
+	return out
+}
+
+// WriteText renders every table as aligned plain text, in registry
+// order, separated by blank lines. The output is deterministic (no
+// timings) and byte-identical for any worker count.
+func (s *Suite) WriteText(w io.Writer) error {
+	for _, r := range s.Reports {
+		if _, err := fmt.Fprintln(w, r.Table.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCSV renders every table as a full-precision CSV block (see
+// Table.WriteCSV), separated by blank lines. Deterministic for any
+// worker count.
+func (s *Suite) WriteCSV(w io.Writer) error {
+	for i, r := range s.Reports {
+		if i > 0 {
+			if _, err := fmt.Fprintln(w); err != nil {
+				return err
+			}
+		}
+		if err := r.Table.WriteCSV(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// suiteEntry is the JSON shape of one report (no timing: the JSON
+// report is deterministic; timings go to WriteBenchJSON).
+type suiteEntry struct {
+	ID    string   `json:"id"`
+	Title string   `json:"title"`
+	Tags  []string `json:"tags"`
+	Table *Table   `json:"table"`
+}
+
+// WriteJSON renders the suite as indented JSON with full-precision
+// row values. Deterministic for any worker count.
+func (s *Suite) WriteJSON(w io.Writer) error {
+	entries := make([]suiteEntry, len(s.Reports))
+	for i, r := range s.Reports {
+		entries[i] = suiteEntry{ID: r.Experiment.ID, Title: r.Experiment.Title, Tags: r.Experiment.Tags, Table: r.Table}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(entries)
+}
+
+// BenchEntry is one experiment's timing in the machine-readable
+// benchmark report.
+type BenchEntry struct {
+	ID      string  `json:"id"`
+	Title   string  `json:"title"`
+	Seconds float64 `json:"seconds"`
+}
+
+// BenchReport is the machine-readable per-experiment timing report
+// seeding the BENCH_*.json perf trajectory.
+type BenchReport struct {
+	Workers      int          `json:"workers"`
+	TotalSeconds float64      `json:"total_seconds"`
+	Experiments  []BenchEntry `json:"experiments"`
+}
+
+// Bench summarizes the suite's timings. total is the wall-clock time
+// of the whole run (under parallelism it is less than the sum of the
+// per-experiment times); workers records the pool bound used.
+func (s *Suite) Bench(workers int, total time.Duration) *BenchReport {
+	rep := &BenchReport{Workers: workers, TotalSeconds: total.Seconds()}
+	for _, r := range s.Reports {
+		rep.Experiments = append(rep.Experiments, BenchEntry{
+			ID:      r.Experiment.ID,
+			Title:   r.Experiment.Title,
+			Seconds: r.Elapsed.Seconds(),
+		})
+	}
+	return rep
+}
+
+// WriteBenchJSON renders the timing report as indented JSON. Unlike
+// the suite renderings this is inherently non-deterministic (it
+// reports wall-clock measurements).
+func (s *Suite) WriteBenchJSON(w io.Writer, workers int, total time.Duration) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s.Bench(workers, total))
+}

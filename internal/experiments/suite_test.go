@@ -1,0 +1,169 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+)
+
+// cheapFilter selects a fast cross-section of the registry (pure
+// characteristics analysis, no long DES/PDE runs) for tests that run
+// the suite repeatedly.
+var cheapFilter = regexp.MustCompile(`^E(1|2|8|15)$`)
+
+func renderSuite(t *testing.T, workers int, filter *regexp.Regexp) (text, csv, js string) {
+	t.Helper()
+	suite, err := RunSuite(SuiteConfig{Filter: filter, Workers: workers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tb, cb, jb bytes.Buffer
+	if err := suite.WriteText(&tb); err != nil {
+		t.Fatal(err)
+	}
+	if err := suite.WriteCSV(&cb); err != nil {
+		t.Fatal(err)
+	}
+	if err := suite.WriteJSON(&jb); err != nil {
+		t.Fatal(err)
+	}
+	return tb.String(), cb.String(), jb.String()
+}
+
+// TestSuiteDeterministicAcrossWorkers is the tentpole's acceptance
+// criterion at the suite layer: the full registry, run serially and
+// run on 8 workers, must render byte-identical text, CSV and JSON.
+func TestSuiteDeterministicAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full experiment suite twice")
+	}
+	st, sc, sj := renderSuite(t, 1, nil)
+	pt, pc, pj := renderSuite(t, 8, nil)
+	if st != pt {
+		t.Error("text output differs between 1 worker and 8 workers")
+	}
+	if sc != pc {
+		t.Error("CSV output differs between 1 worker and 8 workers")
+	}
+	if sj != pj {
+		t.Error("JSON output differs between 1 worker and 8 workers")
+	}
+	for _, e := range All() {
+		if !strings.Contains(st, e.ID+" — ") {
+			t.Errorf("text output missing table %s", e.ID)
+		}
+	}
+}
+
+// TestSuiteDeterministicCheap covers the same determinism contract on
+// a fast subset, so `go test -short` still exercises it.
+func TestSuiteDeterministicCheap(t *testing.T) {
+	st, sc, sj := renderSuite(t, 1, cheapFilter)
+	pt, pc, pj := renderSuite(t, 8, cheapFilter)
+	if st != pt || sc != pc || sj != pj {
+		t.Error("suite output differs between 1 worker and 8 workers")
+	}
+	if !strings.Contains(sc, "# E1 — ") || !strings.Contains(sc, "# => ") {
+		t.Errorf("CSV missing caption/finding comments:\n%s", sc)
+	}
+}
+
+// TestSuiteSelect: filters match on id, title and tag; empty
+// selections are an error from RunSuite.
+func TestSuiteSelect(t *testing.T) {
+	if got := Select(nil); len(got) != 27 {
+		t.Fatalf("nil filter selects %d, want 27", len(got))
+	}
+	byID := Select(regexp.MustCompile(`^E19$`))
+	if len(byID) != 1 || byID[0].ID != "E19" {
+		t.Fatalf("id filter selected %+v", byID)
+	}
+	byTag := Select(regexp.MustCompile(`^netsim$`))
+	if len(byTag) != 2 {
+		t.Fatalf("netsim tag selects %d experiments, want 2", len(byTag))
+	}
+	byTitle := Select(regexp.MustCompile(`Tahoe`))
+	if len(byTitle) != 1 || byTitle[0].ID != "E21" {
+		t.Fatalf("title filter selected %+v", byTitle)
+	}
+	if _, err := RunSuite(SuiteConfig{Filter: regexp.MustCompile(`^nothing-matches$`)}); err == nil {
+		t.Fatal("empty selection accepted")
+	}
+}
+
+// TestSuiteBenchJSON: the timing report decodes, covers every report,
+// and records the worker bound.
+func TestSuiteBenchJSON(t *testing.T) {
+	suite, err := RunSuite(SuiteConfig{Filter: cheapFilter, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := suite.WriteBenchJSON(&buf, 2, 123*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	var rep BenchReport
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatalf("bench JSON does not decode: %v", err)
+	}
+	if rep.Workers != 2 {
+		t.Errorf("workers = %d, want 2", rep.Workers)
+	}
+	if rep.TotalSeconds != 0.123 {
+		t.Errorf("total = %v, want 0.123", rep.TotalSeconds)
+	}
+	if len(rep.Experiments) != len(suite.Reports) {
+		t.Fatalf("%d timing entries for %d reports", len(rep.Experiments), len(suite.Reports))
+	}
+	for i, e := range rep.Experiments {
+		if e.ID != suite.Reports[i].Experiment.ID || e.Title == "" {
+			t.Errorf("entry %d = %+v", i, e)
+		}
+		if e.Seconds < 0 {
+			t.Errorf("%s has negative elapsed %v", e.ID, e.Seconds)
+		}
+	}
+	if len(suite.Alarms()) != 0 {
+		t.Errorf("cheap suite alarmed: %v", suite.Alarms())
+	}
+}
+
+// TestTablePrecision: the aligned text keeps %.4g while CSV and JSON
+// carry full-precision values (the AddRow lossiness fix).
+func TestTablePrecision(t *testing.T) {
+	tb := &Table{ID: "T", Caption: "precision", Columns: []string{"x", "v", "s"}}
+	third := 1.0 / 3.0
+	tb.AddRow(third, []float64{1.5, third}, "a,b")
+	tb.AddFinding("ok")
+	if tb.Rows[0][0] != "0.3333" {
+		t.Errorf("text cell = %q, want %%.4g rendering 0.3333", tb.Rows[0][0])
+	}
+	var cb bytes.Buffer
+	if err := tb.WriteCSV(&cb); err != nil {
+		t.Fatal(err)
+	}
+	csv := cb.String()
+	for _, want := range []string{"# T — precision", "x,v,s", "0.3333333333333333", "1.5;0.3333333333333333", `"a,b"`, "# => ok"} {
+		if !strings.Contains(csv, want) {
+			t.Errorf("CSV missing %q:\n%s", want, csv)
+		}
+	}
+	js, err := json.Marshal(tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(js), "0.3333333333333333") {
+		t.Errorf("JSON not full precision: %s", js)
+	}
+	// Non-finite values must not break JSON encoding (E24 reports a
+	// NaN difference-mode rate for n=1).
+	nan := &Table{ID: "N", Columns: []string{"v"}}
+	nan.AddRow(math.NaN())
+	if _, err := json.Marshal(nan); err != nil {
+		t.Fatalf("NaN row does not marshal: %v", err)
+	}
+}

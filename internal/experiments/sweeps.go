@@ -6,48 +6,69 @@ import (
 	"fpcc/internal/characteristics"
 	"fpcc/internal/control"
 	"fpcc/internal/fokkerplanck"
+	"fpcc/internal/sweep"
 )
 
 // E11ParameterSweep quantifies Theorem 1 across the (C0, C1) parameter
 // plane: convergence holds everywhere (the theorem's content), while
 // speed and overshoot trade off — the engineering question ("what
-// values should a and d take") the paper poses in Section 2.
+// values should a and d take") the paper poses in Section 2. The 3×3
+// grid runs on the generic parallel sweep runner; cell order (C1
+// varying fastest) matches the original nested loop.
 func E11ParameterSweep() (*Table, error) {
 	t := &Table{
 		ID:      "E11",
 		Caption: "convergence time and overshoot vs (C0, C1), no delay (Theorem 1)",
 		Columns: []string{"C0", "C1", "settling time (s)", "queue overshoot", "behavior"},
 	}
-	c0s := []float64{0.5, 2, 8}
-	c1s := []float64{0.2, 0.8, 3.2}
-	allConverge := true
-	for _, c0 := range c0s {
-		for _, c1 := range c1s {
-			law := control.AIMD{C0: c0, C1: c1, QHat: refQHat}
-			tr, err := characteristics.Trace(law, refMu, characteristics.Point{Q: 0, Lambda: 2}, 2000, 2e-3)
-			if err != nil {
-				return nil, err
-			}
-			settle := characteristics.ConvergenceTime(tr, law, refMu, 0.05)
-			over := characteristics.Overshoot(tr, refQHat)
-			crossings := characteristics.UpCrossings(tr, refQHat, refMu)
-			beh, _ := characteristics.Classify(crossings, refMu, 0.05)
-			behStr := beh.String()
-			if beh != characteristics.Converging && beh != characteristics.Inconclusive {
-				allConverge = false
-			}
-			if beh == characteristics.Inconclusive {
-				// Overdamped runs settle with <3 crossings; verify by
-				// the settling time instead.
-				if math.IsNaN(settle) {
-					allConverge = false
-					behStr = "no-settle"
-				} else {
-					behStr = "overdamped"
-				}
-			}
-			t.AddRow(c0, c1, settle, over, behStr)
+	type cellOut struct {
+		settle, over float64
+		behavior     string
+		converged    bool
+	}
+	grid := sweep.Grid{Dims: []sweep.Dim{
+		{Name: "c0", Values: []float64{0.5, 2, 8}},
+		{Name: "c1", Values: []float64{0.2, 0.8, 3.2}},
+	}}
+	cells, err := sweep.Run(sweep.Config{Grid: grid}, func(c sweep.Cell) (cellOut, error) {
+		law := control.AIMD{C0: c.Values[0], C1: c.Values[1], QHat: refQHat}
+		tr, err := characteristics.Trace(law, refMu, characteristics.Point{Q: 0, Lambda: 2}, 2000, 2e-3)
+		if err != nil {
+			return cellOut{}, err
 		}
+		out := cellOut{
+			settle:    characteristics.ConvergenceTime(tr, law, refMu, 0.05),
+			over:      characteristics.Overshoot(tr, refQHat),
+			converged: true,
+		}
+		crossings := characteristics.UpCrossings(tr, refQHat, refMu)
+		beh, _ := characteristics.Classify(crossings, refMu, 0.05)
+		out.behavior = beh.String()
+		if beh != characteristics.Converging && beh != characteristics.Inconclusive {
+			out.converged = false
+		}
+		if beh == characteristics.Inconclusive {
+			// Overdamped runs settle with <3 crossings; verify by
+			// the settling time instead.
+			if math.IsNaN(out.settle) {
+				out.converged = false
+				out.behavior = "no-settle"
+			} else {
+				out.behavior = "overdamped"
+			}
+		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	allConverge := true
+	for i, c := range cells {
+		vals := grid.Values(i)
+		if !c.converged {
+			allConverge = false
+		}
+		t.AddRow(vals[0], vals[1], c.settle, c.over, c.behavior)
 	}
 	if allConverge {
 		t.AddFinding("every (C0, C1) pair converges — Theorem 1 is parameter-free; speed/overshoot trade off across the sweep")
@@ -59,8 +80,8 @@ func E11ParameterSweep() (*Table, error) {
 
 // E12DiffusionSpread quantifies the Section 5 closing remark: with
 // σ² > 0 the operating point spreads into a stationary distribution
-// whose width grows with σ. We sweep σ and report the stationary
-// queue spread around q̂.
+// whose width grows with σ. We sweep σ on the parallel runner and
+// report the stationary queue spread around q̂.
 func E12DiffusionSpread() (*Table, error) {
 	t := &Table{
 		ID:      "E12",
@@ -68,26 +89,37 @@ func E12DiffusionSpread() (*Table, error) {
 		Columns: []string{"σ", "E[Q]", "Std[Q]", "P(Q > q̂+5)"},
 	}
 	sigmas := []float64{0.5, 1, 2, 4}
-	var stds []float64
-	for _, sigma := range sigmas {
+	type cellOut struct {
+		mean, std, tail float64
+	}
+	cells, err := sweep.Run(sweep.Config{
+		Grid: sweep.Grid{Dims: []sweep.Dim{{Name: "sigma", Values: sigmas}}},
+	}, func(c sweep.Cell) (cellOut, error) {
 		// Starting at the operating point itself, the stationary
 		// spread is established quickly; a coarser grid suffices for
 		// the monotonicity question.
-		cfg := e9Config(sigma)
+		cfg := e9Config(c.Values[0])
 		cfg.NQ, cfg.NV = 100, 80
 		s, err := fokkerplanck.New(cfg)
 		if err != nil {
-			return nil, err
+			return cellOut{}, err
 		}
 		if err := s.SetGaussian(refQHat, 0, 2, 1); err != nil {
-			return nil, err
+			return cellOut{}, err
 		}
 		if err := s.Advance(60, 0); err != nil {
-			return nil, err
+			return cellOut{}, err
 		}
 		m := s.Moments()
-		stds = append(stds, math.Sqrt(m.VarQ))
-		t.AddRow(sigma, m.MeanQ, math.Sqrt(m.VarQ), s.TailProb(refQHat+5))
+		return cellOut{mean: m.MeanQ, std: math.Sqrt(m.VarQ), tail: s.TailProb(refQHat + 5)}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var stds []float64
+	for i, c := range cells {
+		stds = append(stds, c.std)
+		t.AddRow(sigmas[i], c.mean, c.std, c.tail)
 	}
 	monotone := true
 	for i := 1; i < len(stds); i++ {

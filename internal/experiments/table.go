@@ -6,12 +6,20 @@
 // paper's claim next to the measured outcome for each.
 //
 // Every experiment is deterministic: stochastic components take fixed
-// seeds, so the printed tables are reproducible run to run.
+// seeds, so the printed tables are reproducible run to run. The
+// registry (All) carries per-experiment metadata, and the parallel
+// suite runner (RunSuite) executes any selection of it on the
+// engine-agnostic worker pool of internal/sweep with byte-identical
+// output for any worker count.
 package experiments
 
 import (
+	"encoding/json"
 	"fmt"
+	"io"
 	"strings"
+
+	"fpcc/internal/sweep"
 )
 
 // Table is a labelled result table in paper style: a caption, column
@@ -24,10 +32,15 @@ type Table struct {
 	// Findings summarizes the qualitative outcome (who wins, which
 	// direction), mirroring how EXPERIMENTS.md reports shape checks.
 	Findings []string
+	// raw holds the unformatted AddRow arguments, so the machine
+	// outputs (WriteCSV, MarshalJSON) can emit full-precision values
+	// while Rows/String keep the compact %.4g alignment.
+	raw [][]any
 }
 
 // AddRow appends a formatted row; values are Sprint'ed with %v unless
-// they are float64, which use %.4g.
+// they are float64, which use %.4g in the aligned text rendering.
+// The originals are retained so CSV/JSON output is full precision.
 func (t *Table) AddRow(cells ...any) {
 	row := make([]string, len(cells))
 	for i, c := range cells {
@@ -39,11 +52,30 @@ func (t *Table) AddRow(cells ...any) {
 		}
 	}
 	t.Rows = append(t.Rows, row)
+	t.raw = append(t.raw, append([]any(nil), cells...))
 }
 
 // AddFinding records a qualitative outcome line.
 func (t *Table) AddFinding(format string, args ...any) {
 	t.Findings = append(t.Findings, fmt.Sprintf(format, args...))
+}
+
+// alarmWords mark a reproduction failure when they appear in a
+// finding; tests and benchmarks fail on them.
+var alarmWords = []string{"MISMATCH", "UNEXPECTED", "VIOLATED", "FAILURE", "DEVIATION", "NOT REACHED", "GAP:"}
+
+// Alarm returns the first finding flagging a reproduction failure
+// (a finding containing a capitalized alarm word), or "" if the
+// experiment reproduced cleanly.
+func (t *Table) Alarm() string {
+	for _, f := range t.Findings {
+		for _, alarm := range alarmWords {
+			if strings.Contains(f, alarm) {
+				return f
+			}
+		}
+	}
+	return ""
 }
 
 // String renders the table as aligned plain text.
@@ -87,43 +119,119 @@ func (t *Table) String() string {
 	return b.String()
 }
 
-// Runner is an experiment entry point.
-type Runner struct {
-	ID   string
-	Name string
-	Run  func() (*Table, error)
+// rawRows returns the unformatted row values, falling back to the
+// formatted strings for rows appended without AddRow.
+func (t *Table) rawRows() [][]any {
+	if len(t.raw) == len(t.Rows) {
+		return t.raw
+	}
+	rows := make([][]any, len(t.Rows))
+	for i, row := range t.Rows {
+		cells := make([]any, len(row))
+		for j, cell := range row {
+			cells[j] = cell
+		}
+		rows[i] = cells
+	}
+	return rows
 }
 
+// MarshalJSON renders the table with full-precision row values (the
+// aligned text rendering keeps %.4g; see AddRow). Non-finite floats
+// (NaN settling times, ±Inf) become strings via sweep.JSONValue.
+func (t *Table) MarshalJSON() ([]byte, error) {
+	rows := make([][]any, len(t.Rows))
+	for i, row := range t.rawRows() {
+		cells := make([]any, len(row))
+		for j, v := range row {
+			cells[j] = sweep.JSONValue(v)
+		}
+		rows[i] = cells
+	}
+	return json.Marshal(struct {
+		ID       string   `json:"id"`
+		Caption  string   `json:"caption"`
+		Columns  []string `json:"columns"`
+		Rows     [][]any  `json:"rows"`
+		Findings []string `json:"findings"`
+	}{t.ID, t.Caption, t.Columns, rows, t.Findings})
+}
+
+// WriteCSV renders the table as one CSV block: '#' comment lines for
+// the caption and findings, a header row, then full-precision data
+// rows (sweep.FormatValue: round-trip floats, ';'-joined vectors).
+func (t *Table) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "# %s — %s\n", t.ID, t.Caption); err != nil {
+		return err
+	}
+	header := make([]string, len(t.Columns))
+	for i, c := range t.Columns {
+		header[i] = sweep.CSVField(c)
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(header, ",")); err != nil {
+		return err
+	}
+	for _, row := range t.rawRows() {
+		cells := make([]string, len(row))
+		for j, v := range row {
+			cells[j] = sweep.CSVField(sweep.FormatValue(v))
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(cells, ",")); err != nil {
+			return err
+		}
+	}
+	for _, f := range t.Findings {
+		if _, err := fmt.Fprintf(w, "# => %s\n", f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Experiment is one registry entry: stable id, human title, coarse
+// tags for selection, and the entry point.
+type Experiment struct {
+	ID    string
+	Title string
+	Tags  []string
+	Run   func() (*Table, error)
+}
+
+// Runner is the registry entry's pre-registry name, kept as an alias.
+type Runner = Experiment
+
 // All returns every experiment in order; EXPERIMENTS.md is the
-// companion index of claims and measured outcomes.
-func All() []Runner {
-	return []Runner{
-		{"E1", "characteristic drift directions (Figure 2)", E1QuadrantDrifts},
-		{"E2", "convergent spiral and Theorem 1 (Figure 3)", E2ConvergentSpiral},
-		{"E3", "packet-level queue trace (Figure 1)", E3QueueTrace},
-		{"E4", "equal-parameter fairness (Section 6)", E4FairnessEqual},
-		{"E5", "heterogeneous-parameter shares (Section 6)", E5FairnessHetero},
-		{"E6", "delay-induced oscillation (Section 7)", E6DelayOscillation},
-		{"E7", "delay-induced unfairness (Section 7)", E7DelayUnfairness},
-		{"E8", "algorithm-induced oscillation: AIAD vs AIMD", E8AlgorithmOscillation},
-		{"E9", "Fokker-Planck vs Monte-Carlo validation (Eq. 14)", E9FokkerPlanckVsMonteCarlo},
-		{"E10", "variability: Fokker-Planck vs fluid approximation", E10VariabilityVsFluid},
-		{"E11", "convergence speed vs (C0, C1) (Theorem 1)", E11ParameterSweep},
-		{"E12", "stationary spread vs sigma (Section 5 closing)", E12DiffusionSpread},
-		{"E13", "window protocol vs rate analogue (Eq. 1 vs Eq. 2)", E13WindowRateEquivalence},
-		{"E14", "FP advection scheme ablation (upwind vs MUSCL)", E14SchemeAblation},
-		{"E15", "Poincaré return map and quadratic contraction law", E15ReturnMapLaw},
-		{"E16", "multi-hop tandem network: share vs hop count", E16TandemHopCount},
-		{"E17", "Fokker-Planck vs exact Markov chain (Eq. 14 ground truth)", E17FokkerPlanckVsMarkov},
-		{"E18", "AIMD under bursty (on/off) traffic: variability sweep", E18BurstinessSweep},
-		{"E19", "delayed-feedback stability boundary (Hopf point)", E19StabilityBoundary},
-		{"E20", "gateway feedback disciplines: threshold vs DECbit vs RED", E20GatewayComparison},
-		{"E21", "TCP-Tahoe share vs RTT ratio (Jacobson/Zhang unfairness)", E21TahoeRTTShare},
-		{"E22", "stiff-law integrator ablation: RK4 vs implicit", E22IntegratorAblation},
-		{"E23", "engineering the delay budget: AIMD vs PD damping", E23DelayBudgetEngineering},
-		{"E24", "n delayed sources: shared-loop oscillation, invariant budget", E24MultiSourceDelay},
-		{"E25", "explicit queue feedback vs implicit loss feedback", E25ImplicitVsExplicit},
-		{"E26", "parking-lot topology fairness (netsim)", E26ParkingLotFairness},
-		{"E27", "cross-traffic bottleneck migration (netsim sweep)", E27BottleneckMigration},
+// companion index of claims and measured outcomes. Tags: "core"
+// (E1–E15, the paper's own analysis) vs "extension" (E16–E27), plus
+// the engines exercised and "sweep" for grid-shaped workloads.
+func All() []Experiment {
+	return []Experiment{
+		{"E1", "characteristic drift directions (Figure 2)", []string{"core", "characteristics"}, E1QuadrantDrifts},
+		{"E2", "convergent spiral and Theorem 1 (Figure 3)", []string{"core", "characteristics"}, E2ConvergentSpiral},
+		{"E3", "packet-level queue trace (Figure 1)", []string{"core", "des"}, E3QueueTrace},
+		{"E4", "equal-parameter fairness (Section 6)", []string{"core", "fairness", "fluid", "des"}, E4FairnessEqual},
+		{"E5", "heterogeneous-parameter shares (Section 6)", []string{"core", "fairness", "fluid"}, E5FairnessHetero},
+		{"E6", "delay-induced oscillation (Section 7)", []string{"core", "delay"}, E6DelayOscillation},
+		{"E7", "delay-induced unfairness (Section 7)", []string{"core", "delay", "fairness"}, E7DelayUnfairness},
+		{"E8", "algorithm-induced oscillation: AIAD vs AIMD", []string{"core", "delay"}, E8AlgorithmOscillation},
+		{"E9", "Fokker-Planck vs Monte-Carlo validation (Eq. 14)", []string{"core", "fokkerplanck", "sde"}, E9FokkerPlanckVsMonteCarlo},
+		{"E10", "variability: Fokker-Planck vs fluid approximation", []string{"core", "fokkerplanck", "fluid"}, E10VariabilityVsFluid},
+		{"E11", "convergence speed vs (C0, C1) (Theorem 1)", []string{"core", "characteristics", "sweep"}, E11ParameterSweep},
+		{"E12", "stationary spread vs sigma (Section 5 closing)", []string{"core", "fokkerplanck", "sweep"}, E12DiffusionSpread},
+		{"E13", "window protocol vs rate analogue (Eq. 1 vs Eq. 2)", []string{"core", "des"}, E13WindowRateEquivalence},
+		{"E14", "FP advection scheme ablation (upwind vs MUSCL)", []string{"core", "fokkerplanck", "ablation"}, E14SchemeAblation},
+		{"E15", "Poincaré return map and quadratic contraction law", []string{"core", "characteristics"}, E15ReturnMapLaw},
+		{"E16", "multi-hop tandem network: share vs hop count", []string{"extension", "des", "multihop"}, E16TandemHopCount},
+		{"E17", "Fokker-Planck vs exact Markov chain (Eq. 14 ground truth)", []string{"extension", "fokkerplanck", "markov"}, E17FokkerPlanckVsMarkov},
+		{"E18", "AIMD under bursty (on/off) traffic: variability sweep", []string{"extension", "des", "traffic", "sweep"}, E18BurstinessSweep},
+		{"E19", "delayed-feedback stability boundary (Hopf point)", []string{"extension", "dde", "stability", "sweep"}, E19StabilityBoundary},
+		{"E20", "gateway feedback disciplines: threshold vs DECbit vs RED", []string{"extension", "des", "gateway"}, E20GatewayComparison},
+		{"E21", "TCP-Tahoe share vs RTT ratio (Jacobson/Zhang unfairness)", []string{"extension", "des", "tahoe"}, E21TahoeRTTShare},
+		{"E22", "stiff-law integrator ablation: RK4 vs implicit", []string{"extension", "ode", "ablation"}, E22IntegratorAblation},
+		{"E23", "engineering the delay budget: AIMD vs PD damping", []string{"extension", "dde", "stability"}, E23DelayBudgetEngineering},
+		{"E24", "n delayed sources: shared-loop oscillation, invariant budget", []string{"extension", "dde", "stability", "sweep"}, E24MultiSourceDelay},
+		{"E25", "explicit queue feedback vs implicit loss feedback", []string{"extension", "des"}, E25ImplicitVsExplicit},
+		{"E26", "parking-lot topology fairness (netsim)", []string{"extension", "netsim", "multihop"}, E26ParkingLotFairness},
+		{"E27", "cross-traffic bottleneck migration (netsim sweep)", []string{"extension", "netsim", "sweep"}, E27BottleneckMigration},
 	}
 }

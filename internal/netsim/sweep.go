@@ -2,32 +2,25 @@ package netsim
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math"
-	"runtime"
-	"strconv"
-	"strings"
-	"sync"
-	"sync/atomic"
 
-	"fpcc/internal/rng"
 	"fpcc/internal/stats"
+	"fpcc/internal/sweep"
 )
 
-// This file is the scenario-sweep runner: Sweep evaluates a
-// simulation builder over every cell of an N-dimensional parameter
-// grid, sharding cells across parallel workers. Determinism is
-// preserved under parallelism: each cell gets a seed derived only
-// from (BaseSeed, cell index), cells are mutually independent Sims,
-// and results are stored by cell index — so the aggregate output is
-// byte-identical for any worker count.
+// This file is the netsim client of the engine-agnostic sweep runner
+// (internal/sweep): it maps one grid cell to a simulation Config,
+// runs it, and aggregates per-flow throughput, fairness and per-node
+// queue statistics. The worker pool, deterministic per-cell seeding,
+// early abort and order-independent result assembly all live in
+// internal/sweep; determinism under parallelism (byte-identical
+// CSV/JSON for any worker count) is inherited from it.
 
 // Param is one axis of the sweep grid.
-type Param struct {
-	Name   string    `json:"name"`
-	Values []float64 `json:"values"`
-}
+type Param = sweep.Dim
 
 // SweepConfig describes a parameter sweep.
 type SweepConfig struct {
@@ -66,92 +59,38 @@ type SweepResult struct {
 	Cells  []CellResult `json:"cells"`
 }
 
-// cellSeed derives the deterministic seed of cell idx from the base
-// seed, one SplitMix64 step along the golden-ratio sequence per cell.
-func cellSeed(base uint64, idx int) uint64 {
-	return rng.Mix(base + 0x9e3779b97f4a7c15*uint64(idx))
-}
-
-// cellValues decodes cell idx into one value per parameter
-// (row-major: the last parameter varies fastest).
-func cellValues(params []Param, idx int) []float64 {
-	vals := make([]float64, len(params))
-	for k := len(params) - 1; k >= 0; k-- {
-		n := len(params[k].Values)
-		vals[k] = params[k].Values[idx%n]
-		idx /= n
-	}
-	return vals
-}
-
 // Sweep runs every cell of the grid and returns the results in grid
 // order. Cells run concurrently on up to Workers goroutines; the
 // result (and any error, which is reported for the lowest-indexed
 // failing cell) is independent of the worker count. A failing cell
 // stops the sweep early: already-claimed cells finish, unclaimed
-// ones are never started. Because cells are claimed in ascending
-// index order, the lowest-indexed failure is always among the
-// claimed cells, keeping the reported error deterministic.
+// ones are never started.
 func Sweep(cfg SweepConfig) (*SweepResult, error) {
-	if len(cfg.Params) == 0 {
-		return nil, fmt.Errorf("netsim: sweep has no parameters")
-	}
-	cells := 1
-	for _, p := range cfg.Params {
-		if p.Name == "" {
-			return nil, fmt.Errorf("netsim: sweep parameter with empty name")
-		}
-		if len(p.Values) == 0 {
-			return nil, fmt.Errorf("netsim: sweep parameter %q has no values", p.Name)
-		}
-		cells *= len(p.Values)
-	}
 	if cfg.Build == nil {
 		return nil, fmt.Errorf("netsim: sweep has nil Build")
 	}
-	workers := cfg.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > cells {
-		workers = cells
-	}
-
-	results := make([]CellResult, cells)
-	errs := make([]error, cells)
-	var next atomic.Int64
-	var failed atomic.Bool
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for !failed.Load() {
-				idx := int(next.Add(1)) - 1
-				if idx >= cells {
-					return
-				}
-				results[idx], errs[idx] = runCell(cfg, idx)
-				if errs[idx] != nil {
-					failed.Store(true)
-				}
-			}
-		}()
-	}
-	wg.Wait()
-	for idx, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("netsim: sweep cell %d: %w", idx, err)
+	cells, err := sweep.Run(sweep.Config{
+		Grid:     sweep.Grid{Dims: cfg.Params},
+		BaseSeed: cfg.BaseSeed,
+		Workers:  cfg.Workers,
+	}, func(c sweep.Cell) (CellResult, error) {
+		return runCell(cfg, c)
+	})
+	if err != nil {
+		// CellErrors read "cell %d: ..." and want the "sweep" noun;
+		// validation errors already carry the "sweep:" prefix.
+		var ce *sweep.CellError
+		if errors.As(err, &ce) {
+			return nil, fmt.Errorf("netsim: sweep %w", err)
 		}
+		return nil, fmt.Errorf("netsim: %w", err)
 	}
-	return &SweepResult{Params: cfg.Params, Cells: results}, nil
+	return &SweepResult{Params: cfg.Params, Cells: cells}, nil
 }
 
 // runCell builds and runs one grid cell.
-func runCell(cfg SweepConfig, idx int) (CellResult, error) {
-	vals := cellValues(cfg.Params, idx)
-	seed := cellSeed(cfg.BaseSeed, idx)
-	simCfg, err := cfg.Build(vals, seed)
+func runCell(cfg SweepConfig, c sweep.Cell) (CellResult, error) {
+	simCfg, err := cfg.Build(c.Values, c.Seed)
 	if err != nil {
 		return CellResult{}, err
 	}
@@ -164,9 +103,9 @@ func runCell(cfg SweepConfig, idx int) (CellResult, error) {
 		return CellResult{}, err
 	}
 	cell := CellResult{
-		Index:      idx,
-		Values:     vals,
-		Seed:       seed,
+		Index:      c.Index,
+		Values:     c.Values,
+		Seed:       c.Seed,
 		Throughput: res.Throughput,
 		Fairness:   finiteOrZero(stats.JainIndex(res.Throughput)),
 		MeanQueue:  make([]float64, len(res.NodeQueue)),
@@ -190,41 +129,30 @@ func finiteOrZero(v float64) float64 {
 	return v
 }
 
-// fmtFloat renders a float with full round-trip precision, so the
-// text outputs are byte-stable across runs and worker counts.
-func fmtFloat(v float64) string {
-	return strconv.FormatFloat(v, 'g', -1, 64)
+// generic converts the sweep into the generic emission schema, which
+// owns the byte-stable CSV rendering.
+func (r *SweepResult) generic() *sweep.Result {
+	out := &sweep.Result{
+		Dims:    r.Params,
+		Columns: []string{"fairness", "delivered", "dropped", "throughput", "mean_queue"},
+		Cells:   make([]sweep.CellRow, len(r.Cells)),
+	}
+	for i, c := range r.Cells {
+		out.Cells[i] = sweep.CellRow{
+			Index:  c.Index,
+			Values: c.Values,
+			Seed:   c.Seed,
+			Row:    sweep.Row{c.Fairness, c.Delivered, c.Dropped, c.Throughput, c.MeanQueue},
+		}
+	}
+	return out
 }
 
 // WriteCSV renders the sweep as CSV: one row per cell with the
 // parameter values, the scalar aggregates, and the per-flow
 // throughput and per-node mean-queue vectors joined with ';'.
 func (r *SweepResult) WriteCSV(w io.Writer) error {
-	cols := []string{"index"}
-	for _, p := range r.Params {
-		cols = append(cols, p.Name)
-	}
-	cols = append(cols, "fairness", "delivered", "dropped", "throughput", "mean_queue")
-	if _, err := fmt.Fprintln(w, strings.Join(cols, ",")); err != nil {
-		return err
-	}
-	for _, c := range r.Cells {
-		row := []string{strconv.Itoa(c.Index)}
-		for _, v := range c.Values {
-			row = append(row, fmtFloat(v))
-		}
-		row = append(row,
-			fmtFloat(c.Fairness),
-			strconv.FormatInt(c.Delivered, 10),
-			strconv.FormatInt(c.Dropped, 10),
-			joinFloats(c.Throughput),
-			joinFloats(c.MeanQueue),
-		)
-		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
-			return err
-		}
-	}
-	return nil
+	return r.generic().WriteCSV(w)
 }
 
 // WriteJSON renders the sweep as indented JSON.
@@ -232,13 +160,4 @@ func (r *SweepResult) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(r)
-}
-
-// joinFloats renders a ';'-separated float list.
-func joinFloats(vs []float64) string {
-	parts := make([]string, len(vs))
-	for i, v := range vs {
-		parts[i] = fmtFloat(v)
-	}
-	return strings.Join(parts, ";")
 }

@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"fpcc/internal/control"
+	"fpcc/internal/sweep"
 )
 
 // sweepConfig64 is a 64-cell grid over (cross-traffic rate, C0) on
@@ -80,28 +81,28 @@ func TestSweepDeterministicAcrossWorkers(t *testing.T) {
 	}
 }
 
-// TestSweepGridOrder: cells enumerate the grid row-major with the
-// last parameter varying fastest, and carry stable per-cell seeds.
+// TestSweepGridOrder: netsim sweeps enumerate the grid row-major
+// with the last parameter varying fastest and carry the extracted
+// runner's deterministic per-cell seeds (the pre-extraction contract,
+// held against the delegated implementation).
 func TestSweepGridOrder(t *testing.T) {
-	params := []Param{
-		{Name: "a", Values: []float64{1, 2}},
-		{Name: "b", Values: []float64{10, 20, 30}},
+	cfg := sweepConfig64(2)
+	res, err := Sweep(cfg)
+	if err != nil {
+		t.Fatal(err)
 	}
-	want := [][2]float64{{1, 10}, {1, 20}, {1, 30}, {2, 10}, {2, 20}, {2, 30}}
-	for idx, w := range want {
-		got := cellValues(params, idx)
-		if got[0] != w[0] || got[1] != w[1] {
-			t.Errorf("cell %d values = %v, want %v", idx, got, w)
+	grid := sweep.Grid{Dims: cfg.Params}
+	for idx, c := range res.Cells {
+		if c.Index != idx {
+			t.Fatalf("cell %d stored at index %d", c.Index, idx)
 		}
-	}
-	if cellSeed(1, 0) == cellSeed(1, 1) {
-		t.Error("adjacent cells share a seed")
-	}
-	if cellSeed(1, 0) == cellSeed(2, 0) {
-		t.Error("different base seeds give the same cell seed")
-	}
-	if cellSeed(1, 5) != cellSeed(1, 5) {
-		t.Error("cell seed is not a pure function")
+		want := grid.Values(idx)
+		if c.Values[0] != want[0] || c.Values[1] != want[1] {
+			t.Errorf("cell %d values = %v, want %v", idx, c.Values, want)
+		}
+		if c.Seed != sweep.CellSeed(cfg.BaseSeed, idx) {
+			t.Errorf("cell %d seed = %d, want %d", idx, c.Seed, sweep.CellSeed(cfg.BaseSeed, idx))
+		}
 	}
 }
 

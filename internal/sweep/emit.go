@@ -1,0 +1,171 @@
+package sweep
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// This file is the byte-stable emission layer: RunRows evaluates a
+// sweep whose cells produce a Row of named-column values, and the
+// resulting Result renders as CSV or JSON identically for any worker
+// count. Floats are rendered with full round-trip precision
+// (FormatFloat with precision -1), never a lossy fixed format.
+
+// Row is one cell's output: one value per column of the sweep's
+// schema, in column order. Supported kinds are float64, integers,
+// strings and []float64 (rendered ';'-joined in CSV).
+type Row []any
+
+// CellRow pairs a grid cell with its output row.
+type CellRow struct {
+	Index  int       `json:"index"`
+	Values []float64 `json:"values"`
+	Seed   uint64    `json:"seed"`
+	Row    Row       `json:"row"`
+}
+
+// Result holds a completed row-producing sweep in grid order.
+type Result struct {
+	Dims    []Dim     `json:"dims"`
+	Columns []string  `json:"columns"`
+	Cells   []CellRow `json:"cells"`
+}
+
+// RunRows evaluates fn over every grid cell and collects the rows
+// under the given column schema. Every row must have exactly one
+// value per column.
+func RunRows(cfg Config, columns []string, fn func(Cell) (Row, error)) (*Result, error) {
+	if len(columns) == 0 {
+		return nil, fmt.Errorf("sweep: no columns")
+	}
+	cells, err := Run(cfg, func(c Cell) (CellRow, error) {
+		row, err := fn(c)
+		if err != nil {
+			return CellRow{}, err
+		}
+		if len(row) != len(columns) {
+			return CellRow{}, fmt.Errorf("row has %d values, schema has %d columns", len(row), len(columns))
+		}
+		return CellRow{Index: c.Index, Values: c.Values, Seed: c.Seed, Row: row}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Dims: cfg.Grid.Dims, Columns: columns, Cells: cells}, nil
+}
+
+// FormatFloat renders a float with full round-trip precision, so
+// machine outputs are byte-stable and lossless.
+func FormatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// JoinFloats renders a ';'-separated full-precision float list.
+func JoinFloats(vs []float64) string {
+	parts := make([]string, len(vs))
+	for i, v := range vs {
+		parts[i] = FormatFloat(v)
+	}
+	return strings.Join(parts, ";")
+}
+
+// FormatValue renders one Row value for CSV output.
+func FormatValue(v any) string {
+	switch x := v.(type) {
+	case float64:
+		return FormatFloat(x)
+	case []float64:
+		return JoinFloats(x)
+	default:
+		return fmt.Sprint(x)
+	}
+}
+
+// CSVField quotes a rendered value containing separators or quotes,
+// so string cells cannot corrupt the column structure.
+func CSVField(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}
+
+// JSONValue maps one Row value to a JSON-encodable one: non-finite
+// floats (NaN, ±Inf), scalar or inside a []float64, become their
+// FormatFloat strings — encoding/json rejects them outright —
+// and everything else passes through at full precision.
+func JSONValue(v any) any {
+	switch x := v.(type) {
+	case float64:
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return FormatFloat(x)
+		}
+	case []float64:
+		for _, f := range x {
+			if math.IsNaN(f) || math.IsInf(f, 0) {
+				out := make([]any, len(x))
+				for i, g := range x {
+					out[i] = JSONValue(g)
+				}
+				return out
+			}
+		}
+	}
+	return v
+}
+
+// MarshalJSON sanitizes the output row (see JSONValue) so a cell
+// reporting a NaN (e.g. a settling time that never settled) cannot
+// abort the whole result encoding.
+func (c CellRow) MarshalJSON() ([]byte, error) {
+	row := make([]any, len(c.Row))
+	for i, v := range c.Row {
+		row[i] = JSONValue(v)
+	}
+	return json.Marshal(struct {
+		Index  int       `json:"index"`
+		Values []float64 `json:"values"`
+		Seed   uint64    `json:"seed"`
+		Row    []any     `json:"row"`
+	}{c.Index, c.Values, c.Seed, row})
+}
+
+// WriteCSV renders the result as CSV: a header of the cell index, the
+// dimension names and the column names, then one row per cell in grid
+// order.
+func (r *Result) WriteCSV(w io.Writer) error {
+	cols := []string{"index"}
+	for _, d := range r.Dims {
+		cols = append(cols, CSVField(d.Name))
+	}
+	for _, c := range r.Columns {
+		cols = append(cols, CSVField(c))
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(cols, ",")); err != nil {
+		return err
+	}
+	for _, c := range r.Cells {
+		row := []string{strconv.Itoa(c.Index)}
+		for _, v := range c.Values {
+			row = append(row, FormatFloat(v))
+		}
+		for _, v := range c.Row {
+			row = append(row, CSVField(FormatValue(v)))
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJSON renders the result as indented JSON.
+func (r *Result) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
