@@ -1,4 +1,4 @@
-// Command benchreport runs the experiment registry (E1..E27) through
+// Command benchreport runs the experiment registry (E1..E29) through
 // the parallel suite runner and prints the paper-style result tables
 // as text, CSV or JSON. The CSV/JSON renderings carry full-precision
 // values and are byte-identical for any worker count.
@@ -11,10 +11,13 @@
 //	benchreport -only E6                 # run one experiment (exact id)
 //	benchreport -workers 8 -format json  # parallel, machine output
 //	benchreport -bench-json bench.json   # also write per-experiment timings
+//	benchreport -workers 1 -baseline BENCH_2026-07-27.json  # diff timings (matching worker
+//	                                     # count); >25% regressions exit non-zero
 //	benchreport -list                    # list the registry
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -34,6 +37,7 @@ func main() {
 	workers := flag.Int("workers", 0, "experiment worker count (0 = GOMAXPROCS)")
 	format := flag.String("format", "text", "output format: text, csv or json")
 	benchJSON := flag.String("bench-json", "", "write a machine-readable per-experiment timing report here")
+	baseline := flag.String("baseline", "", "diff current timings against this prior BENCH_*.json; >25% regressions exit non-zero")
 	list := flag.Bool("list", false, "list experiments and exit")
 	flag.Parse()
 
@@ -44,6 +48,22 @@ func main() {
 		return
 	}
 
+	// -only promises exact-id selection, but the shared filter is also
+	// matched against titles and tags; requiring a registered id up
+	// front keeps `-only sweep` from silently selecting every
+	// sweep-tagged experiment.
+	if *only != "" {
+		known := false
+		for _, e := range experiments.All() {
+			if e.ID == *only {
+				known = true
+				break
+			}
+		}
+		if !known {
+			fatal(fmt.Errorf("no experiment with id %q (use -list to see the registry)", *only))
+		}
+	}
 	filter, err := buildFilter(*only, *run)
 	if err != nil {
 		fatal(err)
@@ -102,6 +122,81 @@ func main() {
 		}
 		os.Exit(1)
 	}
+
+	if *baseline != "" {
+		regressions, err := diffBaseline(*baseline, suite, *workers)
+		if err != nil {
+			fatal(err)
+		}
+		if regressions > 0 {
+			fmt.Fprintf(os.Stderr, "%d timing regression(s) against %s\n", regressions, *baseline)
+			os.Exit(2)
+		}
+	}
+}
+
+// Regressions are flagged when an experiment runs more than 25%
+// slower than the baseline AND loses more than 10ms absolute — the
+// floor keeps micro-experiments (tens of µs) from tripping the gate
+// on scheduler noise.
+const (
+	regressionRatio = 1.25
+	regressionFloor = 0.010 // seconds
+)
+
+// diffBaseline compares the suite's timings against a prior
+// BENCH_*.json, prints the diff for every matched experiment on
+// stderr, and returns the regression count. Experiments absent from
+// either side are reported but never flagged, so the gate survives
+// registry growth.
+func diffBaseline(path string, suite *experiments.Suite, workers int) (regressions int, err error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return 0, fmt.Errorf("baseline: %w", err)
+	}
+	var base experiments.BenchReport
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return 0, fmt.Errorf("baseline %s does not decode as a BENCH_*.json timing report: %w", path, err)
+	}
+	// Per-experiment wall times depend on how many experiments run
+	// concurrently, so a diff across worker counts compares
+	// incommensurable numbers (contention inflates parallel timings).
+	// Refuse rather than gate on noise.
+	if base.Workers > 0 && base.Workers != workers {
+		return 0, fmt.Errorf("baseline %s was recorded at workers=%d but this run used workers=%d; rerun with -workers %d for a comparable diff",
+			path, base.Workers, workers, base.Workers)
+	}
+	baseSec := make(map[string]float64, len(base.Experiments))
+	for _, e := range base.Experiments {
+		baseSec[e.ID] = e.Seconds
+	}
+	fmt.Fprintf(os.Stderr, "baseline %s (workers=%d):\n", path, base.Workers)
+	for _, r := range suite.Reports {
+		id := r.Experiment.ID
+		cur := r.Elapsed.Seconds()
+		prev, ok := baseSec[id]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "  %-4s %8.3fs  (new: no baseline entry)\n", id, cur)
+			continue
+		}
+		delete(baseSec, id)
+		change := "="
+		if prev > 0 {
+			change = fmt.Sprintf("%+.1f%%", 100*(cur-prev)/prev)
+		}
+		mark := ""
+		if cur > prev*regressionRatio && cur-prev > regressionFloor {
+			mark = "  REGRESSION"
+			regressions++
+		}
+		fmt.Fprintf(os.Stderr, "  %-4s %8.3fs  vs %8.3fs  %s%s\n", id, cur, prev, change, mark)
+	}
+	for _, e := range base.Experiments {
+		if _, unmatched := baseSec[e.ID]; unmatched {
+			fmt.Fprintf(os.Stderr, "  %-4s (baseline entry not in this run)\n", e.ID)
+		}
+	}
+	return regressions, nil
 }
 
 // buildFilter combines -only (exact id) and -run (regexp) into one

@@ -1,0 +1,168 @@
+// Command meanfield runs the population-density engine on a one- or
+// two-class heterogeneous scenario: a fast-RTT class and (when
+// -slow-frac > 0) a slow-RTT class whose probe gain is C0/rtt-ratio
+// and whose feedback arrives rtt-ratio times later. The density mode
+// steps millions of sources at O(classes × bins) cost; the particle
+// mode runs the same Config as a finite-N SoA Monte-Carlo
+// cross-check (practical up to ~10⁵ sources).
+//
+// Examples:
+//
+//	meanfield -n 1000000 -slow-frac 0.5 -rtt-ratio 4
+//	meanfield -mode particle -n 10000 -seed 7 -workers 8
+//	meanfield -n 1000000 -csv trace.csv -every 0.1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"time"
+
+	"fpcc"
+)
+
+func main() {
+	var (
+		n        = flag.Int("n", 1_000_000, "total number of sources")
+		slowFrac = flag.Float64("slow-frac", 0.5, "fraction of sources in the slow-RTT class (0 = single class)")
+		rttRatio = flag.Float64("rtt-ratio", 4, "slow-class RTT / fast-class RTT")
+		delay    = flag.Float64("delay", 0.2, "fast-class feedback delay (s); slow class gets delay*rtt-ratio (0 = instantaneous feedback)")
+		c0       = flag.Float64("c0", 0.5, "per-source additive increase (fast class; slow gets c0/rtt-ratio)")
+		c1       = flag.Float64("c1", 0.5, "multiplicative decrease constant")
+		qhat0    = flag.Float64("qhat0", 2, "per-source queue target (total target = qhat0*n)")
+		share    = flag.Float64("share", 1, "per-source service share μ/n (pk/s)")
+		sigma    = flag.Float64("sigma", 0.3, "intrinsic per-source rate noise σ")
+		lmax     = flag.Float64("lmax", 6, "rate-domain upper bound (per source)")
+		bins     = flag.Int("bins", 192, "rate-grid resolution (density mode)")
+		dt       = flag.Float64("dt", 0.005, "time step")
+		horizon  = flag.Float64("t", 120, "simulation horizon (s)")
+		warmup   = flag.Float64("warmup", 60, "transient discarded before averaging (s)")
+		mode     = flag.String("mode", "density", "engine: density or particle")
+		firstOrd = flag.Bool("first-order", false, "use first-order upwind transport instead of MUSCL (density mode)")
+		seed     = flag.Uint64("seed", 1, "rng seed (particle mode)")
+		workers  = flag.Int("workers", 0, "particle chunk workers (0 = GOMAXPROCS); never affects results")
+		csvPath  = flag.String("csv", "", "write a trace CSV here ('-' = stdout)")
+		every    = flag.Float64("every", 0.5, "trace sample period (s)")
+	)
+	flag.Parse()
+
+	cfg, err := buildConfig(*n, *slowFrac, *rttRatio, *delay, *c0, *c1, *qhat0, *share,
+		*sigma, *lmax, *bins, *dt, !*firstOrd)
+	if err != nil {
+		log.Fatalf("meanfield: %v", err)
+	}
+
+	var eng fpcc.MeanFieldStepper
+	switch *mode {
+	case "density":
+		d, err := fpcc.NewMeanField(cfg)
+		if err != nil {
+			log.Fatalf("meanfield: %v", err)
+		}
+		eng = d
+	case "particle":
+		if cfg.TotalSources() > 200_000 {
+			log.Fatalf("meanfield: %d sources is beyond the particle mode's practical range; use -mode density", cfg.TotalSources())
+		}
+		p, err := fpcc.NewMeanFieldParticles(cfg, *seed, *workers)
+		if err != nil {
+			log.Fatalf("meanfield: %v", err)
+		}
+		eng = p
+	default:
+		log.Fatalf("meanfield: unknown mode %q (want density or particle)", *mode)
+	}
+
+	var trace io.Writer
+	if *csvPath != "" {
+		if *csvPath == "-" {
+			trace = os.Stdout
+		} else {
+			f, err := os.Create(*csvPath)
+			if err != nil {
+				log.Fatalf("meanfield: %v", err)
+			}
+			defer f.Close()
+			trace = f
+		}
+		fmt.Fprint(trace, "t,queue_per_source")
+		for k := range cfg.Classes {
+			fmt.Fprintf(trace, ",rate_%s", cfg.ClassName(k))
+		}
+		fmt.Fprintln(trace)
+	}
+
+	start := time.Now()
+	var steps int
+	nextSample := 0.0
+	perSource := float64(cfg.TotalSources())
+	meanQ, rates, err := fpcc.MeanFieldSteadyStats(eng, *warmup, *horizon, func() {
+		steps++
+		if trace != nil && eng.Time() >= nextSample {
+			fmt.Fprintf(trace, "%g,%g", eng.Time(), eng.Queue()/perSource)
+			for k := range cfg.Classes {
+				fmt.Fprintf(trace, ",%g", eng.ClassMeanRate(k))
+			}
+			fmt.Fprintln(trace)
+			nextSample += *every
+		}
+	})
+	if err != nil {
+		log.Fatalf("meanfield: %v", err)
+	}
+	elapsed := time.Since(start)
+
+	fmt.Printf("mode=%s sources=%d classes=%d steps=%d wall=%v (%.3g µs/step)\n",
+		*mode, cfg.TotalSources(), len(cfg.Classes), steps, elapsed.Round(time.Millisecond),
+		float64(elapsed.Microseconds())/float64(steps))
+	fmt.Printf("steady state over [%g, %g]:\n", *warmup, *horizon)
+	fmt.Printf("  queue per source  %.4f (target %g)\n", meanQ/perSource, *qhat0)
+	for k := range cfg.Classes {
+		fmt.Printf("  %-6s mean rate  %.4f (N=%d, share %g)\n",
+			cfg.ClassName(k), rates[k], cfg.Classes[k].N, *share)
+	}
+}
+
+// buildConfig assembles the one- or two-class scenario.
+func buildConfig(n int, slowFrac, rttRatio, delay, c0, c1, qhat0, share, sigma, lmax float64,
+	bins int, dt float64, secondOrder bool) (fpcc.MeanFieldConfig, error) {
+	if slowFrac < 0 || slowFrac >= 1 {
+		return fpcc.MeanFieldConfig{}, fmt.Errorf("slow-frac %v outside [0, 1)", slowFrac)
+	}
+	if rttRatio < 1 {
+		return fpcc.MeanFieldConfig{}, fmt.Errorf("rtt-ratio %v below 1", rttRatio)
+	}
+	qhat := qhat0 * float64(n)
+	nSlow := int(slowFrac * float64(n))
+	nFast := n - nSlow
+	fastLaw, err := fpcc.NewAIMD(c0*share, c1, qhat)
+	if err != nil {
+		return fpcc.MeanFieldConfig{}, err
+	}
+	classes := fpcc.MeanFieldClasses(fpcc.MeanFieldClass{
+		Name: "fast", Law: fastLaw, N: nFast, Delay: delay,
+		Lambda0: share, InitStd: 0.3 * share, SigmaL: sigma * share,
+	})
+	if nSlow > 0 {
+		slowLaw, err := fpcc.NewAIMD(c0*share/rttRatio, c1, qhat)
+		if err != nil {
+			return fpcc.MeanFieldConfig{}, err
+		}
+		classes = append(classes, fpcc.MeanFieldClass{
+			Name: "slow", Law: slowLaw, N: nSlow, Delay: delay * rttRatio,
+			Lambda0: share, InitStd: 0.3 * share, SigmaL: sigma * share,
+		})
+	}
+	return fpcc.MeanFieldConfig{
+		Classes:     classes,
+		Mu:          share * float64(n),
+		LMax:        lmax * share,
+		Bins:        bins,
+		Dt:          dt,
+		Q0:          qhat,
+		SecondOrder: secondOrder,
+	}, nil
+}

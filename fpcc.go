@@ -12,7 +12,7 @@
 //
 //	f_t + v·f_q + (g·f)_v = (σ²/2)·f_qq        (Eq. 14)
 //
-// The package exposes four complementary views of the same system:
+// The package exposes five complementary views of the same system:
 //
 //   - FokkerPlanck: a finite-difference solver for Eq. 14 (the paper's
 //     primary contribution) with moments, marginals and overflow
@@ -24,6 +24,9 @@
 //     and per-source feedback delays (Sections 6-7).
 //   - PacketSim: a packet-level discrete-event simulator of the real
 //     stochastic system the analysis approximates.
+//   - MeanField: the large-N kinetic limit — per-class rate densities
+//     for millions of heterogeneous sources at O(classes × bins) cost,
+//     with a finite-N particle backend as cross-check.
 //
 // # Quick start
 //
@@ -48,6 +51,7 @@ import (
 	"fpcc/internal/fluid"
 	"fpcc/internal/fokkerplanck"
 	"fpcc/internal/markov"
+	"fpcc/internal/meanfield"
 	"fpcc/internal/netsim"
 	"fpcc/internal/sde"
 	"fpcc/internal/stability"
@@ -337,6 +341,59 @@ func SweepGrid[T any](cfg GridConfig, fn func(GridCell) (T, error)) ([]T, error)
 // rows, for byte-stable CSV/JSON emission.
 func SweepGridRows(cfg GridConfig, columns []string, fn func(GridCell) (GridRow, error)) (*GridResult, error) {
 	return sweep.RunRows(cfg, columns, fn)
+}
+
+// Mean-field population engine (internal/meanfield): the paper's
+// large-N limit made first-class. Heterogeneous classes of sources —
+// mixed laws, RTTs, weights, populations — evolve as per-class rate
+// densities coupled to the shared bottleneck queue, at
+// O(classes × bins) cost per step independent of N, so 10⁶⁺-source
+// scenarios run in milliseconds. A cross-checking finite-N particle
+// backend (structure-of-arrays, chunked worker pool, deterministic
+// for any worker count) provides the stochastic ground truth the
+// density limit is validated against (experiment E28).
+
+// MeanFieldClass describes one homogeneous sub-population: law,
+// population size, weight, feedback delay (RTT), initial rate blob
+// and intrinsic rate noise.
+type MeanFieldClass = meanfield.Class
+
+// MeanFieldConfig describes a mean-field scenario: class mix, shared
+// bottleneck, rate domain and step. Both backends take the same
+// config.
+type MeanFieldConfig = meanfield.Config
+
+// MeanField is the kinetic (population-density) engine.
+type MeanField = meanfield.Density
+
+// MeanFieldParticles is the finite-N SoA particle backend.
+type MeanFieldParticles = meanfield.Particles
+
+// MeanFieldClasses builds the Classes slice of a MeanFieldConfig in
+// one expression.
+func MeanFieldClasses(classes ...MeanFieldClass) []MeanFieldClass { return classes }
+
+// NewMeanField builds the kinetic engine: per-class rate densities on
+// a shared λ-grid, upwind or MUSCL transport, coupled queue ODE.
+func NewMeanField(cfg MeanFieldConfig) (*MeanField, error) { return meanfield.NewDensity(cfg) }
+
+// NewMeanFieldParticles builds the finite-N particle backend; workers
+// bounds the per-step parallelism (0 = GOMAXPROCS) and never affects
+// results.
+func NewMeanFieldParticles(cfg MeanFieldConfig, seed uint64, workers int) (*MeanFieldParticles, error) {
+	return meanfield.NewParticles(cfg, seed, workers)
+}
+
+// MeanFieldStepper is the stepping surface both mean-field backends
+// share.
+type MeanFieldStepper = meanfield.Stepper
+
+// MeanFieldSteadyStats advances either backend to the horizon and
+// returns the window-averaged queue and per-class mean rates over
+// (warm, horizon]; onStep (optional) runs after every step for trace
+// sampling.
+func MeanFieldSteadyStats(s MeanFieldStepper, warm, horizon float64, onStep func()) (meanQ float64, meanRates []float64, err error) {
+	return meanfield.SteadyStats(s, warm, horizon, onStep)
 }
 
 // EnsembleConfig configures an SDE particle ensemble of the Eq. 14

@@ -390,3 +390,58 @@ func TestFacadeGenericSweep(t *testing.T) {
 		t.Fatalf("generic sweep CSV header wrong:\n%s", csv.String())
 	}
 }
+
+// TestFacadeMeanField runs the headline large-N scenario through the
+// public API: a million-source two-class population on the kinetic
+// engine, cross-checked against a small particle run.
+func TestFacadeMeanField(t *testing.T) {
+	const total = 1_000_000
+	law := fpcc.AIMD{C0: 0.5, C1: 0.5, QHat: 2 * total}
+	cfg := fpcc.MeanFieldConfig{
+		Classes: fpcc.MeanFieldClasses(
+			fpcc.MeanFieldClass{Name: "bulk", Law: law, N: total / 2, Lambda0: 1, InitStd: 0.3, SigmaL: 0.3},
+			fpcc.MeanFieldClass{Name: "heavy", Law: law, N: total / 2, Weight: 2, Lambda0: 1, InitStd: 0.3, SigmaL: 0.3},
+		),
+		Mu: total, LMax: 4, Bins: 96, Dt: 0.01, Q0: 2 * total, SecondOrder: true,
+	}
+	d, err := fpcc.NewMeanField(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Run(30); err != nil {
+		t.Fatal(err)
+	}
+	var qSum float64
+	var n int
+	for d.Time() < 50 {
+		if err := d.Step(); err != nil {
+			t.Fatal(err)
+		}
+		qSum += d.Queue()
+		n++
+	}
+	if got := qSum / float64(n) / total; math.Abs(got-2) > 0.1 {
+		t.Fatalf("per-source queue %v, want ~2", got)
+	}
+
+	pcfg := cfg
+	pcfg.Classes = fpcc.MeanFieldClasses(
+		fpcc.MeanFieldClass{Law: fpcc.AIMD{C0: 0.5, C1: 0.5, QHat: 2 * 2000}, N: 2000, Lambda0: 1, InitStd: 0.3, SigmaL: 0.3},
+	)
+	pcfg.Mu = 2000
+	pcfg.Q0 = 2 * 2000
+	p, err := fpcc.NewMeanFieldParticles(pcfg, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Run(5); err != nil {
+		t.Fatal(err)
+	}
+	m := p.ClassMoments(0)
+	if m.Count() != 2000 {
+		t.Fatalf("particle count %d, want 2000", m.Count())
+	}
+	if m.Mean() < 0 || m.Mean() > 4 {
+		t.Fatalf("particle mean rate %v outside the domain", m.Mean())
+	}
+}

@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// renderTable renders one table in all three formats.
+func renderTable(t *testing.T, tb *Table) (text, csv, js string) {
+	t.Helper()
+	var cb bytes.Buffer
+	if err := tb.WriteCSV(&cb); err != nil {
+		t.Fatal(err)
+	}
+	j, err := json.Marshal(tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tb.String(), cb.String(), string(j)
+}
+
+// TestMeanFieldTablesDeterministicAcrossWorkers pins the worker bound
+// of both parallel layers under E28/E29 — the sweep cell pool and the
+// particle chunk pool — at 1 and at 8, and requires byte-identical
+// text, CSV and JSON. This is the meanfield instance of the
+// repository-wide contract that worker counts change wall-clock time,
+// never results.
+func TestMeanFieldTablesDeterministicAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs E28 (10⁴-particle ensembles) and E29 twice each")
+	}
+	for _, tc := range []struct {
+		id  string
+		run func(workers int) (*Table, error)
+	}{
+		{"E28", e28Table},
+		{"E29", e29Table},
+	} {
+		serial, err := tc.run(1)
+		if err != nil {
+			t.Fatalf("%s workers=1: %v", tc.id, err)
+		}
+		parallel, err := tc.run(8)
+		if err != nil {
+			t.Fatalf("%s workers=8: %v", tc.id, err)
+		}
+		st, sc, sj := renderTable(t, serial)
+		pt, pc, pj := renderTable(t, parallel)
+		if st != pt {
+			t.Errorf("%s text differs between 1 and 8 workers:\n--- workers=1\n%s\n--- workers=8\n%s", tc.id, st, pt)
+		}
+		if sc != pc {
+			t.Errorf("%s CSV differs between 1 and 8 workers", tc.id)
+		}
+		if sj != pj {
+			t.Errorf("%s JSON differs between 1 and 8 workers", tc.id)
+		}
+		if alarm := serial.Alarm(); alarm != "" {
+			t.Errorf("%s alarmed: %s", tc.id, alarm)
+		}
+	}
+}

@@ -1,6 +1,6 @@
 // Package experiments regenerates every table and figure of the
 // paper's evaluation, plus the extensions layered on it: each
-// experiment E1..E27 is a function returning a Table of labelled rows
+// experiment E1..E29 is a function returning a Table of labelled rows
 // that a CLI (cmd/benchreport) or a benchmark (bench_test.go at the
 // repository root) can print and time. EXPERIMENTS.md records the
 // paper's claim next to the measured outcome for each.
@@ -202,7 +202,7 @@ type Runner = Experiment
 
 // All returns every experiment in order; EXPERIMENTS.md is the
 // companion index of claims and measured outcomes. Tags: "core"
-// (E1–E15, the paper's own analysis) vs "extension" (E16–E27), plus
+// (E1–E15, the paper's own analysis) vs "extension" (E16–E29), plus
 // the engines exercised and "sweep" for grid-shaped workloads.
 func All() []Experiment {
 	return []Experiment{
@@ -233,5 +233,7 @@ func All() []Experiment {
 		{"E25", "explicit queue feedback vs implicit loss feedback", []string{"extension", "des"}, E25ImplicitVsExplicit},
 		{"E26", "parking-lot topology fairness (netsim)", []string{"extension", "netsim", "multihop"}, E26ParkingLotFairness},
 		{"E27", "cross-traffic bottleneck migration (netsim sweep)", []string{"extension", "netsim", "sweep"}, E27BottleneckMigration},
+		{"E28", "mean-field convergence: particles vs density in N", []string{"extension", "meanfield", "sde", "sweep"}, E28MeanFieldConvergence},
+		{"E29", "heterogeneous RTT mix at N=10⁶ (mean-field sweep)", []string{"extension", "meanfield", "fairness", "sweep"}, E29HeterogeneousRTTMix},
 	}
 }

@@ -1,5 +1,7 @@
 package fokkerplanck
 
+import "fpcc/internal/linalg"
+
 // Second-order advection sweeps: MUSCL reconstruction with the minmod
 // limiter (a TVD scheme). The first-order upwind sweeps in solver.go
 // are robust but diffusive — they over-spread the density by
@@ -13,24 +15,6 @@ package fokkerplanck
 // within each control branch (constant on the increase side, linear in
 // λ on the decrease side), so the per-edge-speed reconstruction keeps
 // its accuracy away from the measure-zero switching line.
-
-// minmod returns the minmod slope limiter of two one-sided
-// differences: 0 on sign disagreement, else the smaller magnitude.
-func minmod(a, b float64) float64 {
-	if a > 0 && b > 0 {
-		if a < b {
-			return a
-		}
-		return b
-	}
-	if a < 0 && b < 0 {
-		if a > b {
-			return a
-		}
-		return b
-	}
-	return 0
-}
 
 // advectQ2 is the second-order counterpart of advectQ: per v-row
 // constant-speed advection with MUSCL-limited fluxes and the same
@@ -54,7 +38,7 @@ func (s *Solver) advectQ2(dt float64) {
 			if i <= 0 || i >= nq-1 {
 				return 0 // first-order fallback at the boundary cells
 			}
-			return minmod(at(i)-at(i-1), at(i+1)-at(i))
+			return linalg.Minmod(at(i)-at(i-1), at(i+1)-at(i))
 		}
 		for iq := 0; iq < nq; iq++ {
 			var fluxL, fluxR float64 // through left and right edges of cell iq
@@ -108,7 +92,7 @@ func (s *Solver) advectV2(dt float64) {
 			if i <= 0 || i >= nv-1 {
 				return 0
 			}
-			return minmod(at(i)-at(i-1), at(i+1)-at(i))
+			return linalg.Minmod(at(i)-at(i-1), at(i+1)-at(i))
 		}
 		for iv := 1; iv < nv; iv++ {
 			vEdge := s.g2d.Y.Edge(iv)

@@ -145,18 +145,6 @@ func TestSecondOrderTightensMonteCarloMatch(t *testing.T) {
 	}
 }
 
-func TestMinmod(t *testing.T) {
-	cases := []struct{ a, b, want float64 }{
-		{1, 2, 1}, {2, 1, 1}, {-1, -2, -1}, {-2, -1, -1},
-		{1, -1, 0}, {-1, 1, 0}, {0, 5, 0}, {5, 0, 0},
-	}
-	for _, tc := range cases {
-		if got := minmod(tc.a, tc.b); got != tc.want {
-			t.Errorf("minmod(%v, %v) = %v, want %v", tc.a, tc.b, got, tc.want)
-		}
-	}
-}
-
 func BenchmarkStepSecondOrder(b *testing.B) {
 	cfg := baseConfig()
 	cfg.SecondOrder = true

@@ -80,6 +80,26 @@ func L1Dist(x, y []float64) float64 {
 	return s
 }
 
+// Minmod returns the minmod slope limiter of two one-sided
+// differences: 0 on sign disagreement, else the smaller magnitude.
+// It is the TVD limiter shared by the MUSCL advection sweeps of
+// internal/fokkerplanck and internal/meanfield.
+func Minmod(a, b float64) float64 {
+	if a > 0 && b > 0 {
+		if a < b {
+			return a
+		}
+		return b
+	}
+	if a < 0 && b < 0 {
+		if a > b {
+			return a
+		}
+		return b
+	}
+	return 0
+}
+
 // ClampNonNegative zeroes every negative element of x and returns the
 // total (negative) mass removed. Upwind advection of a density can
 // produce tiny negative undershoots; the Fokker-Planck solver clips

@@ -135,3 +135,15 @@ func TestDotCauchySchwarz(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestMinmod(t *testing.T) {
+	cases := []struct{ a, b, want float64 }{
+		{1, 2, 1}, {2, 1, 1}, {-1, -2, -1}, {-2, -1, -1},
+		{1, -1, 0}, {-1, 1, 0}, {0, 5, 0}, {5, 0, 0},
+	}
+	for _, tc := range cases {
+		if got := Minmod(tc.a, tc.b); got != tc.want {
+			t.Errorf("Minmod(%v, %v) = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,229 @@
+// Package meanfield is the population-density engine for the paper's
+// large-N limit: millions of heterogeneous sources adjusting their
+// sending rates from shared queue feedback, evolved as per-class
+// densities instead of individuals.
+//
+// The finite-N system is the one internal/des and internal/fluid
+// simulate source by source: N_k sources of class k, each with rate
+// λ_i(t) obeying dλ = g_k(Q(t−τ_k), λ) dt (+ σ_k dW_i for intrinsic
+// rate variability), feeding a shared bottleneck queue
+//
+//	dQ/dt = Σ_k w_k Σ_{i∈k} λ_i(t) − μ       (Q reflected at 0).
+//
+// Because every source of a class sees the same (delayed) queue, the
+// kinetic limit N → ∞ closes exactly: the per-class density f_k(λ, t)
+// of source rates obeys the one-dimensional transport-diffusion
+// equation
+//
+//	∂f_k/∂t + ∂(g_k(Q(t−τ_k), λ) f_k)/∂λ = (σ_k²/2) ∂²f_k/∂λ²
+//
+// coupled to the queue ODE through the aggregate arrival rate
+// Σ_k w_k N_k ∫ λ f_k dλ. Stepping the densities costs
+// O(classes × bins), independent of N — a million-source population
+// advances in the time a particle model spends on a few hundred — so
+// heavy-traffic scenarios become directly computable rather than
+// extrapolated.
+//
+// Two cross-checking backends share the Config:
+//
+//   - Density: the kinetic engine — conservative upwind (or
+//     MUSCL/minmod, Config.SecondOrder) transport in λ per class, in
+//     the style of internal/fokkerplanck's advection sweeps, plus a
+//     Crank-Nicolson diffusion solve when σ_k > 0.
+//   - Particles: a finite-N structure-of-arrays Monte-Carlo backend
+//     (flat []float64 rate arrays in fixed-size chunks, stepped on a
+//     bounded worker pool with rng.Mix-derived per-chunk streams), the
+//     stochastic ground truth the density limit is validated against.
+//
+// Experiment E28 shows particle-mode observables converging to the
+// density solution as N grows; E29 runs heterogeneous two-class
+// (slow-RTT vs fast-RTT) populations at N = 10⁶ on internal/sweep
+// grids.
+package meanfield
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"fpcc/internal/control"
+)
+
+// Class describes one homogeneous sub-population of sources.
+type Class struct {
+	// Name labels the class in reports (defaults to "class<k>").
+	Name string
+	// Law is the class's rate-control law g(Q, λ). The law observes
+	// the TOTAL queue length (like every other engine in this
+	// repository), so its threshold q̂ is a total-queue target.
+	Law control.Law
+	// N is the population size. The density engine's per-step cost is
+	// independent of N; the particle engine allocates N slots.
+	N int
+	// Weight scales this class's per-source contribution to the
+	// aggregate arrival rate (0 means 1). A weight of 2 models sources
+	// whose packets are twice the base size.
+	Weight float64
+	// Delay is the class's feedback delay τ (its RTT): controllers
+	// observe Q(t−τ).
+	Delay float64
+	// Lambda0 and InitStd define the initial rate distribution: a
+	// Gaussian blob clipped to [0, LMax] (InitStd = 0 is a point
+	// mass).
+	Lambda0 float64
+	InitStd float64
+	// SigmaL is the intrinsic rate variability σ_k: per-source
+	// Brownian rate noise in the particle backend, the matching
+	// (σ_k²/2)·f_λλ diffusion in the density backend.
+	SigmaL float64
+}
+
+// Config describes a mean-field problem: the class mix, the shared
+// bottleneck, the rate domain, and the time step. Both backends
+// (Density, Particles) take the same Config, so a scenario can be run
+// at any fidelity without restating it.
+type Config struct {
+	Classes []Class
+	// Mu is the total bottleneck service rate shared by all classes.
+	Mu float64
+	// LMax bounds the per-source rate domain λ ∈ [0, LMax]. The
+	// density lives on this interval (zero-flux ends); particles are
+	// reflected into it.
+	LMax float64
+	// Bins is the density engine's λ-grid resolution per class.
+	Bins int
+	// Dt is the explicit Euler step shared by both backends. The
+	// density engine additionally enforces the CFL bound
+	// max|g|·Dt/Δλ ≤ 1 at every step.
+	Dt float64
+	// Q0 is the initial queue length.
+	Q0 float64
+	// SecondOrder selects MUSCL/minmod (TVD) transport sweeps instead
+	// of first-order upwind in the density engine, removing most of
+	// the numerical diffusion (same trade as fokkerplanck.Config).
+	SecondOrder bool
+}
+
+// Validate checks the configuration shared by both backends.
+func (c *Config) Validate() error {
+	switch {
+	case len(c.Classes) == 0:
+		return fmt.Errorf("meanfield: no classes")
+	case !(c.Mu > 0) || math.IsInf(c.Mu, 1):
+		return fmt.Errorf("meanfield: service rate must be positive, got %v", c.Mu)
+	case !(c.LMax > 0) || math.IsInf(c.LMax, 1):
+		return fmt.Errorf("meanfield: LMax must be positive, got %v", c.LMax)
+	case c.Bins < 8:
+		return fmt.Errorf("meanfield: need at least 8 rate bins, got %d", c.Bins)
+	case !(c.Dt > 0):
+		return fmt.Errorf("meanfield: non-positive step %v", c.Dt)
+	case !(c.Q0 >= 0):
+		return fmt.Errorf("meanfield: invalid initial queue %v", c.Q0)
+	}
+	// The !(x >= 0) forms below reject NaN along with negatives: a NaN
+	// parameter would pass a plain x < 0 check and silently poison the
+	// queue ODE.
+	for k, cl := range c.Classes {
+		switch {
+		case cl.Law == nil:
+			return fmt.Errorf("meanfield: class %d has nil law", k)
+		case cl.N < 1:
+			return fmt.Errorf("meanfield: class %d has population %d, want >= 1", k, cl.N)
+		case !(cl.Weight >= 0):
+			return fmt.Errorf("meanfield: class %d has invalid weight %v", k, cl.Weight)
+		case !(cl.Delay >= 0):
+			return fmt.Errorf("meanfield: class %d has invalid delay %v", k, cl.Delay)
+		case !(cl.Lambda0 >= 0) || cl.Lambda0 > c.LMax:
+			return fmt.Errorf("meanfield: class %d initial rate %v outside [0, %v]", k, cl.Lambda0, c.LMax)
+		case !(cl.InitStd >= 0):
+			return fmt.Errorf("meanfield: class %d has invalid initial spread %v", k, cl.InitStd)
+		case !(cl.SigmaL >= 0):
+			return fmt.Errorf("meanfield: class %d has invalid sigma %v", k, cl.SigmaL)
+		}
+	}
+	return nil
+}
+
+// TotalSources returns Σ_k N_k.
+func (c *Config) TotalSources() int {
+	n := 0
+	for _, cl := range c.Classes {
+		n += cl.N
+	}
+	return n
+}
+
+// ClassName returns the display name of class k.
+func (c *Config) ClassName(k int) string {
+	if c.Classes[k].Name != "" {
+		return c.Classes[k].Name
+	}
+	return fmt.Sprintf("class%d", k)
+}
+
+// weight resolves the per-source weight of class k (0 means 1).
+func (c *Config) weight(k int) float64 {
+	if w := c.Classes[k].Weight; w > 0 {
+		return w
+	}
+	return 1
+}
+
+// maxDelay returns the longest class feedback delay.
+func (c *Config) maxDelay() float64 {
+	var d float64
+	for _, cl := range c.Classes {
+		if cl.Delay > d {
+			d = cl.Delay
+		}
+	}
+	return d
+}
+
+// qHistory is the continuous queue-length record both backends use
+// for delayed observation: samples are appended once per step and a
+// controller observing with delay τ reads the linear interpolation at
+// t−τ (the queue of this fluid-limit model is continuous, unlike the
+// integer-valued des.QueueHistory).
+type qHistory struct {
+	t, q []float64
+}
+
+// record appends the sample (t, q), pruning samples strictly older
+// than cut once the history has grown large (one sample at or before
+// the cut is kept so lookups just inside the window interpolate).
+func (h *qHistory) record(t, q, cut float64) {
+	h.t = append(h.t, t)
+	h.q = append(h.q, q)
+	if len(h.t) > 8192 {
+		k := sort.SearchFloat64s(h.t, cut)
+		if k > 1 {
+			k-- // keep one sample at or before the cut
+			h.t = append(h.t[:0], h.t[k:]...)
+			h.q = append(h.q[:0], h.q[k:]...)
+		}
+	}
+}
+
+// at returns the queue length at time t, linearly interpolated
+// between samples and clamped to the recorded range (times before the
+// first sample return the initial state).
+func (h *qHistory) at(t float64) float64 {
+	n := len(h.t)
+	if n == 0 {
+		return 0
+	}
+	if t <= h.t[0] {
+		return h.q[0]
+	}
+	if t >= h.t[n-1] {
+		return h.q[n-1]
+	}
+	k := sort.SearchFloat64s(h.t, t)
+	t0, t1 := h.t[k-1], h.t[k]
+	if t1 == t0 {
+		return h.q[k]
+	}
+	frac := (t - t0) / (t1 - t0)
+	return h.q[k-1] + frac*(h.q[k]-h.q[k-1])
+}

@@ -1,0 +1,60 @@
+package meanfield
+
+import (
+	"fmt"
+	"math"
+)
+
+// Stepper is the stepping surface the Density and Particles backends
+// share. Code that measures either backend — the convergence tests,
+// the E28/E29 experiments, cmd/meanfield, examples/many-users —
+// programs against it.
+type Stepper interface {
+	Step() error
+	Time() float64
+	Queue() float64
+	NumClasses() int
+	ClassMeanRate(k int) float64
+}
+
+var (
+	_ Stepper = (*Density)(nil)
+	_ Stepper = (*Particles)(nil)
+)
+
+// SteadyStats advances s to the horizon and returns the per-step
+// averages of the queue and each class's mean rate over the
+// measurement window (warm, horizon] — the steady-state observables
+// every consumer of the engine reports. onStep, when non-nil, runs
+// after every step (during warmup too), for callers that also sample
+// traces or marginals along the way.
+func SteadyStats(s Stepper, warm, horizon float64, onStep func()) (meanQ float64, meanRates []float64, err error) {
+	if !(horizon > warm) {
+		return 0, nil, fmt.Errorf("meanfield: horizon %v must exceed warmup %v", horizon, warm)
+	}
+	meanRates = make([]float64, s.NumClasses())
+	var cnt int
+	for s.Time() < horizon {
+		if err := s.Step(); err != nil {
+			return 0, nil, err
+		}
+		if onStep != nil {
+			onStep()
+		}
+		if s.Time() > warm {
+			meanQ += s.Queue()
+			for k := range meanRates {
+				meanRates[k] += s.ClassMeanRate(k)
+			}
+			cnt++
+		}
+	}
+	if cnt == 0 {
+		return math.NaN(), meanRates, fmt.Errorf("meanfield: no steps fell in the window (%v, %v] with Dt so large", warm, horizon)
+	}
+	meanQ /= float64(cnt)
+	for k := range meanRates {
+		meanRates[k] /= float64(cnt)
+	}
+	return meanQ, meanRates, nil
+}

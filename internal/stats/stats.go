@@ -41,6 +41,34 @@ func (m *Moments) Add(x float64) {
 	m.m2 += d * (x - m.mean)
 }
 
+// Merge incorporates the observations summarized by other into m, as
+// if every observation fed to other had been fed to m directly
+// (Chan-Golub-LeVeque pairwise update of the Welford state). It lets
+// shards of a partitioned stream — e.g. the SoA particle chunks of
+// internal/meanfield — accumulate moments independently and combine
+// them without a second pass over the data.
+func (m *Moments) Merge(other Moments) {
+	if other.n == 0 {
+		return
+	}
+	if m.n == 0 {
+		*m = other
+		return
+	}
+	if other.min < m.min {
+		m.min = other.min
+	}
+	if other.max > m.max {
+		m.max = other.max
+	}
+	na, nb := float64(m.n), float64(other.n)
+	n := na + nb
+	d := other.mean - m.mean
+	m.mean += d * nb / n
+	m.m2 += other.m2 + d*d*na*nb/n
+	m.n += other.n
+}
+
 // Count returns the number of observations.
 func (m *Moments) Count() int { return m.n }
 

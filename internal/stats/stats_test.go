@@ -61,6 +61,87 @@ func TestMomentsMatchNaive(t *testing.T) {
 	}
 }
 
+// Property: merging arbitrarily split shards reproduces the
+// single-pass accumulator over the whole stream.
+func TestMomentsMergeMatchesSinglePass(t *testing.T) {
+	f := func(raw []int16, splitRaw uint8) bool {
+		var whole Moments
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r) / 7
+			whole.Add(xs[i])
+		}
+		split := 0
+		if len(xs) > 0 {
+			split = int(splitRaw) % (len(xs) + 1)
+		}
+		var a, b Moments
+		for _, x := range xs[:split] {
+			a.Add(x)
+		}
+		for _, x := range xs[split:] {
+			b.Add(x)
+		}
+		a.Merge(b)
+		if whole.Count() == 0 {
+			return a.Count() == 0
+		}
+		close := func(got, want float64) bool {
+			return math.Abs(got-want) < 1e-9*(1+math.Abs(want))
+		}
+		return a.Count() == whole.Count() &&
+			close(a.Mean(), whole.Mean()) &&
+			close(a.Variance(), whole.Variance()) &&
+			a.Min() == whole.Min() && a.Max() == whole.Max()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Merging into or from an empty accumulator is the identity, and a
+// many-way chunked merge matches one pass (the meanfield SoA layout:
+// fixed-size chunks, merged in chunk order).
+func TestMomentsMergeChunked(t *testing.T) {
+	r := rng.New(42)
+	xs := make([]float64, 10000)
+	var whole Moments
+	for i := range xs {
+		xs[i] = r.Norm()*3 + 1
+		whole.Add(xs[i])
+	}
+	var merged Moments
+	merged.Merge(Moments{}) // empty into empty: stays empty
+	if merged.Count() != 0 {
+		t.Fatal("merge of empties is not empty")
+	}
+	const chunk = 512
+	for lo := 0; lo < len(xs); lo += chunk {
+		hi := lo + chunk
+		if hi > len(xs) {
+			hi = len(xs)
+		}
+		var part Moments
+		for _, x := range xs[lo:hi] {
+			part.Add(x)
+		}
+		merged.Merge(part)
+	}
+	merged.Merge(Moments{}) // empty shard is a no-op
+	if merged.Count() != whole.Count() {
+		t.Fatalf("Count = %d, want %d", merged.Count(), whole.Count())
+	}
+	if math.Abs(merged.Mean()-whole.Mean()) > 1e-12 {
+		t.Fatalf("Mean = %v, want %v", merged.Mean(), whole.Mean())
+	}
+	if math.Abs(merged.Variance()-whole.Variance()) > 1e-9 {
+		t.Fatalf("Variance = %v, want %v", merged.Variance(), whole.Variance())
+	}
+	if merged.Min() != whole.Min() || merged.Max() != whole.Max() {
+		t.Fatalf("Min/Max = %v/%v, want %v/%v", merged.Min(), merged.Max(), whole.Min(), whole.Max())
+	}
+}
+
 func TestWeightedMoments(t *testing.T) {
 	var m WeightedMoments
 	if !math.IsNaN(m.Mean()) {
