@@ -12,7 +12,7 @@
 //
 //	f_t + v·f_q + (g·f)_v = (σ²/2)·f_qq        (Eq. 14)
 //
-// The package exposes five complementary views of the same system:
+// The package exposes six complementary views of the same system:
 //
 //   - FokkerPlanck: a finite-difference solver for Eq. 14 (the paper's
 //     primary contribution) with moments, marginals and overflow
@@ -27,6 +27,10 @@
 //   - MeanField: the large-N kinetic limit — per-class rate densities
 //     for millions of heterogeneous sources at O(classes × bins) cost,
 //     with a finite-N particle backend as cross-check.
+//   - NetMeanField: the same kinetic limit over an arbitrary topology
+//     of fluid link queues — routed source classes observing summed,
+//     delayed path backlogs, at O(links + classes × bins) cost (the
+//     mean-field twin of NetSim's scenario class).
 //
 // # Quick start
 //
@@ -52,6 +56,7 @@ import (
 	"fpcc/internal/fokkerplanck"
 	"fpcc/internal/markov"
 	"fpcc/internal/meanfield"
+	"fpcc/internal/netmf"
 	"fpcc/internal/netsim"
 	"fpcc/internal/sde"
 	"fpcc/internal/stability"
@@ -394,6 +399,66 @@ type MeanFieldStepper = meanfield.Stepper
 // sampling.
 func MeanFieldSteadyStats(s MeanFieldStepper, warm, horizon float64, onStep func()) (meanQ float64, meanRates []float64, err error) {
 	return meanfield.SteadyStats(s, warm, horizon, onStep)
+}
+
+// Networked mean-field engine (internal/netmf): the large-N kinetic
+// limit over an arbitrary topology of fluid link queues — the join of
+// NetSim's scenario class and MeanField's scaling. Classes of sources
+// follow routes through a netsim-style node/link graph (NetTopology),
+// observing the summed, delayed backlog of their path; stepping costs
+// O(links + classes × bins) independent of every class's population,
+// so parking-lot and bottleneck-migration studies run at 10⁶ sources
+// per class (experiments E30, E31). A one-node topology reduces
+// bit-for-bit to MeanField.
+
+// NetTopology is the node/link graph shared by NetSim and the
+// networked mean-field engine (route validation, path delays).
+type NetTopology = netsim.Topology
+
+// NetMeanFieldClass describes one source class of a networked
+// mean-field scenario: law, population, route, RTT, initial blob and
+// rate noise.
+type NetMeanFieldClass = netmf.Class
+
+// NetMeanFieldConfig describes a networked mean-field scenario:
+// topology, routed class mix, rate domain and step.
+type NetMeanFieldConfig = netmf.Config
+
+// NetMeanField is the networked kinetic engine: one rate density per
+// class coupled to one fluid queue ODE per node.
+type NetMeanField = netmf.Engine
+
+// NewNetMeanField builds the networked kinetic engine.
+func NewNetMeanField(cfg NetMeanFieldConfig) (*NetMeanField, error) { return netmf.New(cfg) }
+
+// NetMeanFieldSteadyStats advances the networked engine to the
+// horizon and returns the window-averaged per-node queues and
+// per-class mean rates over [warm, horizon]; onStep (optional) runs
+// after every step for trace sampling.
+func NetMeanFieldSteadyStats(e *NetMeanField, warm, horizon float64, onStep func()) (meanQ, meanRates []float64, err error) {
+	return netmf.SteadyStats(e, warm, horizon, onStep)
+}
+
+// NetMeanFieldParkingLotConfig parameterizes the large-N parking-lot
+// benchmark.
+type NetMeanFieldParkingLotConfig = netmf.ParkingLotConfig
+
+// NewNetMeanFieldParkingLot builds the parking-lot fairness benchmark
+// as a mean-field class mix: one long class over a chain of hops, one
+// cross class per hop.
+func NewNetMeanFieldParkingLot(pc NetMeanFieldParkingLotConfig) (NetMeanFieldConfig, error) {
+	return netmf.ParkingLot(pc)
+}
+
+// NetMeanFieldCrossChainConfig parameterizes the large-N
+// bottleneck-migration scenario.
+type NetMeanFieldCrossChainConfig = netmf.CrossChainConfig
+
+// NewNetMeanFieldCrossChain builds the two-hop class-mix-ramp
+// scenario: an adaptive class over both hops vs a constant-rate class
+// at the second.
+func NewNetMeanFieldCrossChain(cc NetMeanFieldCrossChainConfig) (NetMeanFieldConfig, error) {
+	return netmf.CrossChain(cc)
 }
 
 // EnsembleConfig configures an SDE particle ensemble of the Eq. 14

@@ -445,3 +445,58 @@ func TestFacadeMeanField(t *testing.T) {
 		t.Fatalf("particle mean rate %v outside the domain", m.Mean())
 	}
 }
+
+// TestFacadeNetMeanField runs the networked large-N engine through
+// the public API: the million-source parking lot, plus the topology
+// vocabulary shared with NetSim.
+func TestFacadeNetMeanField(t *testing.T) {
+	cfg, err := fpcc.NewNetMeanFieldParkingLot(fpcc.NetMeanFieldParkingLotConfig{
+		Hops: 2, N: 1_000_000, Delay: 0.1, Bins: 96,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.SecondOrder = true
+	if got := len(cfg.Topology.Nodes); got != 2 {
+		t.Fatalf("parking lot has %d nodes, want 2", got)
+	}
+	// The topology type is netsim's: the same graph drives NetSim.
+	var topo fpcc.NetTopology = cfg.Topology
+	if err := topo.ValidateRoute([]int{0, 1}); err != nil {
+		t.Fatalf("chain route rejected: %v", err)
+	}
+	if err := topo.ValidateRoute([]int{1, 0}); err == nil {
+		t.Fatal("reverse route accepted without a reverse link")
+	}
+	e, err := fpcc.NewNetMeanField(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meanQ, rates, err := fpcc.NetMeanFieldSteadyStats(e, 20, 40, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(meanQ) != 2 || len(rates) != 3 {
+		t.Fatalf("got %d node and %d class averages, want 2 and 3", len(meanQ), len(rates))
+	}
+	// The E26/E30 ordering: the long class below every cross class.
+	if rates[0] >= rates[1] || rates[0] >= rates[2] {
+		t.Fatalf("long class %v not beaten below cross shares %v, %v", rates[0], rates[1], rates[2])
+	}
+	cc, err := fpcc.NewNetMeanFieldCrossChain(fpcc.NetMeanFieldCrossChainConfig{
+		N: 10_000, CrossFrac: 0.3, Delay: 0.1, Bins: 96,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ce, err := fpcc.NewNetMeanField(cc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ce.Run(5); err != nil {
+		t.Fatal(err)
+	}
+	if ce.TotalQueue() < 0 {
+		t.Fatalf("negative total queue %v", ce.TotalQueue())
+	}
+}

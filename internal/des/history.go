@@ -50,31 +50,31 @@ func (h *QueueHistory) Record(t float64, q int, sig, cut float64) {
 	}
 }
 
+// idxAt returns the index of the last record at or before t, or -1
+// when t precedes every record. Duplicate timestamps — a burst of
+// same-time events — resolve to the LAST record of the burst: the
+// state at t is the state after everything that happened at t.
+func (h *QueueHistory) idxAt(t float64) int {
+	return sort.Search(len(h.t), func(i int) bool { return h.t[i] > t }) - 1
+}
+
 // QueueAt returns the queue length as it was at time t (the last
 // recorded change at or before t; 0 before the first record).
 func (h *QueueHistory) QueueAt(t float64) float64 {
-	k := sort.SearchFloat64s(h.t, t)
-	// k is the first index with h.t[k] >= t; we want the state at the
-	// last change <= t.
-	if k < len(h.t) && h.t[k] == t {
+	if k := h.idxAt(t); k >= 0 {
 		return float64(h.q[k])
 	}
-	if k == 0 {
-		return 0
-	}
-	return float64(h.q[k-1])
+	return 0
 }
 
-// SignalAt returns the gateway signal as it was at time t.
+// SignalAt returns the gateway signal as it was at time t (0 before
+// the first record, and always 0 on a history built without a signal
+// track).
 func (h *QueueHistory) SignalAt(t float64) float64 {
-	k := sort.SearchFloat64s(h.t, t)
-	if k < len(h.t) && h.t[k] == t {
+	if k := h.idxAt(t); k >= 0 && h.sig != nil {
 		return h.sig[k]
 	}
-	if k == 0 {
-		return 0
-	}
-	return h.sig[k-1]
+	return 0
 }
 
 // AvgOver returns the time-average of the (piecewise-constant) queue
@@ -84,11 +84,9 @@ func (h *QueueHistory) AvgOver(a, b float64) float64 {
 	if b <= a {
 		return h.QueueAt(b)
 	}
-	// Index of the last change at or before a.
-	k := sort.SearchFloat64s(h.t, a)
-	if k >= len(h.t) || h.t[k] > a {
-		k--
-	}
+	// Index of the last change at or before a (ties resolved to the
+	// last same-time record, like QueueAt).
+	k := h.idxAt(a)
 	var integral float64
 	t := a
 	for k < len(h.t)-1 && h.t[k+1] < b {

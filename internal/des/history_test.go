@@ -1,0 +1,263 @@
+package des
+
+import (
+	"math"
+	"testing"
+
+	"fpcc/internal/rng"
+)
+
+// shadowHistory is the brute-force reference model the property tests
+// hold QueueHistory to: every record is kept forever (no pruning), and
+// lookups scan linearly, resolving duplicated timestamps to the LAST
+// record at or before the query time — a burst of same-time events
+// must read back as the state after the burst settled.
+type shadowHistory struct {
+	t   []float64
+	q   []int
+	sig []float64
+}
+
+func (s *shadowHistory) record(t float64, q int, sig float64) {
+	s.t = append(s.t, t)
+	s.q = append(s.q, q)
+	s.sig = append(s.sig, sig)
+}
+
+// idxAt returns the index of the last record at or before t (-1 when t
+// precedes every record).
+func (s *shadowHistory) idxAt(t float64) int {
+	k := -1
+	for i, ti := range s.t {
+		if ti <= t {
+			k = i
+		}
+	}
+	return k
+}
+
+func (s *shadowHistory) queueAt(t float64) float64 {
+	if k := s.idxAt(t); k >= 0 {
+		return float64(s.q[k])
+	}
+	return 0
+}
+
+func (s *shadowHistory) signalAt(t float64) float64 {
+	if k := s.idxAt(t); k >= 0 {
+		return s.sig[k]
+	}
+	return 0
+}
+
+// avgOver integrates the piecewise-constant queue over [a, b] by brute
+// force: the window is cut at every distinct record time inside it and
+// each piece contributes its (post-tie) state times its width.
+func (s *shadowHistory) avgOver(a, b float64) float64 {
+	if b <= a {
+		return s.queueAt(b)
+	}
+	cuts := []float64{a}
+	for _, ti := range s.t {
+		if ti > a && ti < b {
+			cuts = append(cuts, ti)
+		}
+	}
+	// Record times arrive sorted, so cuts is sorted too.
+	cuts = append(cuts, b)
+	var integral float64
+	for i := 0; i+1 < len(cuts); i++ {
+		integral += s.queueAt(cuts[i]) * (cuts[i+1] - cuts[i])
+	}
+	return integral / (b - a)
+}
+
+// TestQueueAtDuplicateTimestamps is the regression test for the
+// same-time-burst flaw: several records sharing one timestamp (a burst
+// of arrivals processed at the same event time) must read back as the
+// last record of the burst, not the first.
+func TestQueueAtDuplicateTimestamps(t *testing.T) {
+	h := NewQueueHistory(true)
+	h.Record(0, 0, 0.0, 0)
+	// A burst of three same-time changes at t=5.
+	h.Record(5, 1, 0.1, 0)
+	h.Record(5, 2, 0.2, 0)
+	h.Record(5, 3, 0.3, 0)
+	h.Record(9, 7, 0.9, 0)
+
+	if got := h.QueueAt(5); got != 3 {
+		t.Errorf("QueueAt(5) = %v, want 3 (last record of the burst)", got)
+	}
+	if got := h.SignalAt(5); got != 0.3 {
+		t.Errorf("SignalAt(5) = %v, want 0.3 (last record of the burst)", got)
+	}
+	// Between the burst and the next change the burst's final state
+	// still holds.
+	if got := h.QueueAt(7); got != 3 {
+		t.Errorf("QueueAt(7) = %v, want 3", got)
+	}
+	// Strictly before the burst the pre-burst state holds.
+	if got := h.QueueAt(4.5); got != 0 {
+		t.Errorf("QueueAt(4.5) = %v, want 0", got)
+	}
+	if got := h.SignalAt(4.5); got != 0 {
+		t.Errorf("SignalAt(4.5) = %v, want 0", got)
+	}
+	// At and after the last record.
+	if got := h.QueueAt(9); got != 7 {
+		t.Errorf("QueueAt(9) = %v, want 7", got)
+	}
+	if got := h.SignalAt(100); got != 0.9 {
+		t.Errorf("SignalAt(100) = %v, want 0.9", got)
+	}
+	// Before every record.
+	if got := h.QueueAt(-1); got != 0 {
+		t.Errorf("QueueAt(-1) = %v, want 0", got)
+	}
+	// A history without a signal track reads 0, not a panic.
+	plain := NewQueueHistory(false)
+	plain.Record(1, 2, 9, 0)
+	if got := plain.SignalAt(1); got != 0 {
+		t.Errorf("SignalAt on a signal-less history = %v, want 0", got)
+	}
+}
+
+// TestAvgOverDuplicateTimestamps pins the tie-break behaviour of the
+// windowed average: windows starting exactly on a duplicated
+// timestamp, windows starting before the first record, and the
+// degenerate point window must all resolve ties to the last same-time
+// record.
+func TestAvgOverDuplicateTimestamps(t *testing.T) {
+	h := NewQueueHistory(false)
+	// First records duplicated at t=5 (no t=0 sample), another burst
+	// at t=10.
+	h.Record(5, 1, 0, 0)
+	h.Record(5, 4, 0, 0)
+	h.Record(10, 2, 0, 0)
+	h.Record(10, 6, 0, 0)
+
+	cases := []struct {
+		name       string
+		a, b, want float64
+	}{
+		{"window start on duplicated first record", 5, 10, 4},
+		{"window start before first record, cut at duplicated start", 0, 10, (0*5 + 4*5) / 10.0},
+		{"window spanning both bursts", 5, 15, (4*5 + 6*5) / 10.0},
+		{"point window on a burst", 10, 10, 6},
+		{"window entirely before the history", -3, 2, 0},
+	}
+	for _, tc := range cases {
+		if got := h.AvgOver(tc.a, tc.b); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("%s: AvgOver(%v, %v) = %v, want %v", tc.name, tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+// TestHistoryPropertyVsBruteForce drives QueueHistory and the
+// brute-force shadow model through randomized histories — duplicated
+// timestamps, bursts, and enough records to trigger pruning — and
+// requires QueueAt, SignalAt and AvgOver to agree with the shadow at
+// query times inside the lookback window.
+func TestHistoryPropertyVsBruteForce(t *testing.T) {
+	const lookback = 30.0
+	for trial := 0; trial < 20; trial++ {
+		r := rng.New(uint64(1000 + trial))
+		h := NewQueueHistory(true)
+		var shadow shadowHistory
+		now := 0.0
+		q := 0
+		record := func() {
+			sig := float64(q) + r.Float64()
+			h.Record(now, q, sig, now-lookback)
+			shadow.record(now, q, sig)
+		}
+		record()
+		// Long trials overflow the 4096-record prune threshold several
+		// times; short trials stay un-pruned.
+		n := 600 + trial*500
+		for i := 0; i < n; i++ {
+			// One burst in four shares the previous timestamp exactly.
+			if r.Float64() > 0.25 {
+				now += r.Exp(8)
+			}
+			q += r.Intn(5) - 2
+			if q < 0 {
+				q = 0
+			}
+			record()
+		}
+
+		// Query only inside the guaranteed-resolvable window: pruning
+		// keeps one sample at or before now-lookback.
+		lo := math.Max(now-lookback, 0)
+		for i := 0; i < 300; i++ {
+			qt := lo + r.Float64()*(now-lo)
+			if i%10 == 0 {
+				qt = shadow.t[shadow.idxAt(qt)] // hit a record time exactly
+			}
+			if got, want := h.QueueAt(qt), shadow.queueAt(qt); got != want {
+				t.Fatalf("trial %d: QueueAt(%v) = %v, want %v", trial, qt, got, want)
+			}
+			if got, want := h.SignalAt(qt), shadow.signalAt(qt); got != want {
+				t.Fatalf("trial %d: SignalAt(%v) = %v, want %v", trial, qt, got, want)
+			}
+		}
+		for i := 0; i < 300; i++ {
+			a := lo + r.Float64()*(now-lo)
+			b := lo + r.Float64()*(now-lo)
+			if b < a {
+				a, b = b, a
+			}
+			switch i % 10 {
+			case 0:
+				b = a // degenerate point window
+			case 1:
+				a = shadow.t[shadow.idxAt(a)] // window starts on a record time
+			}
+			got, want := h.AvgOver(a, b), shadow.avgOver(a, b)
+			if math.Abs(got-want) > 1e-9*(1+math.Abs(want)) {
+				t.Fatalf("trial %d: AvgOver(%v, %v) = %v, want %v", trial, a, b, got, want)
+			}
+		}
+	}
+}
+
+// TestRecordPruningKeepsLookbackResolvable asserts the pruning
+// invariant directly: after the history overflows and prunes, lookups
+// just inside the lookback cut still resolve (one sample at or before
+// the cut survives), and the signal track stays parallel to the time
+// track across prunes.
+func TestRecordPruningKeepsLookbackResolvable(t *testing.T) {
+	const lookback = 5.0
+	h := NewQueueHistory(true)
+	var shadow shadowHistory
+	dt := 0.01
+	now := 0.0
+	// 10000 records at 0.01s spacing: the 4096 threshold trips
+	// repeatedly, discarding everything older than the cut.
+	for i := 0; i < 10000; i++ {
+		now = float64(i) * dt
+		h.Record(now, i, float64(i)/2, now-lookback)
+		shadow.record(now, i, float64(i)/2)
+	}
+	if len(h.t) >= 4096 {
+		t.Fatalf("history was never pruned: %d records", len(h.t))
+	}
+	if len(h.sig) != len(h.t) || len(h.q) != len(h.t) {
+		t.Fatalf("tracks diverged across prunes: %d times, %d queues, %d signals",
+			len(h.t), len(h.q), len(h.sig))
+	}
+	// Every lookup inside [now-lookback, now] must match the unpruned
+	// shadow — including the edge just inside the cut.
+	for _, qt := range []float64{now - lookback, now - lookback + 1e-9, now - 2.5, now - dt/2, now} {
+		if got, want := h.QueueAt(qt), shadow.queueAt(qt); got != want {
+			t.Errorf("after pruning: QueueAt(%v) = %v, want %v", qt, got, want)
+		}
+		if got, want := h.SignalAt(qt), shadow.signalAt(qt); got != want {
+			t.Errorf("after pruning: SignalAt(%v) = %v, want %v", qt, got, want)
+		}
+	}
+	if got, want := h.AvgOver(now-lookback, now), shadow.avgOver(now-lookback, now); math.Abs(got-want) > 1e-9 {
+		t.Errorf("after pruning: AvgOver over the lookback window = %v, want %v", got, want)
+	}
+}

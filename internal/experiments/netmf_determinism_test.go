@@ -1,0 +1,46 @@
+package experiments
+
+import "testing"
+
+// TestNetmfTablesDeterministicAcrossWorkers pins the sweep worker
+// bound under E30/E31 at 1 and at 8 and requires byte-identical text,
+// CSV and JSON — the netmf instance of the repository-wide contract
+// that worker counts change wall-clock time, never results. (The
+// networked mean-field engine itself is deterministic — it draws no
+// random numbers — so any divergence would be an aggregation-order
+// bug in the sweep runner.)
+func TestNetmfTablesDeterministicAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs E30 (6 cells) and E31 (6 cells) twice each at N=10⁶")
+	}
+	for _, tc := range []struct {
+		id  string
+		run func(workers int) (*Table, error)
+	}{
+		{"E30", e30Table},
+		{"E31", e31Table},
+	} {
+		serial, err := tc.run(1)
+		if err != nil {
+			t.Fatalf("%s workers=1: %v", tc.id, err)
+		}
+		parallel, err := tc.run(8)
+		if err != nil {
+			t.Fatalf("%s workers=8: %v", tc.id, err)
+		}
+		st, sc, sj := renderTable(t, serial)
+		pt, pc, pj := renderTable(t, parallel)
+		if st != pt {
+			t.Errorf("%s text differs between 1 and 8 workers:\n--- workers=1\n%s\n--- workers=8\n%s", tc.id, st, pt)
+		}
+		if sc != pc {
+			t.Errorf("%s CSV differs between 1 and 8 workers", tc.id)
+		}
+		if sj != pj {
+			t.Errorf("%s JSON differs between 1 and 8 workers", tc.id)
+		}
+		if alarm := serial.Alarm(); alarm != "" {
+			t.Errorf("%s alarmed: %s", tc.id, alarm)
+		}
+	}
+}

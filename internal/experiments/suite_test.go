@@ -75,8 +75,8 @@ func TestSuiteDeterministicCheap(t *testing.T) {
 // TestSuiteSelect: filters match on id, title and tag; empty
 // selections are an error from RunSuite.
 func TestSuiteSelect(t *testing.T) {
-	if got := Select(nil); len(got) != 29 {
-		t.Fatalf("nil filter selects %d, want 29", len(got))
+	if got := Select(nil); len(got) != 31 {
+		t.Fatalf("nil filter selects %d, want 31", len(got))
 	}
 	byID := Select(regexp.MustCompile(`^E19$`))
 	if len(byID) != 1 || byID[0].ID != "E19" {

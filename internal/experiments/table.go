@@ -1,6 +1,6 @@
 // Package experiments regenerates every table and figure of the
 // paper's evaluation, plus the extensions layered on it: each
-// experiment E1..E29 is a function returning a Table of labelled rows
+// experiment E1..E31 is a function returning a Table of labelled rows
 // that a CLI (cmd/benchreport) or a benchmark (bench_test.go at the
 // repository root) can print and time. EXPERIMENTS.md records the
 // paper's claim next to the measured outcome for each.
@@ -202,7 +202,7 @@ type Runner = Experiment
 
 // All returns every experiment in order; EXPERIMENTS.md is the
 // companion index of claims and measured outcomes. Tags: "core"
-// (E1–E15, the paper's own analysis) vs "extension" (E16–E29), plus
+// (E1–E15, the paper's own analysis) vs "extension" (E16–E31), plus
 // the engines exercised and "sweep" for grid-shaped workloads.
 func All() []Experiment {
 	return []Experiment{
@@ -235,5 +235,7 @@ func All() []Experiment {
 		{"E27", "cross-traffic bottleneck migration (netsim sweep)", []string{"extension", "netsim", "sweep"}, E27BottleneckMigration},
 		{"E28", "mean-field convergence: particles vs density in N", []string{"extension", "meanfield", "sde", "sweep"}, E28MeanFieldConvergence},
 		{"E29", "heterogeneous RTT mix at N=10⁶ (mean-field sweep)", []string{"extension", "meanfield", "fairness", "sweep"}, E29HeterogeneousRTTMix},
+		{"E30", "parking-lot fairness in the large-N limit (netmf sweep)", []string{"extension", "netmf", "multihop", "fairness", "sweep"}, E30ParkingLotLargeN},
+		{"E31", "bottleneck migration under a class-mix ramp (netmf sweep)", []string{"extension", "netmf", "sweep"}, E31BottleneckMigrationLargeN},
 	}
 }

@@ -5,13 +5,12 @@ import (
 	"math"
 
 	"fpcc/internal/grid"
-	"fpcc/internal/linalg"
 )
 
-// Density is the kinetic backend: one rate density f_k(λ, t) per
-// class on a shared uniform λ-grid, coupled to the bottleneck queue
-// ODE through the aggregate arrival rate. Stepping costs
-// O(classes × bins) regardless of the population sizes N_k.
+// Density is the kinetic backend: one RateDensity per class on a
+// shared uniform λ-grid, coupled to the bottleneck queue ODE through
+// the aggregate arrival rate. Stepping costs O(classes × bins)
+// regardless of the population sizes N_k.
 //
 // Scheme, per step (operator splitting, mirroring the particle
 // backend's update order so the two stay comparable):
@@ -28,28 +27,18 @@ import (
 // Tiny negative undershoots from the explicit sweeps are clipped and
 // the clipped mass tracked (ClippedMass); means are normalized by the
 // per-class mass so the audit quantity does not bias the coupling.
+//
+// The per-class transport/diffusion kernel lives in RateDensity; the
+// networked engine (internal/netmf) couples the same kernel to a
+// topology of link queues instead of this single bottleneck.
 type Density struct {
-	cfg Config
-	ax  grid.Uniform1D
-	f   [][]float64 // per-class density over λ, length Bins each
-	tmp []float64   // scratch row for the transport sweeps
-	lc  []float64   // cell centers
-	t   float64
-	q   float64
+	cfg  Config
+	dens []*RateDensity
+	t    float64
+	q    float64
 
-	hist     qHistory
+	hist     History
 	maxDelay float64
-
-	// drift caches every class's edge drifts for the current step:
-	// filled (and CFL-checked) before any density is mutated, so a
-	// CFL error leaves the solver state untouched.
-	drift [][]float64 // [class][edge], edges 1..Bins-1 used
-
-	// Crank-Nicolson workspace for the σ_k diffusion solves.
-	tri             linalg.Tridiag
-	dl, dd, du, rhs []float64
-	col             []float64
-	clipped         float64
 }
 
 // NewDensity builds the kinetic engine with every class initialized
@@ -58,48 +47,19 @@ func NewDensity(cfg Config) (*Density, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	ax, err := grid.NewUniform1D(0, cfg.LMax, cfg.Bins)
-	if err != nil {
-		return nil, fmt.Errorf("meanfield: rate axis: %w", err)
-	}
 	d := &Density{
 		cfg:      cfg,
-		ax:       ax,
-		tmp:      make([]float64, cfg.Bins),
-		lc:       ax.Centers(),
 		q:        cfg.Q0,
 		maxDelay: cfg.maxDelay(),
-		dl:       make([]float64, cfg.Bins),
-		dd:       make([]float64, cfg.Bins),
-		du:       make([]float64, cfg.Bins),
-		rhs:      make([]float64, cfg.Bins),
-		col:      make([]float64, cfg.Bins),
 	}
-	for range cfg.Classes {
-		d.drift = append(d.drift, make([]float64, cfg.Bins))
+	for k, cl := range cfg.Classes {
+		rd, err := NewRateDensity(cfg.LMax, cfg.Bins, cl.Lambda0, cl.InitStd, cfg.SecondOrder)
+		if err != nil {
+			return nil, fmt.Errorf("meanfield: class %d: %w", k, err)
+		}
+		d.dens = append(d.dens, rd)
 	}
-	for _, cl := range cfg.Classes {
-		f := make([]float64, cfg.Bins)
-		if cl.InitStd > 0 {
-			for i, l := range d.lc {
-				z := (l - cl.Lambda0) / cl.InitStd
-				f[i] = math.Exp(-0.5 * z * z)
-			}
-		} else {
-			f[ax.CellOf(cl.Lambda0)] = 1
-		}
-		mass := 0.0
-		for _, v := range f {
-			mass += v
-		}
-		if !(mass > 0) {
-			return nil, fmt.Errorf("meanfield: class blob at %v±%v has no mass on [0, %v]",
-				cl.Lambda0, cl.InitStd, cfg.LMax)
-		}
-		linalg.Scale(1/(mass*ax.Dx), f)
-		d.f = append(d.f, f)
-	}
-	d.hist.record(0, d.q, 0)
+	d.hist.Record(0, d.q, 0)
 	return d, nil
 }
 
@@ -110,63 +70,43 @@ func (d *Density) Time() float64 { return d.t }
 func (d *Density) Queue() float64 { return d.q }
 
 // NumClasses returns the number of classes.
-func (d *Density) NumClasses() int { return len(d.f) }
+func (d *Density) NumClasses() int { return len(d.dens) }
 
 // ClippedMass returns the total probability mass ADDED by zeroing
 // negative undershoots, summed over classes (so the exact budget is
 // ∫f_k summed = classes + ClippedMass) — a discretization audit, not
 // a physical gain.
-func (d *Density) ClippedMass() float64 { return d.clipped }
+func (d *Density) ClippedMass() float64 {
+	var c float64
+	for _, rd := range d.dens {
+		c += rd.ClippedMass()
+	}
+	return c
+}
 
 // Marginal returns a copy of class k's rate density (length Bins,
 // cell-centered on [0, LMax]).
-func (d *Density) Marginal(k int) []float64 {
-	return append([]float64(nil), d.f[k]...)
-}
+func (d *Density) Marginal(k int) []float64 { return d.dens[k].Marginal() }
 
 // RateGrid returns the λ-axis the densities live on.
-func (d *Density) RateGrid() grid.Uniform1D { return d.ax }
+func (d *Density) RateGrid() grid.Uniform1D { return d.dens[0].Grid() }
 
 // ClassMoments returns the mean and variance of class k's rate
 // density, normalized by its current mass.
 func (d *Density) ClassMoments(k int) (mean, variance float64) {
-	var mass, m1 float64
-	for i, v := range d.f[k] {
-		mass += v
-		m1 += v * d.lc[i]
-	}
-	if mass <= 0 {
-		return math.NaN(), math.NaN()
-	}
-	mean = m1 / mass
-	var m2 float64
-	for i, v := range d.f[k] {
-		dl := d.lc[i] - mean
-		m2 += v * dl * dl
-	}
-	return mean, m2 / mass
+	return d.dens[k].Moments()
 }
 
 // ClassMeanRate returns ⟨λ⟩_k, the mean per-source rate of class k.
 // Unlike ClassMoments it makes a single pass (no variance), so the
 // per-step coupling stays one O(bins) sweep per class.
-func (d *Density) ClassMeanRate(k int) float64 {
-	var mass, m1 float64
-	for i, v := range d.f[k] {
-		mass += v
-		m1 += v * d.lc[i]
-	}
-	if mass <= 0 {
-		return math.NaN()
-	}
-	return m1 / mass
-}
+func (d *Density) ClassMeanRate(k int) float64 { return d.dens[k].MeanRate() }
 
 // AggregateRate returns the total arrival rate Λ = Σ_k w_k N_k ⟨λ⟩_k
 // currently offered to the bottleneck.
 func (d *Density) AggregateRate() float64 {
 	var agg float64
-	for k := range d.f {
+	for k := range d.dens {
 		agg += d.cfg.weight(k) * float64(d.cfg.Classes[k].N) * d.ClassMeanRate(k)
 	}
 	return agg
@@ -177,7 +117,7 @@ func (d *Density) AggregateRate() float64 {
 // delay.
 func (d *Density) observedQueue(k int) float64 {
 	if tau := d.cfg.Classes[k].Delay; tau > 0 {
-		return d.hist.at(d.t - tau)
+		return d.hist.At(d.t - tau)
 	}
 	return d.q
 }
@@ -189,29 +129,22 @@ func (d *Density) observedQueue(k int) float64 {
 func (d *Density) Step() error {
 	agg := d.AggregateRate()
 	dt := d.cfg.Dt
-	dl := d.ax.Dx
-	for k := range d.f {
+	for k, rd := range d.dens {
 		qObs := d.observedQueue(k)
-		law := d.cfg.Classes[k].Law
-		for e := 1; e < d.cfg.Bins; e++ {
-			a := law.Drift(qObs, d.ax.Edge(e))
-			if math.Abs(a)*dt/dl > 1.0000001 {
-				return fmt.Errorf("meanfield: class %d drift %v at λ=%v violates CFL (|c|=%.3f > 1); reduce Dt",
-					k, a, d.ax.Edge(e), math.Abs(a)*dt/dl)
-			}
-			d.drift[k][e] = a
+		if err := rd.SetDrift(d.cfg.Classes[k].Law, qObs, dt); err != nil {
+			return fmt.Errorf("meanfield: class %d %v", k, err)
 		}
 	}
-	for k := range d.f {
-		d.advect(k, dt)
-		if d.cfg.Classes[k].SigmaL > 0 {
-			d.diffuse(k, dt)
+	for k, rd := range d.dens {
+		rd.Advect(dt)
+		if sigma := d.cfg.Classes[k].SigmaL; sigma > 0 {
+			rd.Diffuse(sigma, dt)
 		}
-		d.clipped += -linalg.ClampNonNegative(d.f[k]) * d.ax.Dx
+		rd.ClampNegative()
 	}
 	d.q = math.Max(d.q+(agg-d.cfg.Mu)*dt, 0)
 	d.t += dt
-	d.hist.record(d.t, d.q, d.t-d.maxDelay-1)
+	d.hist.Record(d.t, d.q, d.t-d.maxDelay-1)
 	return nil
 }
 
@@ -225,84 +158,4 @@ func (d *Density) Run(tEnd float64) error {
 		}
 	}
 	return nil
-}
-
-// advect performs the conservative transport sweep of
-// f_t + (g f)_λ = 0 for class k with the cell-edge drifts Step cached
-// in d.drift[k]: first-order upwind, or MUSCL/minmod with the
-// time-centred correction when Config.SecondOrder is set. Both ends
-// are zero-flux (a source's rate cannot leave [0, LMax]), so
-// transport conserves mass exactly.
-func (d *Density) advect(k int, dt float64) {
-	f := d.f[k]
-	nb := d.cfg.Bins
-	dl := d.ax.Dx
-	drift := d.drift[k]
-	copy(d.tmp, f)
-	at := func(i int) float64 { return d.tmp[i] }
-	slope := func(i int) float64 {
-		if i <= 0 || i >= nb-1 {
-			return 0 // first-order fallback at the boundary cells
-		}
-		return linalg.Minmod(at(i)-at(i-1), at(i+1)-at(i))
-	}
-	for e := 1; e < nb; e++ { // interior edges; 0 and nb are zero-flux
-		a := drift[e]
-		if a == 0 {
-			continue
-		}
-		c := a * dt / dl
-		var up float64
-		if a > 0 {
-			up = at(e - 1)
-			if d.cfg.SecondOrder {
-				up += 0.5 * (1 - c) * slope(e-1)
-			}
-		} else {
-			up = at(e)
-			if d.cfg.SecondOrder {
-				up -= 0.5 * (1 + c) * slope(e)
-			}
-		}
-		dm := a * up * dt / dl
-		f[e-1] -= dm
-		f[e] += dm
-	}
-}
-
-// diffuse performs the Crank-Nicolson solve of f_t = (σ²/2) f_λλ for
-// class k with zero-flux (Neumann) ends — one tridiagonal system, the
-// 1-D analogue of fokkerplanck's q-diffusion.
-func (d *Density) diffuse(k int, dt float64) {
-	f := d.f[k]
-	nb := d.cfg.Bins
-	dl := d.ax.Dx
-	sigma := d.cfg.Classes[k].SigmaL
-	r := 0.5 * sigma * sigma * dt / (2 * dl * dl) // θ=1/2 CN factor
-	for i := 0; i < nb; i++ {
-		var lap float64
-		switch i {
-		case 0:
-			lap = f[1] - f[0]
-		case nb - 1:
-			lap = f[nb-2] - f[nb-1]
-		default:
-			lap = f[i-1] - 2*f[i] + f[i+1]
-		}
-		d.rhs[i] = f[i] + r*lap
-		switch i {
-		case 0:
-			d.dl[i], d.dd[i], d.du[i] = 0, 1+r, -r
-		case nb - 1:
-			d.dl[i], d.dd[i], d.du[i] = -r, 1+r, 0
-		default:
-			d.dl[i], d.dd[i], d.du[i] = -r, 1+2*r, -r
-		}
-	}
-	if err := d.tri.Solve(d.dl, d.dd, d.du, d.rhs, d.col); err != nil {
-		// The CN matrix is strictly diagonally dominant, so this
-		// cannot happen for valid inputs.
-		panic(fmt.Sprintf("meanfield: diffusion solve failed: %v", err))
-	}
-	copy(f, d.col)
 }

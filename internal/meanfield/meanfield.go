@@ -44,7 +44,6 @@ package meanfield
 import (
 	"fmt"
 	"math"
-	"sort"
 
 	"fpcc/internal/control"
 )
@@ -178,52 +177,4 @@ func (c *Config) maxDelay() float64 {
 		}
 	}
 	return d
-}
-
-// qHistory is the continuous queue-length record both backends use
-// for delayed observation: samples are appended once per step and a
-// controller observing with delay τ reads the linear interpolation at
-// t−τ (the queue of this fluid-limit model is continuous, unlike the
-// integer-valued des.QueueHistory).
-type qHistory struct {
-	t, q []float64
-}
-
-// record appends the sample (t, q), pruning samples strictly older
-// than cut once the history has grown large (one sample at or before
-// the cut is kept so lookups just inside the window interpolate).
-func (h *qHistory) record(t, q, cut float64) {
-	h.t = append(h.t, t)
-	h.q = append(h.q, q)
-	if len(h.t) > 8192 {
-		k := sort.SearchFloat64s(h.t, cut)
-		if k > 1 {
-			k-- // keep one sample at or before the cut
-			h.t = append(h.t[:0], h.t[k:]...)
-			h.q = append(h.q[:0], h.q[k:]...)
-		}
-	}
-}
-
-// at returns the queue length at time t, linearly interpolated
-// between samples and clamped to the recorded range (times before the
-// first sample return the initial state).
-func (h *qHistory) at(t float64) float64 {
-	n := len(h.t)
-	if n == 0 {
-		return 0
-	}
-	if t <= h.t[0] {
-		return h.q[0]
-	}
-	if t >= h.t[n-1] {
-		return h.q[n-1]
-	}
-	k := sort.SearchFloat64s(h.t, t)
-	t0, t1 := h.t[k-1], h.t[k]
-	if t1 == t0 {
-		return h.q[k]
-	}
-	frac := (t - t0) / (t1 - t0)
-	return h.q[k-1] + frac*(h.q[k]-h.q[k-1])
 }

@@ -86,17 +86,17 @@ func TestConfigHelpers(t *testing.T) {
 }
 
 func TestQHistoryInterpolation(t *testing.T) {
-	var h qHistory
-	if got := h.at(1); got != 0 {
+	var h History
+	if got := h.At(1); got != 0 {
 		t.Fatalf("empty history at(1) = %v, want 0", got)
 	}
-	h.record(0, 10, 0)
-	h.record(1, 20, 0)
-	h.record(2, 0, 0)
+	h.Record(0, 10, 0)
+	h.Record(1, 20, 0)
+	h.Record(2, 0, 0)
 	for _, tc := range []struct{ t, want float64 }{
 		{-1, 10}, {0, 10}, {0.5, 15}, {1, 20}, {1.75, 5}, {2, 0}, {3, 0},
 	} {
-		if got := h.at(tc.t); math.Abs(got-tc.want) > 1e-12 {
+		if got := h.At(tc.t); math.Abs(got-tc.want) > 1e-12 {
 			t.Errorf("at(%v) = %v, want %v", tc.t, got, tc.want)
 		}
 	}

@@ -49,7 +49,7 @@ type Particles struct {
 	t       float64
 	q       float64
 
-	hist     qHistory
+	hist     History
 	maxDelay float64
 }
 
@@ -91,7 +91,7 @@ func NewParticles(cfg Config, seed uint64, workers int) (*Particles, error) {
 			p.chunks = append(p.chunks, c)
 		}
 	}
-	p.hist.record(0, p.q, 0)
+	p.hist.Record(0, p.q, 0)
 	return p, nil
 }
 
@@ -169,7 +169,7 @@ func (p *Particles) AggregateRate() float64 {
 // observedQueue returns the queue class k's controllers see now.
 func (p *Particles) observedQueue(k int) float64 {
 	if tau := p.cfg.Classes[k].Delay; tau > 0 {
-		return p.hist.at(p.t - tau)
+		return p.hist.At(p.t - tau)
 	}
 	return p.q
 }
@@ -211,7 +211,7 @@ func (p *Particles) Step() error {
 	}
 	p.q = math.Max(p.q+(agg-p.cfg.Mu)*dt, 0)
 	p.t += dt
-	p.hist.record(p.t, p.q, p.t-p.maxDelay-1)
+	p.hist.Record(p.t, p.q, p.t-p.maxDelay-1)
 	return nil
 }
 

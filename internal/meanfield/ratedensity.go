@@ -1,0 +1,233 @@
+package meanfield
+
+import (
+	"fmt"
+	"math"
+
+	"fpcc/internal/control"
+	"fpcc/internal/grid"
+	"fpcc/internal/linalg"
+)
+
+// RateDensity is the single-class kinetic kernel: one rate density
+// f(λ, t) on a uniform λ-grid over [0, LMax], advected by a drift
+// g(qObs, λ) with conservative first-order upwind (or MUSCL/minmod)
+// sweeps and diffused by (σ²/2)·f_λλ with a Crank-Nicolson
+// tridiagonal solve, both with zero-flux ends. It is the piece of the
+// mean-field machinery that knows nothing about queues: the
+// shared-bottleneck Density engine couples a set of RateDensities to
+// one queue ODE, and the networked engine (internal/netmf) couples
+// them to a topology of link-queue ODEs — same transport, different
+// coupling.
+//
+// The stepping protocol is split so an engine can validate a whole
+// step before mutating anything: SetDrift caches the cell-edge drifts
+// and performs the CFL check WITHOUT touching the density, then
+// Advect/Diffuse/ClampNegative apply the cached step.
+type RateDensity struct {
+	ax  grid.Uniform1D
+	f   []float64 // cell-centered density, length Bins
+	tmp []float64 // scratch row for the transport sweeps
+	lc  []float64 // cell centers
+
+	// drift caches the cell-edge drifts SetDrift filled (and
+	// CFL-checked) for the pending step; edges 1..Bins-1 are used.
+	drift       []float64
+	secondOrder bool
+
+	// Crank-Nicolson workspace for the σ diffusion solves.
+	tri             linalg.Tridiag
+	dl, dd, du, rhs []float64
+	col             []float64
+	clipped         float64
+}
+
+// NewRateDensity builds the kernel on a Bins-cell grid over [0, lMax],
+// initialized to a grid-discretized, renormalized Gaussian blob at
+// lambda0 with spread initStd (a point mass when initStd is 0).
+// secondOrder selects MUSCL/minmod transport over first-order upwind.
+func NewRateDensity(lMax float64, bins int, lambda0, initStd float64, secondOrder bool) (*RateDensity, error) {
+	ax, err := grid.NewUniform1D(0, lMax, bins)
+	if err != nil {
+		return nil, fmt.Errorf("rate axis: %w", err)
+	}
+	r := &RateDensity{
+		ax:          ax,
+		f:           make([]float64, bins),
+		tmp:         make([]float64, bins),
+		lc:          ax.Centers(),
+		drift:       make([]float64, bins),
+		secondOrder: secondOrder,
+		dl:          make([]float64, bins),
+		dd:          make([]float64, bins),
+		du:          make([]float64, bins),
+		rhs:         make([]float64, bins),
+		col:         make([]float64, bins),
+	}
+	if initStd > 0 {
+		for i, l := range r.lc {
+			z := (l - lambda0) / initStd
+			r.f[i] = math.Exp(-0.5 * z * z)
+		}
+	} else {
+		r.f[ax.CellOf(lambda0)] = 1
+	}
+	mass := 0.0
+	for _, v := range r.f {
+		mass += v
+	}
+	if !(mass > 0) {
+		return nil, fmt.Errorf("blob at %v±%v has no mass on [0, %v]", lambda0, initStd, lMax)
+	}
+	linalg.Scale(1/(mass*ax.Dx), r.f)
+	return r, nil
+}
+
+// Grid returns the λ-axis the density lives on.
+func (r *RateDensity) Grid() grid.Uniform1D { return r.ax }
+
+// Marginal returns a copy of the density (length Bins, cell-centered).
+func (r *RateDensity) Marginal() []float64 {
+	return append([]float64(nil), r.f...)
+}
+
+// ClippedMass returns the total probability mass ADDED by zeroing
+// negative undershoots so far (a discretization audit, not a physical
+// gain; see ClampNegative).
+func (r *RateDensity) ClippedMass() float64 { return r.clipped }
+
+// MeanRate returns ⟨λ⟩, the mean rate of the density normalized by
+// its current mass, in a single O(Bins) pass.
+func (r *RateDensity) MeanRate() float64 {
+	var mass, m1 float64
+	for i, v := range r.f {
+		mass += v
+		m1 += v * r.lc[i]
+	}
+	if mass <= 0 {
+		return math.NaN()
+	}
+	return m1 / mass
+}
+
+// Moments returns the mean and variance of the density, normalized by
+// its current mass.
+func (r *RateDensity) Moments() (mean, variance float64) {
+	var mass, m1 float64
+	for i, v := range r.f {
+		mass += v
+		m1 += v * r.lc[i]
+	}
+	if mass <= 0 {
+		return math.NaN(), math.NaN()
+	}
+	mean = m1 / mass
+	var m2 float64
+	for i, v := range r.f {
+		dl := r.lc[i] - mean
+		m2 += v * dl * dl
+	}
+	return mean, m2 / mass
+}
+
+// SetDrift caches the cell-edge drifts g(qObs, λ_edge) for a step of
+// size dt and checks the CFL bound max|g|·dt/Δλ ≤ 1. It does NOT
+// mutate the density, so an engine can SetDrift every class before
+// advecting any: a CFL error leaves the whole system untouched.
+func (r *RateDensity) SetDrift(law control.Law, qObs, dt float64) error {
+	dl := r.ax.Dx
+	for e := 1; e < r.ax.N; e++ {
+		a := law.Drift(qObs, r.ax.Edge(e))
+		if math.Abs(a)*dt/dl > 1.0000001 {
+			return fmt.Errorf("drift %v at λ=%v violates CFL (|c|=%.3f > 1); reduce Dt",
+				a, r.ax.Edge(e), math.Abs(a)*dt/dl)
+		}
+		r.drift[e] = a
+	}
+	return nil
+}
+
+// Advect performs the conservative transport sweep of f_t + (g f)_λ =
+// 0 with the cell-edge drifts SetDrift cached: first-order upwind, or
+// MUSCL/minmod with the time-centred correction when the kernel is
+// second-order. Both ends are zero-flux (a source's rate cannot leave
+// [0, LMax]), so transport conserves mass exactly.
+func (r *RateDensity) Advect(dt float64) {
+	f := r.f
+	nb := r.ax.N
+	dl := r.ax.Dx
+	copy(r.tmp, f)
+	at := func(i int) float64 { return r.tmp[i] }
+	slope := func(i int) float64 {
+		if i <= 0 || i >= nb-1 {
+			return 0 // first-order fallback at the boundary cells
+		}
+		return linalg.Minmod(at(i)-at(i-1), at(i+1)-at(i))
+	}
+	for e := 1; e < nb; e++ { // interior edges; 0 and nb are zero-flux
+		a := r.drift[e]
+		if a == 0 {
+			continue
+		}
+		c := a * dt / dl
+		var up float64
+		if a > 0 {
+			up = at(e - 1)
+			if r.secondOrder {
+				up += 0.5 * (1 - c) * slope(e-1)
+			}
+		} else {
+			up = at(e)
+			if r.secondOrder {
+				up -= 0.5 * (1 + c) * slope(e)
+			}
+		}
+		dm := a * up * dt / dl
+		f[e-1] -= dm
+		f[e] += dm
+	}
+}
+
+// Diffuse performs the Crank-Nicolson solve of f_t = (σ²/2) f_λλ with
+// zero-flux (Neumann) ends — one tridiagonal system, the 1-D analogue
+// of fokkerplanck's q-diffusion.
+func (r *RateDensity) Diffuse(sigma, dt float64) {
+	f := r.f
+	nb := r.ax.N
+	dl := r.ax.Dx
+	rr := 0.5 * sigma * sigma * dt / (2 * dl * dl) // θ=1/2 CN factor
+	for i := 0; i < nb; i++ {
+		var lap float64
+		switch i {
+		case 0:
+			lap = f[1] - f[0]
+		case nb - 1:
+			lap = f[nb-2] - f[nb-1]
+		default:
+			lap = f[i-1] - 2*f[i] + f[i+1]
+		}
+		r.rhs[i] = f[i] + rr*lap
+		switch i {
+		case 0:
+			r.dl[i], r.dd[i], r.du[i] = 0, 1+rr, -rr
+		case nb - 1:
+			r.dl[i], r.dd[i], r.du[i] = -rr, 1+rr, 0
+		default:
+			r.dl[i], r.dd[i], r.du[i] = -rr, 1+2*rr, -rr
+		}
+	}
+	if err := r.tri.Solve(r.dl, r.dd, r.du, r.rhs, r.col); err != nil {
+		// The CN matrix is strictly diagonally dominant, so this
+		// cannot happen for valid inputs.
+		panic(fmt.Sprintf("meanfield: diffusion solve failed: %v", err))
+	}
+	copy(f, r.col)
+}
+
+// ClampNegative zeroes the tiny negative undershoots the explicit
+// sweeps can leave, accumulating the mass added into ClippedMass so
+// the audit quantity stays available without biasing any coupling
+// (means are normalized by the current mass).
+func (r *RateDensity) ClampNegative() {
+	r.clipped += -linalg.ClampNonNegative(r.f) * r.ax.Dx
+}

@@ -24,10 +24,17 @@ var (
 
 // SteadyStats advances s to the horizon and returns the per-step
 // averages of the queue and each class's mean rate over the
-// measurement window (warm, horizon] — the steady-state observables
-// every consumer of the engine reports. onStep, when non-nil, runs
+// measurement window [warm, horizon] — the steady-state observables
+// every consumer of the engine reports. A step landing exactly on the
+// warmup boundary is part of the window (it samples the state AT
+// warm, the first post-transient instant). onStep, when non-nil, runs
 // after every step (during warmup too), for callers that also sample
 // traces or marginals along the way.
+//
+// The average weights every sampled step equally, which equals the
+// time average of the end-of-step states only on the fixed-Dt lattice
+// both built-in backends (Density, Particles) step on; a Stepper with
+// a varying step size would need time-weighted accumulation instead.
 func SteadyStats(s Stepper, warm, horizon float64, onStep func()) (meanQ float64, meanRates []float64, err error) {
 	if !(horizon > warm) {
 		return 0, nil, fmt.Errorf("meanfield: horizon %v must exceed warmup %v", horizon, warm)
@@ -41,7 +48,7 @@ func SteadyStats(s Stepper, warm, horizon float64, onStep func()) (meanQ float64
 		if onStep != nil {
 			onStep()
 		}
-		if s.Time() > warm {
+		if s.Time() >= warm {
 			meanQ += s.Queue()
 			for k := range meanRates {
 				meanRates[k] += s.ClassMeanRate(k)
@@ -50,7 +57,7 @@ func SteadyStats(s Stepper, warm, horizon float64, onStep func()) (meanQ float64
 		}
 	}
 	if cnt == 0 {
-		return math.NaN(), meanRates, fmt.Errorf("meanfield: no steps fell in the window (%v, %v] with Dt so large", warm, horizon)
+		return math.NaN(), meanRates, fmt.Errorf("meanfield: no steps fell in the window [%v, %v] with Dt so large", warm, horizon)
 	}
 	meanQ /= float64(cnt)
 	for k := range meanRates {

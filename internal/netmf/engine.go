@@ -1,0 +1,217 @@
+package netmf
+
+import (
+	"fmt"
+	"math"
+
+	"fpcc/internal/grid"
+	"fpcc/internal/meanfield"
+)
+
+// Engine is the networked kinetic solver: one meanfield.RateDensity
+// per class, one fluid queue (with an interpolated history for
+// delayed observation) per node.
+//
+// Scheme, per step (operator splitting, the netmf generalization of
+// meanfield.Density.Step — on a one-node topology the two produce
+// bit-identical trajectories):
+//
+//  1. every class's offered rate Λ_k = w_k N_k ⟨λ⟩_k is read from the
+//     current densities, and each node's arrival rate is accumulated
+//     as A_j = Σ_{k : j ∈ route_k} Λ_k (class order, so sums are
+//     deterministic);
+//  2. each class observes its delayed path backlog
+//     B_k = Σ_{j ∈ route_k} Q_j(t−τ_k) from the per-node histories
+//     and caches (CFL-checks) its drift — no density is mutated until
+//     every class has passed the check;
+//  3. each f_k is advected (and diffused when σ_k > 0);
+//  4. every queue advances by Q_j ← max(Q_j + (A_j − μ_j)·Dt, 0) and
+//     records its history.
+//
+// Steps cost O(links + classes × bins + Σ_k |route_k|), independent
+// of every population size N_k.
+type Engine struct {
+	cfg  Config
+	dens []*meanfield.RateDensity
+	q    []float64
+	arr  []float64 // per-node arrival rate of the current step
+	hist []meanfield.History
+	t    float64
+
+	maxDelay float64
+}
+
+// New builds the networked engine with every class initialized to its
+// (grid-discretized, renormalized) Gaussian blob and every queue to
+// its Q0 entry (0 without Q0).
+func New(cfg Config) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		cfg:      cfg,
+		q:        make([]float64, len(cfg.Topology.Nodes)),
+		arr:      make([]float64, len(cfg.Topology.Nodes)),
+		hist:     make([]meanfield.History, len(cfg.Topology.Nodes)),
+		maxDelay: cfg.maxDelay(),
+	}
+	copy(e.q, cfg.Q0)
+	for k, cl := range cfg.Classes {
+		rd, err := meanfield.NewRateDensity(cfg.LMax, cfg.Bins, cl.Lambda0, cl.InitStd, cfg.SecondOrder)
+		if err != nil {
+			return nil, fmt.Errorf("netmf: class %d: %w", k, err)
+		}
+		e.dens = append(e.dens, rd)
+	}
+	for j := range e.hist {
+		e.hist[j].Record(0, e.q[j], 0)
+	}
+	return e, nil
+}
+
+// Time returns the current simulation time.
+func (e *Engine) Time() float64 { return e.t }
+
+// NumNodes returns the number of nodes in the topology.
+func (e *Engine) NumNodes() int { return len(e.q) }
+
+// Queue returns the current fluid queue length at node j.
+func (e *Engine) Queue(j int) float64 { return e.q[j] }
+
+// Queues returns a copy of every node's current queue length.
+func (e *Engine) Queues() []float64 {
+	return append([]float64(nil), e.q...)
+}
+
+// TotalQueue returns the summed queue length over all nodes.
+func (e *Engine) TotalQueue() float64 {
+	var s float64
+	for _, q := range e.q {
+		s += q
+	}
+	return s
+}
+
+// NumClasses returns the number of classes.
+func (e *Engine) NumClasses() int { return len(e.dens) }
+
+// ClassMeanRate returns ⟨λ⟩_k, the mean per-source rate of class k.
+func (e *Engine) ClassMeanRate(k int) float64 { return e.dens[k].MeanRate() }
+
+// ClassMoments returns the mean and variance of class k's rate
+// density, normalized by its current mass.
+func (e *Engine) ClassMoments(k int) (mean, variance float64) {
+	return e.dens[k].Moments()
+}
+
+// Marginal returns a copy of class k's rate density (length Bins,
+// cell-centered on [0, LMax]).
+func (e *Engine) Marginal(k int) []float64 { return e.dens[k].Marginal() }
+
+// RateGrid returns the λ-axis the densities live on.
+func (e *Engine) RateGrid() grid.Uniform1D { return e.dens[0].Grid() }
+
+// ClippedMass returns the total probability mass added by zeroing
+// negative transport undershoots, summed over classes — the same
+// discretization audit as meanfield.Density.ClippedMass.
+func (e *Engine) ClippedMass() float64 {
+	var c float64
+	for _, rd := range e.dens {
+		c += rd.ClippedMass()
+	}
+	return c
+}
+
+// ClassOfferedRate returns Λ_k = w_k N_k ⟨λ⟩_k, the rate class k
+// currently offers to every hop of its route.
+func (e *Engine) ClassOfferedRate(k int) float64 {
+	return e.cfg.weight(k) * float64(e.cfg.Classes[k].N) * e.dens[k].MeanRate()
+}
+
+// NodeArrival returns node j's total arrival rate at the current
+// densities, Σ over classes routing through j of Λ_k.
+func (e *Engine) NodeArrival(j int) float64 {
+	var a float64
+	for k := range e.cfg.Classes {
+		for _, h := range e.cfg.Classes[k].Route {
+			if h == j {
+				a += e.ClassOfferedRate(k)
+			}
+		}
+	}
+	return a
+}
+
+// PathBacklog returns B_k(t−τ_k): the delayed path backlog class k's
+// controllers observe at the current time — per-link queue histories
+// interpolated at t−τ_k and summed along the route (the live queues
+// at zero delay).
+func (e *Engine) PathBacklog(k int) float64 {
+	cl := &e.cfg.Classes[k]
+	var b float64
+	if tau := cl.Delay; tau > 0 {
+		obsT := e.t - tau
+		for _, j := range cl.Route {
+			b += e.hist[j].At(obsT)
+		}
+	} else {
+		for _, j := range cl.Route {
+			b += e.q[j]
+		}
+	}
+	return b
+}
+
+// Step advances the system by one Dt. It returns an error if any
+// class's drift violates the CFL bound max|g|·Dt/Δλ ≤ 1 (choose a
+// smaller Dt or a coarser grid); the check runs before any state is
+// mutated, so a failing Step leaves the solver exactly as it was.
+func (e *Engine) Step() error {
+	dt := e.cfg.Dt
+	// 1. Arrival rates from the current densities, accumulated in
+	// class order.
+	for j := range e.arr {
+		e.arr[j] = 0
+	}
+	for k := range e.cfg.Classes {
+		lam := e.ClassOfferedRate(k)
+		for _, j := range e.cfg.Classes[k].Route {
+			e.arr[j] += lam
+		}
+	}
+	// 2. Delayed path backlogs and CFL-checked drifts, before any
+	// mutation.
+	for k, rd := range e.dens {
+		if err := rd.SetDrift(e.cfg.Classes[k].Law, e.PathBacklog(k), dt); err != nil {
+			return fmt.Errorf("netmf: class %d %v", k, err)
+		}
+	}
+	// 3. Transport and diffusion sweeps.
+	for k, rd := range e.dens {
+		rd.Advect(dt)
+		if sigma := e.cfg.Classes[k].SigmaL; sigma > 0 {
+			rd.Diffuse(sigma, dt)
+		}
+		rd.ClampNegative()
+	}
+	// 4. Fluid queue ODEs and their histories.
+	e.t += dt
+	cut := e.t - e.maxDelay - 1
+	for j := range e.q {
+		e.q[j] = math.Max(e.q[j]+(e.arr[j]-e.cfg.Topology.Nodes[j].Mu)*dt, 0)
+		e.hist[j].Record(e.t, e.q[j], cut)
+	}
+	return nil
+}
+
+// Run advances until time tEnd (whole steps; the final partial step
+// is skipped when shorter than Dt/2, the same uniform time lattice as
+// meanfield.Density.Run).
+func (e *Engine) Run(tEnd float64) error {
+	for e.t+e.cfg.Dt/2 <= tEnd {
+		if err := e.Step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

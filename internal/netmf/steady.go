@@ -1,0 +1,53 @@
+package netmf
+
+import (
+	"fmt"
+	"math"
+)
+
+// SteadyStats advances e to the horizon and returns the per-step
+// averages of every node's queue and every class's mean per-source
+// rate over the measurement window [warm, horizon] — the same window
+// convention as meanfield.SteadyStats: a step landing exactly on the
+// warmup boundary is part of the window, and every sampled step
+// weighs equally (exact for the engine's fixed-Dt lattice). onStep,
+// when non-nil, runs after every step (during warmup too), for
+// callers sampling traces or marginals along the way.
+func SteadyStats(e *Engine, warm, horizon float64, onStep func()) (meanQ, meanRates []float64, err error) {
+	if !(horizon > warm) {
+		return nil, nil, fmt.Errorf("netmf: horizon %v must exceed warmup %v", horizon, warm)
+	}
+	meanQ = make([]float64, e.NumNodes())
+	meanRates = make([]float64, e.NumClasses())
+	var cnt int
+	for e.Time() < horizon {
+		if err := e.Step(); err != nil {
+			return nil, nil, err
+		}
+		if onStep != nil {
+			onStep()
+		}
+		if e.Time() >= warm {
+			for j := range meanQ {
+				meanQ[j] += e.Queue(j)
+			}
+			for k := range meanRates {
+				meanRates[k] += e.ClassMeanRate(k)
+			}
+			cnt++
+		}
+	}
+	if cnt == 0 {
+		for j := range meanQ {
+			meanQ[j] = math.NaN()
+		}
+		return meanQ, meanRates, fmt.Errorf("netmf: no steps fell in the window [%v, %v] with Dt so large", warm, horizon)
+	}
+	for j := range meanQ {
+		meanQ[j] /= float64(cnt)
+	}
+	for k := range meanRates {
+		meanRates[k] /= float64(cnt)
+	}
+	return meanQ, meanRates, nil
+}

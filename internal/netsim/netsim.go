@@ -104,30 +104,18 @@ type Config struct {
 	SampleEvery float64
 }
 
-// linkKey indexes the delay table by directed edge.
-type linkKey struct{ from, to int }
+// Topo returns the node/link graph of the configuration as a
+// Topology, the validation and path-delay vocabulary shared with the
+// networked mean-field engine.
+func (c *Config) Topo() Topology {
+	return Topology{Nodes: c.Nodes, Links: c.Links}
+}
 
 // linkTable builds the directed-edge -> delay lookup, rejecting
 // duplicate edges.
 func (c *Config) linkTable() (map[linkKey]float64, error) {
-	tab := make(map[linkKey]float64, len(c.Links))
-	for i, l := range c.Links {
-		if l.From < 0 || l.From >= len(c.Nodes) || l.To < 0 || l.To >= len(c.Nodes) {
-			return nil, fmt.Errorf("netsim: link %d endpoints (%d -> %d) out of range", i, l.From, l.To)
-		}
-		if l.From == l.To {
-			return nil, fmt.Errorf("netsim: link %d is a self-loop at node %d", i, l.From)
-		}
-		if !(l.Delay >= 0) || math.IsInf(l.Delay, 1) {
-			return nil, fmt.Errorf("netsim: link %d has invalid delay %v", i, l.Delay)
-		}
-		k := linkKey{l.From, l.To}
-		if _, dup := tab[k]; dup {
-			return nil, fmt.Errorf("netsim: duplicate link %d -> %d", l.From, l.To)
-		}
-		tab[k] = l.Delay
-	}
-	return tab, nil
+	tp := c.Topo()
+	return tp.linkTable()
 }
 
 // FlowRTT returns the base (propagation-only) round-trip time of flow
@@ -136,37 +124,26 @@ func (c *Config) FlowRTT(i int) (float64, error) {
 	if i < 0 || i >= len(c.Flows) {
 		return 0, fmt.Errorf("netsim: flow index %d out of range", i)
 	}
-	tab, err := c.linkTable()
-	if err != nil {
-		return 0, err
-	}
 	f := &c.Flows[i]
-	rtt := f.IngressDelay + f.ReturnDelay
-	for k := 0; k+1 < len(f.Route); k++ {
-		d, ok := tab[linkKey{f.Route[k], f.Route[k+1]}]
-		if !ok {
-			return 0, fmt.Errorf("netsim: flow %d route hop %d -> %d has no link", i, f.Route[k], f.Route[k+1])
-		}
-		rtt += d
+	tp := c.Topo()
+	path, err := tp.PathDelay(f.Route)
+	if err != nil {
+		return 0, fmt.Errorf("netsim: flow %d: %w", i, err)
 	}
-	return rtt, nil
+	return f.IngressDelay + path + f.ReturnDelay, nil
 }
 
 // Validate checks the configuration.
 func (c *Config) Validate() error {
-	if len(c.Nodes) == 0 {
-		return fmt.Errorf("netsim: no nodes")
+	tp := c.Topo()
+	if err := tp.Validate(); err != nil {
+		return fmt.Errorf("netsim: %w", err)
 	}
-	for i, n := range c.Nodes {
-		if !(n.Mu > 0) || math.IsInf(n.Mu, 1) {
-			return fmt.Errorf("netsim: node %d service rate must be positive, got %v", i, n.Mu)
-		}
-		if n.Buffer < 0 {
-			return fmt.Errorf("netsim: node %d has negative buffer %d", i, n.Buffer)
-		}
-	}
-	if _, err := c.linkTable(); err != nil {
-		return err
+	// Build the link table once for every per-flow route check below
+	// (Topology.Validate proved it constructible).
+	tab, err := tp.linkTable()
+	if err != nil {
+		return fmt.Errorf("netsim: %w", err)
 	}
 	if len(c.Flows) == 0 {
 		return fmt.Errorf("netsim: no flows")
@@ -188,15 +165,14 @@ func (c *Config) Validate() error {
 		case !(f.MinRate >= 0) || math.IsInf(f.MinRate, 1):
 			return fmt.Errorf("netsim: flow %d has invalid rate floor %v", i, f.MinRate)
 		}
-		for _, h := range f.Route {
-			if h < 0 || h >= len(c.Nodes) {
-				return fmt.Errorf("netsim: flow %d route node %d out of range", i, h)
-			}
+		if err := tp.validateRouteIn(tab, f.Route); err != nil {
+			return fmt.Errorf("netsim: flow %d: %w", i, err)
 		}
-		rtt, err := c.FlowRTT(i)
+		path, err := pathDelayIn(tab, f.Route)
 		if err != nil {
-			return err
+			return fmt.Errorf("netsim: flow %d: %w", i, err)
 		}
+		rtt := f.IngressDelay + path + f.ReturnDelay
 		if f.Interval == 0 && !(rtt > 0) {
 			return fmt.Errorf("netsim: flow %d has zero control interval and zero RTT; set Interval", i)
 		}
@@ -209,10 +185,8 @@ func (c *Config) Validate() error {
 
 // NodeName returns the display name of node h.
 func (c *Config) NodeName(h int) string {
-	if h >= 0 && h < len(c.Nodes) && c.Nodes[h].Name != "" {
-		return c.Nodes[h].Name
-	}
-	return fmt.Sprintf("N%d", h)
+	tp := c.Topo()
+	return tp.NodeName(h)
 }
 
 // FlowName returns the display name of flow i.
