@@ -10,6 +10,7 @@
 //	benchreport -run sweep               # run by tag or title
 //	benchreport -only E6                 # run one experiment (exact id)
 //	benchreport -workers 8 -format json  # parallel, machine output
+//	benchreport -workers 1 -inner-workers 8  # serial suite, parallel solver sweeps
 //	benchreport -bench-json bench.json   # also write per-experiment timings
 //	benchreport -workers 1 -baseline BENCH_2026-07-27.json  # diff timings (matching worker
 //	                                     # count); >25% regressions exit non-zero
@@ -35,6 +36,7 @@ func main() {
 	only := flag.String("only", "", "run only the experiment with this exact id (e.g. E6)")
 	run := flag.String("run", "", "run experiments whose id, title or tag matches this regexp")
 	workers := flag.Int("workers", 0, "experiment worker count (0 = GOMAXPROCS)")
+	innerWorkers := flag.Int("inner-workers", 0, "intra-experiment worker bound for the heavy solver/ensemble experiments (0 = GOMAXPROCS); never changes results")
 	format := flag.String("format", "text", "output format: text, csv or json")
 	benchJSON := flag.String("bench-json", "", "write a machine-readable per-experiment timing report here")
 	baseline := flag.String("baseline", "", "diff current timings against this prior BENCH_*.json; >25% regressions exit non-zero")
@@ -82,6 +84,7 @@ func main() {
 	if *workers <= 0 {
 		*workers = runtime.GOMAXPROCS(0)
 	}
+	experiments.SetInnerWorkers(*innerWorkers)
 	start := time.Now()
 	suite, err := experiments.RunSuite(experiments.SuiteConfig{Filter: filter, Workers: *workers})
 	if err != nil {

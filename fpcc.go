@@ -121,7 +121,10 @@ func NewLinearLaw(kq, kl, qHat, muRef float64) (LinearLaw, error) {
 	return control.NewLinear(kq, kl, qHat, muRef)
 }
 
-// FokkerPlanckConfig configures the Eq. 14 solver.
+// FokkerPlanckConfig configures the Eq. 14 solver. Its Workers field
+// bounds the solver's intra-step sweep parallelism (0 = GOMAXPROCS);
+// like every worker knob in this module it changes wall-clock time
+// only, never results — the solution is bit-identical for any value.
 type FokkerPlanckConfig = fokkerplanck.Config
 
 // FokkerPlanck is the finite-difference solver for Eq. 14.
@@ -365,7 +368,8 @@ type MeanFieldClass = meanfield.Class
 
 // MeanFieldConfig describes a mean-field scenario: class mix, shared
 // bottleneck, rate domain and step. Both backends take the same
-// config.
+// config; its Workers field bounds the density engine's per-step
+// class parallelism (0 = GOMAXPROCS) without affecting results.
 type MeanFieldConfig = meanfield.Config
 
 // MeanField is the kinetic (population-density) engine.
@@ -420,7 +424,9 @@ type NetTopology = netsim.Topology
 // rate noise.
 type NetMeanFieldClass = netmf.Class
 
-// NetMeanFieldConfig describes a networked mean-field scenario:
+// NetMeanFieldConfig describes a networked mean-field scenario
+// (its Workers field bounds per-step class parallelism, 0 =
+// GOMAXPROCS, without affecting results):
 // topology, routed class mix, rate domain and step.
 type NetMeanFieldConfig = netmf.Config
 
@@ -462,7 +468,10 @@ func NewNetMeanFieldCrossChain(cc NetMeanFieldCrossChainConfig) (NetMeanFieldCon
 }
 
 // EnsembleConfig configures an SDE particle ensemble of the Eq. 14
-// diffusion (the Monte-Carlo ground truth for the PDE).
+// diffusion (the Monte-Carlo ground truth for the PDE). Its Workers
+// field bounds the per-step chunk parallelism (0 = GOMAXPROCS);
+// chunk streams are fixed by Particles and Seed alone, so results
+// are byte-identical for any value.
 type EnsembleConfig = sde.Config
 
 // Ensemble is a reflected-SDE particle ensemble.

@@ -1,0 +1,56 @@
+package control
+
+import (
+	"testing"
+
+	"fpcc/internal/rng"
+)
+
+// TestDriftBatchMatchesDrift is the contract the particle engines'
+// determinism rests on: the batch path must be bit-identical to
+// per-element Drift calls for every implementing law.
+func TestDriftBatchMatchesDrift(t *testing.T) {
+	laws := []Law{
+		AIMD{C0: 2, C1: 0.8, QHat: 20},
+		AIMD{C0: 0.1, C1: 3.2, QHat: 0},
+		AIAD{C0: 2, C1: 1.5, QHat: 20},
+	}
+	r := rng.New(17)
+	const n = 4096
+	q := make([]float64, n)
+	lam := make([]float64, n)
+	dst := make([]float64, n)
+	for i := range q {
+		q[i] = 40 * r.Float64()
+		lam[i] = 12 * r.Float64()
+	}
+	// Straddle the branch point exactly.
+	q[0], q[1] = 20, 20.0000001
+	for _, law := range laws {
+		b, ok := law.(DriftBatcher)
+		if !ok {
+			t.Fatalf("%s does not implement DriftBatcher", law.Name())
+		}
+		b.DriftBatch(q, lam, dst)
+		for i := range q {
+			if want := law.Drift(q[i], lam[i]); dst[i] != want {
+				t.Fatalf("%s: DriftBatch[%d] = %v, Drift = %v", law.Name(), i, dst[i], want)
+			}
+		}
+	}
+}
+
+// TestDriftsFallback covers the generic path for a law without a
+// batch implementation.
+func TestDriftsFallback(t *testing.T) {
+	law := Custom{DriftFunc: func(q, lambda float64) float64 { return q - lambda }, LawName: "diff"}
+	q := []float64{1, 2, 3}
+	lam := []float64{0.5, 0.5, 0.5}
+	dst := make([]float64, 3)
+	Drifts(law, q, lam, dst)
+	for i := range q {
+		if want := q[i] - lam[i]; dst[i] != want {
+			t.Fatalf("Drifts[%d] = %v, want %v", i, dst[i], want)
+		}
+	}
+}

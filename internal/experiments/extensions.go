@@ -91,6 +91,7 @@ func E14SchemeAblation() (*Table, error) {
 		Law: law, Mu: refMu, Sigma: sigma,
 		Particles: 20000, Dt: 2e-3, Seed: 21,
 		Q0: q0, Lambda0: l0, InitStdQ: stdQ, InitStdL: stdL,
+		Workers: innerWorkers(),
 	})
 	if err != nil {
 		return nil, err

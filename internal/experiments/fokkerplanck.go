@@ -10,7 +10,8 @@ import (
 )
 
 // e9Config returns the shared FP/SDE configuration for the validation
-// experiments.
+// experiments. The solver's sweep pool is bounded by the suite's
+// inner-worker knob; results are worker-count independent.
 func e9Config(sigma float64) fokkerplanck.Config {
 	return fokkerplanck.Config{
 		Law:   refLaw(),
@@ -18,6 +19,7 @@ func e9Config(sigma float64) fokkerplanck.Config {
 		Sigma: sigma,
 		QMax:  60, NQ: 150,
 		VMin: -12, VMax: 12, NV: 120,
+		Workers: innerWorkers(),
 	}
 }
 
@@ -44,6 +46,7 @@ func E9FokkerPlanckVsMonteCarlo() (*Table, error) {
 		Law: cfg.Law, Mu: refMu, Sigma: sigma,
 		Particles: 40000, Dt: 2e-3, Seed: 99,
 		Q0: q0, Lambda0: l0, InitStdQ: stdQ, InitStdL: stdL,
+		Workers: innerWorkers(),
 	})
 	if err != nil {
 		return nil, err
@@ -51,6 +54,7 @@ func E9FokkerPlanckVsMonteCarlo() (*Table, error) {
 	checkpoints := []float64{1, 2, 5, 10, 20}
 	worstL1 := 0.0
 	worstMean := 0.0
+	fpMarg := make([]float64, 0, cfg.NQ)
 	for _, cp := range checkpoints {
 		if err := s.Advance(cp, 0); err != nil {
 			return nil, err
@@ -58,8 +62,9 @@ func E9FokkerPlanckVsMonteCarlo() (*Table, error) {
 		ens.Run(cp)
 		fp := s.Moments()
 		mc := ens.Moments()
-		// Marginal density comparison on the PDE grid.
-		fpMarg := s.MarginalQ()
+		// Marginal density comparison on the PDE grid (buffer reused
+		// across checkpoints).
+		fpMarg = s.AppendMarginalQ(fpMarg[:0])
 		hist, err := ens.QueueHistogram(cfg.QMax, cfg.NQ)
 		if err != nil {
 			return nil, err
@@ -117,6 +122,7 @@ func E10VariabilityVsFluid() (*Table, error) {
 		Law: cfg.Law, Mu: refMu, Sigma: sigma,
 		Particles: 20000, Dt: 5e-3, Seed: 123,
 		Q0: 5, Lambda0: 8, InitStdQ: 1.5, InitStdL: 1,
+		Workers: innerWorkers(),
 	})
 	if err != nil {
 		return nil, err

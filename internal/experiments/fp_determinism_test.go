@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestE9E10TablesDeterministicAcrossInnerWorkers is the tentpole's
+// acceptance bar for the optimized Fokker-Planck and SDE hot paths:
+// the rendered E9 and E10 tables — text, full-precision CSV and JSON
+// — must be byte-identical whether the solver sweeps and the
+// Monte-Carlo chunks run on 1 worker or 8. The experiments read the
+// package's inner-worker bound, so the test swings it around the
+// runs; any scheduling dependence in the parallel sweeps, the
+// chunk-ordered reductions or the prefactored diffusion solves shows
+// up as a diff here.
+func TestE9E10TablesDeterministicAcrossInnerWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second PDE+MC runs")
+	}
+	defer SetInnerWorkers(0)
+	render := func(id string, workers int) string {
+		t.Helper()
+		SetInnerWorkers(workers)
+		var e Experiment
+		for _, cand := range All() {
+			if cand.ID == id {
+				e = cand
+			}
+		}
+		if e.Run == nil {
+			t.Fatalf("experiment %s not in registry", id)
+		}
+		tb, err := e.Run()
+		if err != nil {
+			t.Fatalf("%s at inner workers %d: %v", id, workers, err)
+		}
+		var b strings.Builder
+		b.WriteString(tb.String())
+		if err := tb.WriteCSV(&b); err != nil {
+			t.Fatal(err)
+		}
+		j, err := tb.MarshalJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.Write(j)
+		return b.String()
+	}
+	for _, id := range []string{"E9", "E10"} {
+		base := render(id, 1)
+		if got := render(id, 8); got != base {
+			t.Errorf("%s renders differ between inner workers 1 and 8:\n--- workers=1 ---\n%s\n--- workers=8 ---\n%s", id, base, got)
+		}
+	}
+}

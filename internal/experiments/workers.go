@@ -1,0 +1,19 @@
+package experiments
+
+// innerWorkersBound bounds the intra-experiment parallelism of the
+// experiments that run a single heavy solver or ensemble (E9, E10,
+// E14): the Fokker-Planck sweep pool and the SDE chunk pool. The
+// suite-level worker knob (SuiteConfig.Workers) shards experiments;
+// this one shards the loops inside an experiment.
+var innerWorkersBound int
+
+// SetInnerWorkers bounds the intra-experiment parallelism
+// (0 = GOMAXPROCS, the default). Call it before RunSuite or a direct
+// experiment invocation; it must not be changed while a suite is
+// running. Like every worker knob in this repository it affects
+// wall-clock time only — the determinism tests pin the rendered E9
+// and E10 tables byte-identical across worker counts.
+func SetInnerWorkers(n int) { innerWorkersBound = n }
+
+// innerWorkers returns the current intra-experiment worker bound.
+func innerWorkers() int { return innerWorkersBound }

@@ -1,6 +1,9 @@
 package fokkerplanck
 
-import "fpcc/internal/linalg"
+import (
+	"fpcc/internal/linalg"
+	"fpcc/internal/parallel"
+)
 
 // Second-order advection sweeps: MUSCL reconstruction with the minmod
 // limiter (a TVD scheme). The first-order upwind sweeps in solver.go
@@ -15,101 +18,134 @@ import "fpcc/internal/linalg"
 // within each control branch (constant on the increase side, linear in
 // λ on the decrease side), so the per-edge-speed reconstruction keeps
 // its accuracy away from the measure-zero switching line.
+//
+// Like the first-order sweeps, both directions walk the field in
+// row-major storage order (the q-sweep assembles each destination row
+// from the five source rows its limited fluxes touch), ping-pong
+// between the two field buffers, and shard rows across the worker
+// pool with results independent of the worker count.
 
 // advectQ2 is the second-order counterpart of advectQ: per v-row
 // constant-speed advection with MUSCL-limited fluxes and the same
-// boundary conventions (zero-flux at q = 0, outflow at QMax).
+// boundary conventions (zero-flux at q = 0, outflow at QMax). The
+// limiter falls back to first order at the boundary cells, so the
+// outflow audit is the shared addQOutflow.
 func (s *Solver) advectQ2(dt float64) {
 	nq, nv := s.cfg.NQ, s.cfg.NV
-	dq := s.g2d.X.Dx
-	copy(s.tmp, s.f)
-	for iv := 0; iv < nv; iv++ {
-		v := s.vc[iv]
-		if v == 0 {
-			continue
-		}
-		c := v * dt / dq // signed Courant number for this row
-		// Numerical flux at every interior edge e = 1..nq-1 (edge e
-		// sits between cells e-1 and e), in units of density/Courant.
-		// Edge 0 is the reflecting boundary (zero flux); edge nq is
-		// outflow for v > 0, zero-inflow for v < 0.
-		at := func(i int) float64 { return s.tmp[i*nv+iv] }
-		slope := func(i int) float64 {
-			if i <= 0 || i >= nq-1 {
-				return 0 // first-order fallback at the boundary cells
+	cq := s.qCourant(dt)
+	src, dst := s.f, s.tmp
+	s.addQOutflow(src, cq)
+	parallel.For(nq, s.workers, func(loQ, hiQ int) {
+		for iq := loQ; iq < hiQ; iq++ {
+			r0 := src[iq*nv : (iq+1)*nv]
+			out := dst[iq*nv : (iq+1)*nv]
+			// Source rows the limited fluxes can touch; nil outside
+			// the domain. slope(j) is nonzero only for interior j, so
+			// every nil row is guarded by the slope fallbacks below.
+			var rm2, rm1, rp1, rp2 []float64
+			if iq >= 2 {
+				rm2 = src[(iq-2)*nv : (iq-1)*nv]
 			}
-			return linalg.Minmod(at(i)-at(i-1), at(i+1)-at(i))
-		}
-		for iq := 0; iq < nq; iq++ {
-			var fluxL, fluxR float64 // through left and right edges of cell iq
-			if v > 0 {
-				// Upwind cell is the left neighbor; add the limited
-				// time-centred correction 0.5(1−c)·slope.
-				if iq > 0 {
-					fluxL = c * (at(iq-1) + 0.5*(1-c)*slope(iq-1))
-				}
-				fluxR = c * (at(iq) + 0.5*(1-c)*slope(iq))
-			} else {
-				ac := -c
-				if iq > 0 {
-					fluxL = -ac * (at(iq) - 0.5*(1-ac)*slope(iq))
-				}
-				if iq < nq-1 {
-					fluxR = -ac * (at(iq+1) - 0.5*(1-ac)*slope(iq+1))
-				}
-				// iq == nq-1: zero inflow through the right edge.
+			if iq >= 1 {
+				rm1 = src[(iq-1)*nv : iq*nv]
 			}
-			s.f[iq*nv+iv] = at(iq) + fluxL - fluxR
-			if iq == nq-1 && v > 0 {
-				s.outflow += fluxR * s.g2d.CellArea()
+			if iq <= nq-2 {
+				rp1 = src[(iq+1)*nv : (iq+2)*nv]
+			}
+			if iq <= nq-3 {
+				rp2 = src[(iq+2)*nv : (iq+3)*nv]
+			}
+			innerM1 := iq-1 >= 1 && iq-1 <= nq-2 // slope(iq-1) nonzero
+			inner0 := iq >= 1 && iq <= nq-2      // slope(iq) nonzero
+			innerP1 := iq+1 >= 1 && iq+1 <= nq-2 // slope(iq+1) nonzero
+			for iv, c := range cq {
+				switch {
+				case c > 0:
+					half := 0.5 * (1 - c)
+					var fluxL float64
+					if rm1 != nil {
+						sl := 0.0
+						if innerM1 {
+							sl = linalg.Minmod(rm1[iv]-rm2[iv], r0[iv]-rm1[iv])
+						}
+						fluxL = c * (rm1[iv] + half*sl)
+					}
+					sc := 0.0
+					if inner0 {
+						sc = linalg.Minmod(r0[iv]-rm1[iv], rp1[iv]-r0[iv])
+					}
+					fluxR := c * (r0[iv] + half*sc)
+					out[iv] = r0[iv] + fluxL - fluxR
+				case c < 0:
+					ac := -c
+					half := 0.5 * (1 - ac)
+					var fluxL float64
+					if rm1 != nil {
+						sc := 0.0
+						if inner0 {
+							sc = linalg.Minmod(r0[iv]-rm1[iv], rp1[iv]-r0[iv])
+						}
+						fluxL = -ac * (r0[iv] - half*sc)
+					}
+					var fluxR float64
+					if rp1 != nil {
+						sp := 0.0
+						if innerP1 {
+							sp = linalg.Minmod(rp1[iv]-r0[iv], rp2[iv]-rp1[iv])
+						}
+						fluxR = -ac * (rp1[iv] - half*sp)
+					}
+					// iq == nq-1: zero inflow through the right edge.
+					out[iv] = r0[iv] + fluxL - fluxR
+				default:
+					out[iv] = r0[iv]
+				}
 			}
 		}
-	}
+	})
+	s.f, s.tmp = dst, src
 }
 
 // advectV2 is the second-order counterpart of advectV: conservative
-// per-q-column sweep with MUSCL-limited upwind values at each edge and
-// the local edge speed.
+// per-q-row sweep with MUSCL-limited upwind values at each edge and
+// the cached local edge drifts.
 func (s *Solver) advectV2(dt float64) {
 	nq, nv := s.cfg.NQ, s.cfg.NV
 	dv := s.g2d.Y.Dx
-	mu := s.cfg.Mu
-	law := s.cfg.Law
-	useDelay := s.cfg.DelayTau > 0
-	qObsDelayed := 0.0
-	if useDelay {
-		qObsDelayed = s.delayedMeanQ()
-	}
-	copy(s.tmp, s.f)
-	for iq := 0; iq < nq; iq++ {
-		qObs := s.qc[iq]
-		if useDelay {
-			qObs = qObsDelayed
-		}
-		base := iq * nv
-		at := func(i int) float64 { return s.tmp[base+i] }
-		slope := func(i int) float64 {
-			if i <= 0 || i >= nv-1 {
-				return 0
+	cdt := dt / dv
+	src, dst := s.f, s.tmp
+	parallel.For(nq, s.workers, func(loQ, hiQ int) {
+		for iq := loQ; iq < hiQ; iq++ {
+			cur := src[iq*nv : (iq+1)*nv]
+			out := dst[iq*nv : (iq+1)*nv]
+			drift := s.vEdgeDrifts(iq)
+			slope := func(j int) float64 {
+				if j <= 0 || j >= nv-1 {
+					return 0
+				}
+				return linalg.Minmod(cur[j]-cur[j-1], cur[j+1]-cur[j])
 			}
-			return linalg.Minmod(at(i)-at(i-1), at(i+1)-at(i))
-		}
-		for iv := 1; iv < nv; iv++ {
-			vEdge := s.g2d.Y.Edge(iv)
-			a := law.Drift(qObs, vEdge+mu)
-			if a == 0 {
-				continue
+			// prev is the scaled flux through edge iv; edges 0 and nv
+			// are zero-flux boundaries.
+			prev := 0.0
+			for iv := 0; iv < nv; iv++ {
+				var next float64
+				if iv < nv-1 {
+					if a := drift[iv+1]; a != 0 {
+						cLoc := a * cdt
+						var up float64
+						if a > 0 {
+							up = cur[iv] + 0.5*(1-cLoc)*slope(iv)
+						} else {
+							up = cur[iv+1] - 0.5*(1+cLoc)*slope(iv+1)
+						}
+						next = a * up * cdt
+					}
+				}
+				out[iv] = cur[iv] + prev - next
+				prev = next
 			}
-			cLoc := a * dt / dv
-			var up float64
-			if a > 0 {
-				up = at(iv-1) + 0.5*(1-cLoc)*slope(iv-1)
-			} else {
-				up = at(iv) - 0.5*(1+cLoc)*slope(iv)
-			}
-			d := a * up * dt / dv
-			s.f[base+iv-1] -= d
-			s.f[base+iv] += d
 		}
-	}
+	})
+	s.f, s.tmp = dst, src
 }

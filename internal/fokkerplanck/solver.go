@@ -30,6 +30,29 @@
 // negative undershoots at steep fronts; they are clipped and the
 // clipped mass tracked in the audit.
 //
+// # Hot-path layout and parallelism
+//
+// The density is row-major [iq*NV + iv], so v-rows are contiguous.
+// Every sweep — including the q-direction ones — walks the field in
+// that storage order: the q-advection updates whole v-rows from the
+// neighboring source rows, and the q-diffusion runs all NV
+// Crank-Nicolson systems simultaneously as a multi-RHS Thomas solve
+// whose forward and back substitutions stream across rows with unit
+// stride (no strided per-column gathers). The tridiagonal bands are
+// identical for every column and depend only on the step size, so
+// they are factored once and reused (diffFactor).
+//
+// The advection sweeps ping-pong between two field buffers instead of
+// copying, the CFL speed bound is computed once at construction (the
+// law and grid are immutable), and the v-edge drift table is cached:
+// fully precomputed when there is no feedback delay, one shared
+// per-step edge row under the delayed mean-field closure.
+//
+// All sweeps shard their independent rows (or column blocks) across
+// the fixed-block fork-join pool of internal/parallel, bounded by
+// Config.Workers. The block partition never depends on the worker
+// count, so the solution is bit-identical for any Workers setting.
+//
 // # Delayed feedback closure
 //
 // With feedback delay τ the density equation does not close: the drift
@@ -48,6 +71,7 @@ import (
 	"fpcc/internal/control"
 	"fpcc/internal/grid"
 	"fpcc/internal/linalg"
+	"fpcc/internal/parallel"
 )
 
 // Config describes a Fokker-Planck problem and its discretization.
@@ -80,6 +104,11 @@ type Config struct {
 	// (SigmaV²/2)·f_vv diffusion term — the leading correction the
 	// paper's footnote 2 anticipates for burstier rate processes.
 	SigmaV float64
+
+	// Workers bounds the intra-step parallelism of the sweeps
+	// (0 = GOMAXPROCS). It affects wall-clock time only, never
+	// results: the sweep partitioning is fixed by the grid alone.
+	Workers int
 }
 
 // Validate checks the configuration.
@@ -118,32 +147,45 @@ type Moments struct {
 // Solver evolves the density. Create with New, set the initial
 // condition, then Step/Advance.
 type Solver struct {
-	cfg Config
-	g2d grid.Uniform2D // X = q (slow index), Y = v
-	f   []float64      // density, row-major [iq*NV + iv]
-	tmp []float64      // scratch field for flux sweeps
-	t   float64
+	cfg     Config
+	g2d     grid.Uniform2D // X = q (slow index), Y = v
+	workers int
+	f       []float64 // density, row-major [iq*NV + iv]
+	tmp     []float64 // ping-pong / multi-RHS scratch field
+	t       float64
 
-	// diffusion workspace
-	tri        linalg.Tridiag
-	dl, dd, du []float64 // CN left-hand bands
-	rhs        []float64
-	colBuf     []float64
-	// v-diffusion workspace (allocated on first use)
-	vDl, vDd, vDu, vRhs, vBuf []float64
+	// cached CFL speed bounds (the law and grid are immutable)
+	maxV, maxG float64
+
+	// prefactored Crank-Nicolson systems for the two diffusion axes
+	// (shared kernel: the bands depend only on the step size)
+	qFac, vFac linalg.CNFactor
+
+	// cq holds the per-row Courant numbers of the current q-sweep.
+	cq []float64 // length NV
 
 	// cached cell-center coordinates
 	qc, vc []float64
-	// cached v-edge drift speeds per q row (recomputed when the
-	// delayed observation changes)
-	edgeDrift []float64 // [iq*(NV+1) + iv]
+
+	// Cached v-edge drifts. Without delay the drift field
+	// g(q_iq, v_edge + μ) is time-independent: edgeDrift caches all
+	// NQ×(NV+1) values on first use. Under the delayed closure every
+	// row observes the same delayed mean queue, so only the NV+1
+	// values of rowDrift are refreshed each step.
+	edgeDrift      []float64 // [iq*(NV+1) + e], no-delay cache
+	edgeDriftReady bool
+	rowDrift       []float64 // [e], per-step shared row under delay
 
 	clipped float64 // total negative mass clipped (absolute value)
 	outflow float64 // mass lost through the q = QMax outflow boundary
 
-	// delayed mean-queue history for the closure (ring of samples)
-	histT []float64
-	histQ []float64
+	// delayed mean-queue history for the closure. histStart is the
+	// live window's first index: pruning advances it in O(1) and the
+	// backing arrays compact only when more than half is dead, so
+	// long-horizon delayed runs never pay a per-step O(n) shift.
+	histT     []float64
+	histQ     []float64
+	histStart int
 }
 
 // New builds a solver with an all-zero density (call SetGaussian or
@@ -168,19 +210,17 @@ func New(cfg Config) (*Solver, error) {
 	}
 	g2d := grid.NewUniform2D(qAxis, vAxis)
 	s := &Solver{
-		cfg:       cfg,
-		g2d:       g2d,
-		f:         g2d.NewField(),
-		tmp:       g2d.NewField(),
-		dl:        make([]float64, cfg.NQ),
-		dd:        make([]float64, cfg.NQ),
-		du:        make([]float64, cfg.NQ),
-		rhs:       make([]float64, cfg.NQ),
-		colBuf:    make([]float64, cfg.NQ),
-		qc:        qAxis.Centers(),
-		vc:        vAxis.Centers(),
-		edgeDrift: make([]float64, cfg.NQ*(cfg.NV+1)),
+		cfg:      cfg,
+		g2d:      g2d,
+		workers:  parallel.Workers(cfg.Workers),
+		f:        g2d.NewField(),
+		tmp:      g2d.NewField(),
+		cq:       make([]float64, cfg.NV),
+		qc:       qAxis.Centers(),
+		vc:       vAxis.Centers(),
+		rowDrift: make([]float64, cfg.NV+1),
 	}
+	s.maxV, s.maxG = s.computeMaxSpeeds()
 	return s, nil
 }
 
@@ -191,8 +231,15 @@ func (s *Solver) Grid() grid.Uniform2D { return s.g2d }
 func (s *Solver) Time() float64 { return s.t }
 
 // Density returns a copy of the current density field, row-major
-// [iq*NV + iv].
-func (s *Solver) Density() []float64 { return append([]float64(nil), s.f...) }
+// [iq*NV + iv]. Hot loops should prefer AppendDensity to reuse a
+// buffer.
+func (s *Solver) Density() []float64 { return s.AppendDensity(nil) }
+
+// AppendDensity appends the current density field (row-major
+// [iq*NV + iv]) to dst and returns the extended slice — the
+// allocation-free variant of Density for per-step sampling loops
+// (pass dst[:0] to reuse its backing array).
+func (s *Solver) AppendDensity(dst []float64) []float64 { return append(dst, s.f...) }
 
 // ClippedMass returns the total mass removed by negativity clipping.
 func (s *Solver) ClippedMass() float64 { return s.clipped }
@@ -243,70 +290,98 @@ func (s *Solver) normalize() error {
 	s.outflow = 0
 	s.histT = s.histT[:0]
 	s.histQ = s.histQ[:0]
+	s.histStart = 0
 	s.recordMeanQ()
 	return nil
 }
 
-// recordMeanQ appends the current mean queue to the delay history.
+// meanQ returns the mass-weighted mean queue in one contiguous pass —
+// the only moment the delayed closure records per step, so it must
+// not pay for the full Moments computation.
+func (s *Solver) meanQ() float64 {
+	nq, nv := s.cfg.NQ, s.cfg.NV
+	var mass, mq float64
+	for iq := 0; iq < nq; iq++ {
+		row := s.f[iq*nv : (iq+1)*nv]
+		var rowSum float64
+		for _, v := range row {
+			rowSum += v
+		}
+		mass += rowSum
+		mq += rowSum * s.qc[iq]
+	}
+	if mass <= 0 {
+		return 0
+	}
+	return mq / mass
+}
+
+// recordMeanQ appends the current mean queue to the delay history and
+// prunes records that have fallen out of the lookback window. The
+// live window is histT[histStart:]; pruning advances histStart (each
+// record is passed over at most once across the whole run) and the
+// backing arrays compact only when more than half is dead, so the
+// per-step cost is amortized O(1) at any horizon.
 func (s *Solver) recordMeanQ() {
 	if s.cfg.DelayTau <= 0 {
 		return
 	}
-	m := s.Moments()
-	mean := m.MeanQ
-	if m.Mass > 0 {
-		mean = m.MeanQ
-	}
 	s.histT = append(s.histT, s.t)
-	s.histQ = append(s.histQ, mean)
-	// Prune far beyond the lookback window.
-	if len(s.histT) > 8192 {
-		cut := s.t - s.cfg.DelayTau
-		k := 0
-		for k < len(s.histT)-1 && s.histT[k+1] <= cut {
-			k++
-		}
-		if k > 0 {
-			s.histT = append(s.histT[:0], s.histT[k:]...)
-			s.histQ = append(s.histQ[:0], s.histQ[k:]...)
-		}
+	s.histQ = append(s.histQ, s.meanQ())
+	// Drop records strictly before the last one at or below the
+	// lookback cut: delayedMeanQ clamps to the window's first record,
+	// so one record at or before t − τ must survive.
+	cut := s.t - s.cfg.DelayTau
+	for s.histStart < len(s.histT)-1 && s.histT[s.histStart+1] <= cut {
+		s.histStart++
+	}
+	if s.histStart > len(s.histT)/2 && s.histStart > 64 {
+		n := copy(s.histT, s.histT[s.histStart:])
+		copy(s.histQ, s.histQ[s.histStart:])
+		s.histT = s.histT[:n]
+		s.histQ = s.histQ[:n]
+		s.histStart = 0
 	}
 }
 
 // delayedMeanQ interpolates E[Q](t−τ) from the history (clamping to
-// the earliest record, which represents the pre-initial state).
+// the earliest live record, which represents the pre-initial state).
 func (s *Solver) delayedMeanQ() float64 {
 	target := s.t - s.cfg.DelayTau
-	n := len(s.histT)
+	histT := s.histT[s.histStart:]
+	histQ := s.histQ[s.histStart:]
+	n := len(histT)
 	if n == 0 {
 		return 0
 	}
-	if target <= s.histT[0] {
-		return s.histQ[0]
+	if target <= histT[0] {
+		return histQ[0]
 	}
-	if target >= s.histT[n-1] {
-		return s.histQ[n-1]
+	if target >= histT[n-1] {
+		return histQ[n-1]
 	}
 	lo, hi := 0, n-1
 	for hi-lo > 1 {
 		mid := (lo + hi) / 2
-		if s.histT[mid] <= target {
+		if histT[mid] <= target {
 			lo = mid
 		} else {
 			hi = mid
 		}
 	}
-	t0, t1 := s.histT[lo], s.histT[hi]
+	t0, t1 := histT[lo], histT[hi]
 	if t1 == t0 {
-		return s.histQ[hi]
+		return histQ[hi]
 	}
 	frac := (target - t0) / (t1 - t0)
-	return s.histQ[lo] + frac*(s.histQ[hi]-s.histQ[lo])
+	return histQ[lo] + frac*(histQ[hi]-histQ[lo])
 }
 
-// maxSpeeds returns the maximum advection speeds over the grid, used
-// for the CFL bound.
-func (s *Solver) maxSpeeds() (maxV, maxG float64) {
+// computeMaxSpeeds scans the grid for the maximum advection speeds.
+// The law and grid are immutable, so New computes this once; the
+// delayed closure's observed queue always lies inside [0, QMax], the
+// range the scan already covers.
+func (s *Solver) computeMaxSpeeds() (maxV, maxG float64) {
 	maxV = math.Max(math.Abs(s.cfg.VMin), math.Abs(s.cfg.VMax))
 	for iq := 0; iq < s.cfg.NQ; iq++ {
 		for iv := 0; iv <= s.cfg.NV; iv++ {
@@ -323,8 +398,42 @@ func (s *Solver) maxSpeeds() (maxV, maxG float64) {
 // MaxStableDt returns the largest advection-stable step at the CFL
 // target.
 func (s *Solver) MaxStableDt() float64 {
-	maxV, maxG := s.maxSpeeds()
-	return s.g2d.MaxStableDt(s.cfg.CFLTarget, maxV, maxG)
+	return s.g2d.MaxStableDt(s.cfg.CFLTarget, s.maxV, s.maxG)
+}
+
+// vEdgeDrifts returns the edge-drift row for q-row iq of the pending
+// step: the per-row slice of the precomputed table without delay, the
+// shared per-step row under the delayed closure.
+func (s *Solver) vEdgeDrifts(iq int) []float64 {
+	if s.cfg.DelayTau > 0 {
+		return s.rowDrift
+	}
+	return s.edgeDrift[iq*(s.cfg.NV+1) : (iq+1)*(s.cfg.NV+1)]
+}
+
+// prepareDrifts fills the edge-drift cache for the coming step.
+func (s *Solver) prepareDrifts() {
+	nq, nv := s.cfg.NQ, s.cfg.NV
+	mu := s.cfg.Mu
+	law := s.cfg.Law
+	if s.cfg.DelayTau > 0 {
+		qObs := s.delayedMeanQ()
+		for e := 0; e <= nv; e++ {
+			s.rowDrift[e] = law.Drift(qObs, s.g2d.Y.Edge(e)+mu)
+		}
+		return
+	}
+	if s.edgeDriftReady {
+		return
+	}
+	s.edgeDrift = make([]float64, nq*(nv+1))
+	for iq := 0; iq < nq; iq++ {
+		row := s.edgeDrift[iq*(nv+1) : (iq+1)*(nv+1)]
+		for e := 0; e <= nv; e++ {
+			row[e] = law.Drift(s.qc[iq], s.g2d.Y.Edge(e)+mu)
+		}
+	}
+	s.edgeDriftReady = true
 }
 
 // Step advances the solution by dt. It returns an error if dt violates
@@ -333,10 +442,10 @@ func (s *Solver) Step(dt float64) error {
 	if !(dt > 0) {
 		return fmt.Errorf("fokkerplanck: non-positive step %v", dt)
 	}
-	maxV, maxG := s.maxSpeeds()
-	if cfl := s.g2d.CFL(dt, maxV, maxG); cfl > 1.0000001 {
+	if cfl := s.g2d.CFL(dt, s.maxV, s.maxG); cfl > 1.0000001 {
 		return fmt.Errorf("fokkerplanck: step %v violates CFL (number %.3f > 1)", dt, cfl)
 	}
+	s.prepareDrifts()
 	if s.cfg.SecondOrder {
 		s.advectQ2(dt)
 		s.advectV2(dt)
@@ -350,7 +459,13 @@ func (s *Solver) Step(dt float64) error {
 	if s.cfg.SigmaV > 0 {
 		s.diffuseV(dt)
 	}
-	s.clipped += -linalg.ClampNonNegative(s.f) * s.g2d.CellArea()
+	// Clip the tiny negative undershoots the explicit sweeps can
+	// leave, accumulating the audit through the block-ordered
+	// reduction so the clipped total is bit-identical for any worker
+	// count.
+	s.clipped += -parallel.ReduceSum(len(s.f), s.workers, func(lo, hi int) float64 {
+		return linalg.ClampNonNegative(s.f[lo:hi])
+	}) * s.g2d.CellArea()
 	s.t += dt
 	s.recordMeanQ()
 	return nil
@@ -396,140 +511,172 @@ func (s *Solver) Advance(tEnd, dtMax float64) error {
 	return nil
 }
 
-// advectQ performs the upwind sweep of f_t + v f_q = 0.
-func (s *Solver) advectQ(dt float64) {
-	nq, nv := s.cfg.NQ, s.cfg.NV
+// qCourant fills s.cq with the per-row Courant numbers v·dt/Δq and
+// returns it.
+func (s *Solver) qCourant(dt float64) []float64 {
 	dq := s.g2d.X.Dx
-	copy(s.tmp, s.f)
-	for iv := 0; iv < nv; iv++ {
-		v := s.vc[iv]
-		if v == 0 {
-			continue
-		}
-		c := v * dt / dq
-		if v > 0 {
-			// Sweep from the right so updates read pre-step values
-			// from tmp (we read tmp exclusively, so order is free).
-			for iq := 0; iq < nq; iq++ {
-				var fluxIn, fluxOut float64
-				fluxOut = c * s.tmp[iq*nv+iv]
-				if iq > 0 {
-					fluxIn = c * s.tmp[(iq-1)*nv+iv]
-				}
-				// iq == 0: left edge has zero inflow for v > 0.
-				s.f[iq*nv+iv] = s.tmp[iq*nv+iv] + fluxIn - fluxOut
-				if iq == nq-1 {
-					// Outflow through the right boundary, in mass
-					// units (density change × cell area).
-					s.outflow += fluxOut * s.g2d.CellArea()
-				}
-			}
-		} else {
-			ac := -c // positive
-			for iq := 0; iq < nq; iq++ {
-				var fluxIn, fluxOut float64
-				if iq > 0 {
-					// Left edge of cell iq: for v < 0, flux leaves
-					// cell iq through its left edge...
-					fluxOut = ac * s.tmp[iq*nv+iv]
-				}
-				// iq == 0: zero-flux reflecting edge at q = 0 (mass
-				// cannot leave; the empty queue holds it).
-				if iq < nq-1 {
-					fluxIn = ac * s.tmp[(iq+1)*nv+iv]
-				}
-				// iq == nq-1: right edge admits no inflow for v < 0.
-				s.f[iq*nv+iv] = s.tmp[iq*nv+iv] + fluxIn - fluxOut
-			}
-		}
+	for iv, v := range s.vc {
+		s.cq[iv] = v * dt / dq
 	}
+	return s.cq
 }
 
-// advectV performs the conservative upwind sweep of f_t + (g f)_v = 0.
+// addQOutflow accumulates the mass leaving through the q = QMax
+// boundary for the pending q-sweep: rows with v > 0 lose c·f from
+// the last q cell. Both the first-order and the MUSCL sweep lose
+// exactly this flux (the limiter's slope is zero at the boundary
+// cell), so the audit is shared. src must be the pre-sweep field.
+func (s *Solver) addQOutflow(src, cq []float64) {
+	nq, nv := s.cfg.NQ, s.cfg.NV
+	last := src[(nq-1)*nv : nq*nv]
+	var flux float64
+	for iv, c := range cq {
+		if c > 0 {
+			flux += c * last[iv]
+		}
+	}
+	s.outflow += flux * s.g2d.CellArea()
+}
+
+// advectQ performs the upwind sweep of f_t + v f_q = 0, walking whole
+// v-rows in storage order: row iq of the destination is assembled
+// from source rows iq−1, iq, iq+1 with per-column Courant numbers, so
+// every access is unit-stride. The source and destination fields
+// ping-pong (no copy), and rows are sharded across the worker pool.
+func (s *Solver) advectQ(dt float64) {
+	nq, nv := s.cfg.NQ, s.cfg.NV
+	cq := s.qCourant(dt)
+	src, dst := s.f, s.tmp
+	s.addQOutflow(src, cq)
+	parallel.For(nq, s.workers, func(loQ, hiQ int) {
+		for iq := loQ; iq < hiQ; iq++ {
+			cur := src[iq*nv : (iq+1)*nv]
+			out := dst[iq*nv : (iq+1)*nv]
+			var up, down []float64
+			if iq > 0 {
+				up = src[(iq-1)*nv : iq*nv]
+			}
+			if iq < nq-1 {
+				down = src[(iq+1)*nv : (iq+2)*nv]
+			}
+			for iv, c := range cq {
+				switch {
+				case c > 0:
+					// Inflow through the left edge (zero at q = 0,
+					// the reflecting boundary), outflow through the
+					// right.
+					var fluxIn float64
+					if up != nil {
+						fluxIn = c * up[iv]
+					}
+					out[iv] = cur[iv] + fluxIn - c*cur[iv]
+				case c < 0:
+					ac := -c
+					// For v < 0 mass moves left: outflow through the
+					// left edge (zero at q = 0), inflow from the
+					// right neighbor (zero at q = QMax).
+					var fluxIn, fluxOut float64
+					if up != nil {
+						fluxOut = ac * cur[iv]
+					}
+					if down != nil {
+						fluxIn = ac * down[iv]
+					}
+					out[iv] = cur[iv] + fluxIn - fluxOut
+				default:
+					out[iv] = cur[iv]
+				}
+			}
+		}
+	})
+	s.f, s.tmp = dst, src
+}
+
+// advectV performs the conservative upwind sweep of f_t + (g f)_v = 0
+// with the cached edge drifts: per row, the upwinded edge fluxes are
+// differenced into the destination in one contiguous pass. Rows are
+// independent and shard across the worker pool; the fields ping-pong.
 func (s *Solver) advectV(dt float64) {
 	nq, nv := s.cfg.NQ, s.cfg.NV
 	dv := s.g2d.Y.Dx
-	mu := s.cfg.Mu
-	law := s.cfg.Law
-	useDelay := s.cfg.DelayTau > 0
-	qObsDelayed := 0.0
-	if useDelay {
-		qObsDelayed = s.delayedMeanQ()
-	}
-	copy(s.tmp, s.f)
-	for iq := 0; iq < nq; iq++ {
-		qObs := s.qc[iq]
-		if useDelay {
-			qObs = qObsDelayed
-		}
-		base := iq * nv
-		// Edge drifts and upwind fluxes along v. Edge iv sits between
-		// cells iv-1 and iv; edges 0 and nv are zero-flux boundaries.
-		for iv := 1; iv < nv; iv++ {
-			vEdge := s.g2d.Y.Edge(iv)
-			a := law.Drift(qObs, vEdge+mu)
-			var flux float64
-			if a > 0 {
-				flux = a * s.tmp[base+iv-1]
-			} else {
-				flux = a * s.tmp[base+iv]
+	cdt := dt / dv
+	src, dst := s.f, s.tmp
+	parallel.For(nq, s.workers, func(loQ, hiQ int) {
+		for iq := loQ; iq < hiQ; iq++ {
+			cur := src[iq*nv : (iq+1)*nv]
+			out := dst[iq*nv : (iq+1)*nv]
+			drift := s.vEdgeDrifts(iq)
+			// prev is the scaled flux through edge iv; edges 0 and nv
+			// are zero-flux boundaries.
+			prev := 0.0
+			for iv := 0; iv < nv; iv++ {
+				var next float64
+				if iv < nv-1 {
+					if a := drift[iv+1]; a > 0 {
+						next = a * cdt * cur[iv]
+					} else {
+						next = a * cdt * cur[iv+1]
+					}
+				}
+				out[iv] = cur[iv] + prev - next
+				prev = next
 			}
-			d := flux * dt / dv
-			s.f[base+iv-1] -= d
-			s.f[base+iv] += d
 		}
-	}
+	})
+	s.f, s.tmp = dst, src
 }
 
-// diffuseQ performs the Crank-Nicolson solve of f_t = (σ²/2) f_qq with
-// zero-flux ends, one tridiagonal system per v-row.
+// diffuseQ performs the Crank-Nicolson solve of f_t = (σ²/2) f_qq
+// with zero-flux ends. All NV per-column tridiagonal systems share
+// the same prefactored bands (diffFactor), so the solve runs as one
+// multi-RHS Thomas pass whose forward sweep and back substitution
+// stream across whole v-rows with unit stride: the right-hand side of
+// row iq is built from field rows iq−1, iq, iq+1 (same columns) and
+// immediately forward-eliminated into tmp, then the back substitution
+// walks the rows in reverse into f. Column blocks are independent, so
+// they shard across the worker pool.
 func (s *Solver) diffuseQ(dt float64) {
 	nq, nv := s.cfg.NQ, s.cfg.NV
 	dq := s.g2d.X.Dx
 	r := 0.5 * s.cfg.Sigma * s.cfg.Sigma * dt / (2 * dq * dq) // θ=1/2 CN factor
-	// LHS bands: (I − r·A), RHS: (I + r·A) with A the Neumann
-	// Laplacian stencil.
-	for iv := 0; iv < nv; iv++ {
-		// Gather the q-column.
-		for iq := 0; iq < nq; iq++ {
-			s.colBuf[iq] = s.f[iq*nv+iv]
+	s.qFac.Ensure(r, nq)
+	inv, cp := s.qFac.Inv, s.qFac.Cp
+	f, dp := s.f, s.tmp
+	parallel.For(nv, s.workers, func(loV, hiV int) {
+		// Fused RHS build + forward elimination, top row down.
+		for iv := loV; iv < hiV; iv++ {
+			dp[iv] = (f[iv] + r*(f[nv+iv]-f[iv])) * inv[0]
 		}
-		for iq := 0; iq < nq; iq++ {
-			var lap float64
+		for iq := 1; iq < nq; iq++ {
+			base := iq * nv
+			prevRow := dp[(iq-1)*nv:]
+			rowInv := inv[iq]
 			switch iq {
-			case 0:
-				lap = s.colBuf[1] - s.colBuf[0]
 			case nq - 1:
-				lap = s.colBuf[nq-2] - s.colBuf[nq-1]
+				for iv := loV; iv < hiV; iv++ {
+					rhs := f[base+iv] + r*(f[base-nv+iv]-f[base+iv])
+					dp[base+iv] = (rhs + r*prevRow[iv]) * rowInv
+				}
 			default:
-				lap = s.colBuf[iq-1] - 2*s.colBuf[iq] + s.colBuf[iq+1]
-			}
-			s.rhs[iq] = s.colBuf[iq] + r*lap
-			// LHS bands.
-			switch iq {
-			case 0:
-				s.dl[iq] = 0
-				s.dd[iq] = 1 + r
-				s.du[iq] = -r
-			case nq - 1:
-				s.dl[iq] = -r
-				s.dd[iq] = 1 + r
-				s.du[iq] = 0
-			default:
-				s.dl[iq] = -r
-				s.dd[iq] = 1 + 2*r
-				s.du[iq] = -r
+				for iv := loV; iv < hiV; iv++ {
+					rhs := f[base+iv] + r*(f[base-nv+iv]-2*f[base+iv]+f[base+nv+iv])
+					dp[base+iv] = (rhs + r*prevRow[iv]) * rowInv
+				}
 			}
 		}
-		if err := s.tri.Solve(s.dl, s.dd, s.du, s.rhs, s.colBuf); err != nil {
-			// The CN matrix is strictly diagonally dominant, so this
-			// cannot happen for valid inputs.
-			panic(fmt.Sprintf("fokkerplanck: diffusion solve failed: %v", err))
+		// Back substitution, bottom row up, into f.
+		base := (nq - 1) * nv
+		for iv := loV; iv < hiV; iv++ {
+			f[base+iv] = dp[base+iv]
 		}
-		for iq := 0; iq < nq; iq++ {
-			s.f[iq*nv+iv] = s.colBuf[iq]
+		for iq := nq - 2; iq >= 0; iq-- {
+			base := iq * nv
+			rowCp := cp[iq]
+			for iv := loV; iv < hiV; iv++ {
+				f[base+iv] = dp[base+iv] - rowCp*f[base+nv+iv]
+			}
 		}
-	}
+	})
 }
 
 // Moments computes the low-order moments of the current density.
@@ -570,34 +717,50 @@ func (s *Solver) Moments() Moments {
 }
 
 // MarginalQ returns the marginal density over q (length NQ),
-// integrating out v.
-func (s *Solver) MarginalQ() []float64 {
+// integrating out v. Hot loops should prefer AppendMarginalQ.
+func (s *Solver) MarginalQ() []float64 { return s.AppendMarginalQ(nil) }
+
+// AppendMarginalQ appends the q-marginal (length NQ) to dst and
+// returns the extended slice — the allocation-free variant of
+// MarginalQ (pass dst[:0] to reuse its backing array).
+func (s *Solver) AppendMarginalQ(dst []float64) []float64 {
 	nq, nv := s.cfg.NQ, s.cfg.NV
 	dv := s.g2d.Y.Dx
-	m := make([]float64, nq)
 	for iq := 0; iq < nq; iq++ {
 		var sum float64
-		for iv := 0; iv < nv; iv++ {
-			sum += s.f[iq*nv+iv]
+		for _, v := range s.f[iq*nv : (iq+1)*nv] {
+			sum += v
 		}
-		m[iq] = sum * dv
+		dst = append(dst, sum*dv)
 	}
-	return m
+	return dst
 }
 
-// MarginalV returns the marginal density over v (length NV).
-func (s *Solver) MarginalV() []float64 {
+// MarginalV returns the marginal density over v (length NV). Hot
+// loops should prefer AppendMarginalV.
+func (s *Solver) MarginalV() []float64 { return s.AppendMarginalV(nil) }
+
+// AppendMarginalV appends the v-marginal (length NV) to dst and
+// returns the extended slice — the allocation-free variant of
+// MarginalV (pass dst[:0] to reuse its backing array).
+func (s *Solver) AppendMarginalV(dst []float64) []float64 {
 	nq, nv := s.cfg.NQ, s.cfg.NV
 	dq := s.g2d.X.Dx
-	m := make([]float64, nv)
+	start := len(dst)
 	for iv := 0; iv < nv; iv++ {
-		var sum float64
-		for iq := 0; iq < nq; iq++ {
-			sum += s.f[iq*nv+iv]
-		}
-		m[iv] = sum * dq
+		dst = append(dst, 0)
 	}
-	return m
+	m := dst[start:]
+	for iq := 0; iq < nq; iq++ {
+		row := s.f[iq*nv : (iq+1)*nv]
+		for iv, v := range row {
+			m[iv] += v
+		}
+	}
+	for iv := range m {
+		m[iv] *= dq
+	}
+	return dst
 }
 
 // TailProb returns P(Q > b) under the current density — the overflow

@@ -3,6 +3,8 @@ package fokkerplanck
 import (
 	"fmt"
 	"math"
+
+	"fpcc/internal/parallel"
 )
 
 // This file implements two extensions beyond the paper's Equation 14:
@@ -21,48 +23,22 @@ import (
 //     tables (E10/E12-style) decide they have run far enough.
 
 // diffuseV performs the Crank-Nicolson solve of f_t = (σ_v²/2) f_vv
-// with zero-flux ends, one tridiagonal system per q-row. It mirrors
-// diffuseQ with the roles of the axes swapped; rows are contiguous in
-// storage so no gather is needed, but the workspace vectors are sized
-// for NQ — we reuse tmp buffers sized max(NQ, NV) allocated lazily.
+// with zero-flux ends, one tridiagonal system per q-row. Rows are
+// contiguous in storage, every row shares the same prefactored bands
+// (linalg.CNFactor), and the matching tmp row serves as the
+// forward-sweep workspace, so the per-row work is one fused
+// CNFactor.Step with no band construction. Rows shard across the
+// worker pool.
 func (s *Solver) diffuseV(dt float64) {
 	nq, nv := s.cfg.NQ, s.cfg.NV
 	dv := s.g2d.Y.Dx
 	r := 0.5 * s.cfg.SigmaV * s.cfg.SigmaV * dt / (2 * dv * dv)
-	if len(s.vDl) < nv {
-		s.vDl = make([]float64, nv)
-		s.vDd = make([]float64, nv)
-		s.vDu = make([]float64, nv)
-		s.vRhs = make([]float64, nv)
-		s.vBuf = make([]float64, nv)
-	}
-	for iq := 0; iq < nq; iq++ {
-		row := s.f[iq*nv : (iq+1)*nv]
-		for iv := 0; iv < nv; iv++ {
-			var lap float64
-			switch iv {
-			case 0:
-				lap = row[1] - row[0]
-			case nv - 1:
-				lap = row[nv-2] - row[nv-1]
-			default:
-				lap = row[iv-1] - 2*row[iv] + row[iv+1]
-			}
-			s.vRhs[iv] = row[iv] + r*lap
-			switch iv {
-			case 0:
-				s.vDl[iv], s.vDd[iv], s.vDu[iv] = 0, 1+r, -r
-			case nv - 1:
-				s.vDl[iv], s.vDd[iv], s.vDu[iv] = -r, 1+r, 0
-			default:
-				s.vDl[iv], s.vDd[iv], s.vDu[iv] = -r, 1+2*r, -r
-			}
+	s.vFac.Ensure(r, nv)
+	parallel.For(nq, s.workers, func(loQ, hiQ int) {
+		for iq := loQ; iq < hiQ; iq++ {
+			s.vFac.Step(s.f[iq*nv:(iq+1)*nv], s.tmp[iq*nv:(iq+1)*nv])
 		}
-		if err := s.tri.Solve(s.vDl[:nv], s.vDd[:nv], s.vDu[:nv], s.vRhs[:nv], s.vBuf[:nv]); err != nil {
-			panic(fmt.Sprintf("fokkerplanck: v-diffusion solve failed: %v", err))
-		}
-		copy(row, s.vBuf[:nv])
-	}
+	})
 }
 
 // AdvanceToStationary integrates with automatic steps until the

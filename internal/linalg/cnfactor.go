@@ -1,0 +1,69 @@
+package linalg
+
+// CNFactor is the prefactored Thomas decomposition of the zero-flux
+// (Neumann) Crank-Nicolson left-hand side (I − r·A), with A the
+// standard second-difference stencil: bands dd = {1+r, 1+2r, …,
+// 1+2r, 1+r} and dl = du = −r. These systems appear once per
+// diffusion axis in the Fokker-Planck solver and once per class in
+// the mean-field kernels, always with bands that depend only on r —
+// so the decomposition is built once per distinct r and each solve
+// collapses to a forward and a back substitution. The matrix is
+// strictly diagonally dominant for every r ≥ 0, so the factorization
+// cannot fail and no pivot checks are needed.
+//
+// Cp and Inv are exposed for multi-RHS solves (the Fokker-Planck
+// q-diffusion streams all its columns through one factorization);
+// they are read-only outside Ensure.
+type CNFactor struct {
+	R   float64   // the factor the decomposition was built for
+	N   int       // system size
+	Cp  []float64 // Cp[i] = du[i]/den[i], the back-substitution band
+	Inv []float64 // Inv[i] = 1/den[i], the forward-sweep pivots
+}
+
+// Ensure (re)builds the factorization for the given r and system size
+// n >= 2; a repeated call with the same parameters is free.
+func (f *CNFactor) Ensure(r float64, n int) {
+	if f.N == n && f.R == r && f.Cp != nil {
+		return
+	}
+	if cap(f.Cp) < n {
+		f.Cp = make([]float64, n)
+		f.Inv = make([]float64, n)
+	}
+	f.Cp = f.Cp[:n]
+	f.Inv = f.Inv[:n]
+	f.R = r
+	f.N = n
+	f.Inv[0] = 1 / (1 + r)
+	f.Cp[0] = -r * f.Inv[0]
+	for i := 1; i < n; i++ {
+		dd := 1 + 2*r
+		if i == n-1 {
+			dd = 1 + r
+		}
+		den := dd + r*f.Cp[i-1] // dd − dl·cp with dl = −r
+		f.Inv[i] = 1 / den
+		f.Cp[i] = -r * f.Inv[i]
+	}
+}
+
+// Step advances x by one Crank-Nicolson diffusion step in place:
+// it builds the right-hand side (I + r·A)·x with the zero-flux
+// stencil, forward-eliminates it into the workspace dp (len >= N)
+// in the same fused pass, and back-substitutes into x.
+func (f *CNFactor) Step(x, dp []float64) {
+	n, r := f.N, f.R
+	inv, cp := f.Inv, f.Cp
+	dp[0] = (x[0] + r*(x[1]-x[0])) * inv[0]
+	for i := 1; i < n-1; i++ {
+		rhs := x[i] + r*(x[i-1]-2*x[i]+x[i+1])
+		dp[i] = (rhs + r*dp[i-1]) * inv[i]
+	}
+	rhs := x[n-1] + r*(x[n-2]-x[n-1])
+	dp[n-1] = (rhs + r*dp[n-2]) * inv[n-1]
+	x[n-1] = dp[n-1]
+	for i := n - 2; i >= 0; i-- {
+		x[i] = dp[i] - cp[i]*x[i+1]
+	}
+}

@@ -1,0 +1,113 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+
+	"fpcc/internal/rng"
+)
+
+// cnBands builds the explicit (I − r·A) bands the factorization
+// stands for.
+func cnBands(r float64, n int) (dl, dd, du []float64) {
+	dl = make([]float64, n)
+	dd = make([]float64, n)
+	du = make([]float64, n)
+	for i := 0; i < n; i++ {
+		switch i {
+		case 0:
+			dd[i], du[i] = 1+r, -r
+		case n - 1:
+			dl[i], dd[i] = -r, 1+r
+		default:
+			dl[i], dd[i], du[i] = -r, 1+2*r, -r
+		}
+	}
+	return dl, dd, du
+}
+
+// TestCNFactorMatchesTridiag pins the fused prefactored step against
+// the general Thomas solver on the explicitly built bands: same RHS,
+// solution agreement to a tight relative bound, across sizes and r.
+func TestCNFactorMatchesTridiag(t *testing.T) {
+	r := rng.New(5)
+	for _, n := range []int{2, 3, 8, 100, 257} {
+		for _, rr := range []float64{0, 1e-4, 0.3, 5, 400} {
+			x := make([]float64, n)
+			for i := range x {
+				x[i] = r.Float64() * 10
+			}
+			// Reference: explicit bands + Tridiag on the CN RHS.
+			dl, dd, du := cnBands(rr, n)
+			rhs := make([]float64, n)
+			for i := range rhs {
+				var lap float64
+				switch i {
+				case 0:
+					lap = x[1] - x[0]
+				case n - 1:
+					lap = x[n-2] - x[n-1]
+				default:
+					lap = x[i-1] - 2*x[i] + x[i+1]
+				}
+				rhs[i] = x[i] + rr*lap
+			}
+			want := make([]float64, n)
+			var tri Tridiag
+			if err := tri.Solve(dl, dd, du, rhs, want); err != nil {
+				t.Fatal(err)
+			}
+			var fac CNFactor
+			fac.Ensure(rr, n)
+			got := append([]float64(nil), x...)
+			fac.Step(got, make([]float64, n))
+			for i := range want {
+				if d := math.Abs(got[i] - want[i]); d > 1e-12*(1+math.Abs(want[i])) {
+					t.Fatalf("n=%d r=%v: x[%d] = %v, Tridiag gives %v", n, rr, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestCNFactorEnsureIdempotent checks the rebuild-only-on-change
+// contract.
+func TestCNFactorEnsureIdempotent(t *testing.T) {
+	var fac CNFactor
+	fac.Ensure(0.5, 16)
+	cp0 := &fac.Cp[0]
+	fac.Ensure(0.5, 16)
+	if &fac.Cp[0] != cp0 {
+		t.Fatal("Ensure with unchanged parameters rebuilt the factorization")
+	}
+	fac.Ensure(0.7, 16)
+	if fac.R != 0.7 {
+		t.Fatal("Ensure did not rebuild for a new r")
+	}
+}
+
+// TestCNFactorConservesMass checks the zero-flux property: the CN
+// step must conserve the discrete sum exactly up to rounding.
+func TestCNFactorConservesMass(t *testing.T) {
+	r := rng.New(11)
+	const n = 64
+	x := make([]float64, n)
+	var before float64
+	for i := range x {
+		x[i] = r.Float64()
+		before += x[i]
+	}
+	var fac CNFactor
+	fac.Ensure(2.5, n)
+	dp := make([]float64, n)
+	for step := 0; step < 50; step++ {
+		fac.Step(x, dp)
+	}
+	var after float64
+	for _, v := range x {
+		after += v
+	}
+	if math.Abs(after-before) > 1e-10*before {
+		t.Fatalf("mass drifted: %v -> %v", before, after)
+	}
+}

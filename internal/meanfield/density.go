@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"fpcc/internal/grid"
+	"fpcc/internal/parallel"
 )
 
 // Density is the kinetic backend: one RateDensity per class on a
@@ -135,13 +136,17 @@ func (d *Density) Step() error {
 			return fmt.Errorf("meanfield: class %d %v", k, err)
 		}
 	}
-	for k, rd := range d.dens {
+	// Each class's transport/diffusion kernel touches only its own
+	// density, so the sweeps shard across the worker pool; the
+	// coupling (AggregateRate above) already ran in class order.
+	parallel.Each(len(d.dens), d.cfg.Workers, func(k int) {
+		rd := d.dens[k]
 		rd.Advect(dt)
 		if sigma := d.cfg.Classes[k].SigmaL; sigma > 0 {
 			rd.Diffuse(sigma, dt)
 		}
 		rd.ClampNegative()
-	}
+	})
 	d.q = math.Max(d.q+(agg-d.cfg.Mu)*dt, 0)
 	d.t += dt
 	d.hist.Record(d.t, d.q, d.t-d.maxDelay-1)

@@ -101,6 +101,14 @@ type Config struct {
 	// of first-order upwind in the density engine, removing most of
 	// the numerical diffusion (same trade as fokkerplanck.Config).
 	SecondOrder bool
+
+	// Workers bounds the density engine's per-step parallelism over
+	// classes (0 = GOMAXPROCS). It affects wall-clock time only,
+	// never results: each class's kernel is independent within a
+	// step and the coupling reductions stay in class order. (The
+	// particle backend takes its worker bound as a NewParticles
+	// argument instead, alongside its seed.)
+	Workers int
 }
 
 // Validate checks the configuration shared by both backends.

@@ -102,6 +102,50 @@ func TestQHistoryInterpolation(t *testing.T) {
 	}
 }
 
+// TestDensityBitIdenticalAcrossWorkers pins the new class-parallel
+// step: a multi-class run must produce bit-identical marginals and
+// queue for any Config.Workers.
+func TestDensityBitIdenticalAcrossWorkers(t *testing.T) {
+	run := func(workers int) (*Density, error) {
+		cfg := testConfig(1000)
+		// Three classes with different dynamics so scheduling skew
+		// would have something to scramble.
+		cfg.Classes = []Class{
+			{Law: testLaw(400, 2), N: 400, Lambda0: 1, InitStd: 0.3, SigmaL: 0.3},
+			{Law: testLaw(300, 2), N: 300, Lambda0: 1.4, InitStd: 0.2, SigmaL: 0.5, Delay: 0.3},
+			{Law: testLaw(300, 2), N: 300, Lambda0: 0.7, InitStd: 0.4, SigmaL: 0.2, Weight: 2},
+		}
+		cfg.Workers = workers
+		d, err := NewDensity(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return d, d.Run(5)
+	}
+	d1, err := run(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8} {
+		dw, err := run(workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dw.Queue() != d1.Queue() {
+			t.Fatalf("workers=%d: queue %v, workers=1 got %v", workers, dw.Queue(), d1.Queue())
+		}
+		for k := 0; k < d1.NumClasses(); k++ {
+			m1, mw := d1.Marginal(k), dw.Marginal(k)
+			for i := range m1 {
+				if m1[i] != mw[i] {
+					t.Fatalf("workers=%d: class %d marginal[%d] = %v, workers=1 got %v",
+						workers, k, i, mw[i], m1[i])
+				}
+			}
+		}
+	}
+}
+
 // Transport has zero-flux ends and the diffusion solve is
 // conservative, so each class's mass must stay at 1 up to the tracked
 // negativity clipping.

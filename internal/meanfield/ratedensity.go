@@ -35,11 +35,13 @@ type RateDensity struct {
 	drift       []float64
 	secondOrder bool
 
-	// Crank-Nicolson workspace for the σ diffusion solves.
-	tri             linalg.Tridiag
-	dl, dd, du, rhs []float64
-	col             []float64
-	clipped         float64
+	// Prefactored Crank-Nicolson solve for the σ diffusion: the
+	// bands depend only on rr, so the shared kernel rebuilds its
+	// decomposition only when the step or σ changes and each Diffuse
+	// is one fused forward/back substitution over the col workspace.
+	fac     linalg.CNFactor
+	col     []float64
+	clipped float64
 }
 
 // NewRateDensity builds the kernel on a Bins-cell grid over [0, lMax],
@@ -58,10 +60,6 @@ func NewRateDensity(lMax float64, bins int, lambda0, initStd float64, secondOrde
 		lc:          ax.Centers(),
 		drift:       make([]float64, bins),
 		secondOrder: secondOrder,
-		dl:          make([]float64, bins),
-		dd:          make([]float64, bins),
-		du:          make([]float64, bins),
-		rhs:         make([]float64, bins),
 		col:         make([]float64, bins),
 	}
 	if initStd > 0 {
@@ -190,38 +188,14 @@ func (r *RateDensity) Advect(dt float64) {
 
 // Diffuse performs the Crank-Nicolson solve of f_t = (σ²/2) f_λλ with
 // zero-flux (Neumann) ends — one tridiagonal system, the 1-D analogue
-// of fokkerplanck's q-diffusion.
+// of fokkerplanck's q-diffusion, run through the shared prefactored
+// kernel (linalg.CNFactor): one fused RHS-build/forward-elimination
+// and back-substitution pass, with no per-call band construction.
 func (r *RateDensity) Diffuse(sigma, dt float64) {
-	f := r.f
-	nb := r.ax.N
 	dl := r.ax.Dx
 	rr := 0.5 * sigma * sigma * dt / (2 * dl * dl) // θ=1/2 CN factor
-	for i := 0; i < nb; i++ {
-		var lap float64
-		switch i {
-		case 0:
-			lap = f[1] - f[0]
-		case nb - 1:
-			lap = f[nb-2] - f[nb-1]
-		default:
-			lap = f[i-1] - 2*f[i] + f[i+1]
-		}
-		r.rhs[i] = f[i] + rr*lap
-		switch i {
-		case 0:
-			r.dl[i], r.dd[i], r.du[i] = 0, 1+rr, -rr
-		case nb - 1:
-			r.dl[i], r.dd[i], r.du[i] = -rr, 1+rr, 0
-		default:
-			r.dl[i], r.dd[i], r.du[i] = -rr, 1+2*rr, -rr
-		}
-	}
-	if err := r.tri.Solve(r.dl, r.dd, r.du, r.rhs, r.col); err != nil {
-		// The CN matrix is strictly diagonally dominant, so this
-		// cannot happen for valid inputs.
-		panic(fmt.Sprintf("meanfield: diffusion solve failed: %v", err))
-	}
-	copy(f, r.col)
+	r.fac.Ensure(rr, r.ax.N)
+	r.fac.Step(r.f, r.col)
 }
 
 // ClampNegative zeroes the tiny negative undershoots the explicit

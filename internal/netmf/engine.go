@@ -6,6 +6,7 @@ import (
 
 	"fpcc/internal/grid"
 	"fpcc/internal/meanfield"
+	"fpcc/internal/parallel"
 )
 
 // Engine is the networked kinetic solver: one meanfield.RateDensity
@@ -186,14 +187,16 @@ func (e *Engine) Step() error {
 			return fmt.Errorf("netmf: class %d %v", k, err)
 		}
 	}
-	// 3. Transport and diffusion sweeps.
-	for k, rd := range e.dens {
+	// 3. Transport and diffusion sweeps — per-class kernels touch
+	// only their own density, so they shard across the worker pool.
+	parallel.Each(len(e.dens), e.cfg.Workers, func(k int) {
+		rd := e.dens[k]
 		rd.Advect(dt)
 		if sigma := e.cfg.Classes[k].SigmaL; sigma > 0 {
 			rd.Diffuse(sigma, dt)
 		}
 		rd.ClampNegative()
-	}
+	})
 	// 4. Fluid queue ODEs and their histories.
 	e.t += dt
 	cut := e.t - e.maxDelay - 1

@@ -107,6 +107,12 @@ type Config struct {
 	// SecondOrder selects MUSCL/minmod (TVD) transport sweeps instead
 	// of first-order upwind (same trade as meanfield.Config).
 	SecondOrder bool
+
+	// Workers bounds the per-step parallelism over classes
+	// (0 = GOMAXPROCS). It affects wall-clock time only, never
+	// results: each class's kernel is independent within a step and
+	// the arrival-rate coupling stays in class order.
+	Workers int
 }
 
 // Validate checks the configuration.

@@ -2,6 +2,7 @@ package rng
 
 import (
 	"math"
+	"sort"
 	"testing"
 	"testing/quick"
 )
@@ -22,7 +23,7 @@ func TestReseedResetsState(t *testing.T) {
 	for i := range first {
 		first[i] = a.Uint64()
 	}
-	a.Norm() // populate the gaussian cache
+	a.Norm() // consume stream state mid-distribution
 	a.Reseed(7)
 	for i := range first {
 		if got := a.Uint64(); got != first[i] {
@@ -185,6 +186,48 @@ func TestNormMoments(t *testing.T) {
 	}
 	if math.Abs(skew) > 0.03 {
 		t.Fatalf("Norm third moment = %v, want 0", skew)
+	}
+}
+
+// TestNormDistribution pins the ziggurat implementation against the
+// exact normal CDF: a Kolmogorov-Smirnov bound on a large sample plus
+// direct tail-mass checks past the ziggurat's layer boundary (the
+// tail algorithm's region), where a table bug would hide from
+// moment-level tests.
+func TestNormDistribution(t *testing.T) {
+	r := New(91)
+	const n = 1000000
+	xs := make([]float64, n)
+	tail2, tail36 := 0, 0
+	for i := range xs {
+		x := r.Norm()
+		xs[i] = x
+		if x > 2 {
+			tail2++
+		}
+		if math.Abs(x) > 3.6541528853610088 {
+			tail36++
+		}
+	}
+	sort.Float64s(xs)
+	cdf := func(x float64) float64 { return 0.5 * math.Erfc(-x/math.Sqrt2) }
+	var d float64
+	for i, x := range xs {
+		lo := math.Abs(cdf(x) - float64(i)/n)
+		hi := math.Abs(cdf(x) - float64(i+1)/n)
+		d = math.Max(d, math.Max(lo, hi))
+	}
+	// KS 0.001 critical value at n=1e6 is ~0.00195; a broken wedge or
+	// tail shows up an order of magnitude above that.
+	if d > 0.002 {
+		t.Fatalf("KS distance to N(0,1) = %v, want < 0.002", d)
+	}
+	// P(X > 2) = 0.02275; P(|X| > R) = 2.58e-4 at R = 3.654.
+	if got, want := float64(tail2)/n, 0.02275; math.Abs(got-want) > 0.0015 {
+		t.Fatalf("P(X>2) = %v, want ~%v", got, want)
+	}
+	if got, want := float64(tail36)/n, 2.58e-4; got < want/3 || got > want*3 {
+		t.Fatalf("P(|X|>R) = %v, want ~%v (tail algorithm region)", got, want)
 	}
 }
 

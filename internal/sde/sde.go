@@ -13,6 +13,17 @@
 // The integrator is Euler-Maruyama with reflection at the q = 0
 // boundary, which is the standard strong-order-1/2 scheme and entirely
 // adequate for density-level comparisons.
+//
+// # Parallelism and determinism
+//
+// Particles live in flat structure-of-arrays storage sharded into
+// fixed chunks of 4096. Each chunk owns a deterministic rng stream
+// derived from the run seed by rng.Mix (via sweep.CellSeed), is
+// initialized and stepped only from that stream, and chunks are
+// stepped concurrently on the fixed-block fork-join pool of
+// internal/parallel. Because the chunk boundaries and streams depend
+// only on the particle count and the seed — never on the worker
+// count — every observable is byte-identical for any Config.Workers.
 package sde
 
 import (
@@ -20,9 +31,16 @@ import (
 	"math"
 
 	"fpcc/internal/control"
+	"fpcc/internal/parallel"
 	"fpcc/internal/rng"
 	"fpcc/internal/stats"
+	"fpcc/internal/sweep"
 )
+
+// chunkSize is the fixed shard width of the particle arrays; fixing
+// it (rather than deriving it from the worker count) is what makes
+// ensemble runs reproducible for any parallelism.
+const chunkSize = 4096
 
 // Config describes an ensemble simulation.
 type Config struct {
@@ -40,6 +58,11 @@ type Config struct {
 	Lambda0  float64
 	InitStdQ float64
 	InitStdL float64
+
+	// Workers bounds the per-step parallelism (0 = GOMAXPROCS). It
+	// affects wall-clock time only, never results: chunk streams and
+	// reductions are fixed by Particles and Seed alone.
+	Workers int
 }
 
 // Validate checks the configuration.
@@ -67,35 +90,49 @@ func (c *Config) Validate() error {
 // with New, advance it with Step/Run, and read it out with Moments,
 // Histogram or the raw particle accessors.
 type Ensemble struct {
-	cfg Config
-	r   *rng.Source
-	q   []float64
-	lam []float64
-	t   float64
+	cfg     Config
+	workers int
+	q       []float64     // flat SoA queue lengths
+	lam     []float64     // flat SoA rates
+	streams []*rng.Source // one deterministic stream per fixed chunk
+	drift   *parallel.Scratch[[]float64]
+	t       float64
 }
 
 // New creates an ensemble with the configured initial distribution.
+// Every fixed 4096-wide chunk draws its initial states and all its
+// noise from its own rng.Mix-derived stream, so the ensemble is
+// reproducible from the seed alone and independent of Workers.
 func New(cfg Config) (*Ensemble, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	n := cfg.Particles
 	e := &Ensemble{
-		cfg: cfg,
-		r:   rng.New(cfg.Seed),
-		q:   make([]float64, cfg.Particles),
-		lam: make([]float64, cfg.Particles),
+		cfg:     cfg,
+		workers: parallel.Workers(cfg.Workers),
+		q:       make([]float64, n),
+		lam:     make([]float64, n),
+		streams: make([]*rng.Source, (n+chunkSize-1)/chunkSize),
 	}
-	for i := range e.q {
-		q := cfg.Q0
-		l := cfg.Lambda0
-		if cfg.InitStdQ > 0 {
-			q += cfg.InitStdQ * e.r.Norm()
+	e.drift = parallel.NewScratch(e.workers, func() []float64 { return make([]float64, chunkSize) })
+	for c := range e.streams {
+		r := rng.New(sweep.CellSeed(cfg.Seed, c))
+		e.streams[c] = r
+		lo := c * chunkSize
+		hi := min(lo+chunkSize, n)
+		for i := lo; i < hi; i++ {
+			q := cfg.Q0
+			l := cfg.Lambda0
+			if cfg.InitStdQ > 0 {
+				q += cfg.InitStdQ * r.Norm()
+			}
+			if cfg.InitStdL > 0 {
+				l += cfg.InitStdL * r.Norm()
+			}
+			e.q[i] = math.Max(q, 0)
+			e.lam[i] = math.Max(l, 0)
 		}
-		if cfg.InitStdL > 0 {
-			l += cfg.InitStdL * e.r.Norm()
-		}
-		e.q[i] = math.Max(q, 0)
-		e.lam[i] = math.Max(l, 0)
 	}
 	return e, nil
 }
@@ -110,33 +147,46 @@ func (e *Ensemble) Size() int { return len(e.q) }
 func (e *Ensemble) Particle(i int) (q, lambda float64) { return e.q[i], e.lam[i] }
 
 // Step advances the whole ensemble by one Euler-Maruyama step.
+// Chunks are stepped concurrently on up to the configured workers;
+// the rate drift uses the law's batch fast path when it has one
+// (control.DriftBatcher), falling back to per-particle Drift calls.
 func (e *Ensemble) Step() {
 	dt := e.cfg.Dt
 	sqdt := math.Sqrt(dt)
-	sigma := e.cfg.Sigma
+	noise := e.cfg.Sigma * sqdt
+	useNoise := e.cfg.Sigma > 0
 	mu := e.cfg.Mu
 	law := e.cfg.Law
-	for i := range e.q {
-		q, lam := e.q[i], e.lam[i]
-		v := lam - mu
-		drift := v
-		if q <= 0 && v < 0 {
-			drift = 0 // empty queue cannot drain
+	parallel.EachWorker(len(e.streams), e.workers, func(w, c int) {
+		lo := c * chunkSize
+		hi := min(lo+chunkSize, len(e.q))
+		q := e.q[lo:hi]
+		lam := e.lam[lo:hi]
+		r := e.streams[c]
+		drift := e.drift.Get(w)[:len(q)]
+		control.Drifts(law, q, lam, drift)
+		for i, qi := range q {
+			li := lam[i]
+			v := li - mu
+			d := v
+			if qi <= 0 && v < 0 {
+				d = 0 // empty queue cannot drain
+			}
+			qNew := qi + d*dt
+			if useNoise {
+				qNew += noise * r.Norm()
+			}
+			if qNew < 0 {
+				qNew = -qNew // reflecting boundary at q = 0
+			}
+			lamNew := li + drift[i]*dt
+			if lamNew < 0 {
+				lamNew = 0
+			}
+			q[i] = qNew
+			lam[i] = lamNew
 		}
-		qNew := q + drift*dt
-		if sigma > 0 {
-			qNew += sigma * sqdt * e.r.Norm()
-		}
-		if qNew < 0 {
-			qNew = -qNew // reflecting boundary at q = 0
-		}
-		lamNew := lam + law.Drift(q, lam)*dt
-		if lamNew < 0 {
-			lamNew = 0
-		}
-		e.q[i] = qNew
-		e.lam[i] = lamNew
-	}
+	})
 	e.t += dt
 }
 

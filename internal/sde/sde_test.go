@@ -60,6 +60,30 @@ func TestDeterministicGivenSeed(t *testing.T) {
 	}
 }
 
+// TestDeterministicAcrossWorkers pins the chunked-ensemble guarantee:
+// the worker count schedules fixed chunks but never changes their
+// streams, so every observable is bit-identical for any Workers.
+func TestDeterministicAcrossWorkers(t *testing.T) {
+	run := func(workers int) (EnsembleMoments, float64) {
+		cfg := baseConfig()
+		cfg.Particles = 3*4096 + 17 // straddle several chunks plus a ragged tail
+		cfg.Workers = workers
+		e, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.Run(3)
+		return e.Moments(), e.TailFraction(5)
+	}
+	m1, t1 := run(1)
+	for _, workers := range []int{2, 8} {
+		mw, tw := run(workers)
+		if m1 != mw || t1 != tw {
+			t.Fatalf("workers=%d diverged: %+v/%v vs %+v/%v", workers, mw, tw, m1, t1)
+		}
+	}
+}
+
 func TestQueueNeverNegative(t *testing.T) {
 	cfg := baseConfig()
 	cfg.Sigma = 3 // strong noise to stress the reflection
