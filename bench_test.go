@@ -24,7 +24,7 @@ func BenchmarkExperiments(b *testing.B) {
 	for _, e := range experiments.All() {
 		b.Run(e.ID, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				tb, err := e.Run()
+				tb, err := e.Run(nil)
 				if err != nil {
 					b.Fatal(err)
 				}

@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"fpcc/internal/experiments"
+	"fpcc/internal/obs"
 )
 
 func main() {
@@ -41,7 +42,11 @@ func main() {
 	benchJSON := flag.String("bench-json", "", "write a machine-readable per-experiment timing report here")
 	baseline := flag.String("baseline", "", "diff current timings against this prior BENCH_*.json; >25% regressions exit non-zero")
 	list := flag.Bool("list", false, "list experiments and exit")
+	obsCLI := obs.BindFlags(flag.CommandLine)
 	flag.Parse()
+	if err := obsCLI.Setup(); err != nil {
+		fatal(err)
+	}
 
 	if *list {
 		for _, e := range experiments.All() {
@@ -86,7 +91,7 @@ func main() {
 	}
 	experiments.SetInnerWorkers(*innerWorkers)
 	start := time.Now()
-	suite, err := experiments.RunSuite(experiments.SuiteConfig{Filter: filter, Workers: *workers})
+	suite, err := experiments.RunSuite(experiments.SuiteConfig{Filter: filter, Workers: *workers, Obs: obsCLI.Config()})
 	if err != nil {
 		if errors.Is(err, experiments.ErrNoMatch) {
 			err = fmt.Errorf("%w (use -list to see the registry)", err)
@@ -94,6 +99,9 @@ func main() {
 		fatal(err)
 	}
 	total := time.Since(start)
+	if err := obsCLI.Close(); err != nil {
+		fatal(err)
+	}
 
 	if err := render(suite, os.Stdout); err != nil {
 		fatal(err)

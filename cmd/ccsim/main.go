@@ -6,7 +6,7 @@
 // Examples:
 //
 //	ccsim -mu 60 -n 3 -t 1000                      # three equal sources
-//	ccsim -mu 60 -n 2 -delays 0.1,2.0 -trace q.tsv # unequal delays
+//	ccsim -mu 60 -n 2 -delays 0.1,2.0 -qtrace q.tsv # unequal delays
 //	ccsim -buffer 40 -implicit                     # TCP-style loss feedback
 //	ccsim -gateway red -buffer 40                  # RED early marking
 //	ccsim -burst 4                                 # on/off bursts (peak 4x)
@@ -37,12 +37,17 @@ func main() {
 	horizon := flag.Float64("t", 1000, "simulation horizon (s)")
 	warmup := flag.Float64("warmup", 100, "warmup excluded from statistics (s)")
 	seed := flag.Uint64("seed", 1, "RNG seed")
-	tracePath := flag.String("trace", "", "write queue trace TSV to this file")
+	tracePath := flag.String("qtrace", "", "write queue trace TSV to this file")
 	buffer := flag.Int("buffer", 0, "finite buffer size in packets (0 = infinite)")
 	implicit := flag.Bool("implicit", false, "use implicit loss feedback instead of queue observation (needs -buffer)")
 	gateway := flag.String("gateway", "", "gateway discipline: '', 'ewma' or 'red'")
 	burst := flag.Float64("burst", 0, "on/off burstiness factor β > 1 (0 = smooth Poisson)")
+	obsCLI := fpcc.BindObsFlags(flag.CommandLine)
 	flag.Parse()
+	if err := obsCLI.Setup(); err != nil {
+		log.Fatal(err)
+	}
+	defer obsCLI.Close()
 
 	if *n < 1 {
 		log.Fatal("need at least one source")
@@ -110,14 +115,17 @@ func main() {
 	if *tracePath != "" {
 		sampleEvery = 0.1
 	}
+	rec := obsCLI.Recorder("des")
 	sim, err := fpcc.NewPacketSim(fpcc.PacketSimConfig{
 		Mu: *mu, Seed: *seed, Sources: srcs, SampleEvery: sampleEvery,
-		Buffer: *buffer, Gateway: gw,
+		Buffer: *buffer, Gateway: gw, Obs: rec,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
+	runSpan := rec.Span("step")
 	res, err := sim.Run(*horizon, *warmup)
+	runSpan.End()
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -35,7 +35,12 @@ func main() {
 	nq := flag.Int("nq", 150, "q cells")
 	nv := flag.Int("nv", 120, "v cells")
 	marginal := flag.Bool("marginal", false, "print the final q-marginal density")
+	obsCLI := fpcc.BindObsFlags(flag.CommandLine)
 	flag.Parse()
+	if err := obsCLI.Setup(); err != nil {
+		log.Fatal(err)
+	}
+	defer obsCLI.Close()
 
 	law, err := fpcc.NewAIMD(*c0, *c1, *qHat)
 	if err != nil {
@@ -47,6 +52,7 @@ func main() {
 		QMax: *qMax, NQ: *nq,
 		VMin: -vSpan, VMax: vSpan, NV: *nv,
 		DelayTau: *tau,
+		Obs:      obsCLI.Recorder("fp"),
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -47,13 +47,20 @@ func main() {
 		csvPath  = flag.String("csv", "", "write a trace CSV here ('-' = stdout)")
 		every    = flag.Float64("every", 0.5, "trace sample period (s)")
 	)
+	obsCLI := fpcc.BindObsFlags(flag.CommandLine)
 	flag.Parse()
+	if err := obsCLI.Setup(); err != nil {
+		log.Fatalf("meanfield: %v", err)
+	}
+	defer obsCLI.Close()
 
 	cfg, err := buildConfig(*n, *slowFrac, *rttRatio, *delay, *c0, *c1, *qhat0, *share,
 		*sigma, *lmax, *bins, *dt, !*firstOrd)
 	if err != nil {
 		log.Fatalf("meanfield: %v", err)
 	}
+	rec := obsCLI.Recorder(*mode)
+	cfg.Obs = rec
 
 	var eng fpcc.MeanFieldStepper
 	switch *mode {
@@ -99,6 +106,7 @@ func main() {
 	var steps int
 	nextSample := 0.0
 	perSource := float64(cfg.TotalSources())
+	stepSpan := rec.Span("step")
 	meanQ, rates, err := fpcc.MeanFieldSteadyStats(eng, *warmup, *horizon, func() {
 		steps++
 		if trace != nil && eng.Time() >= nextSample {
@@ -110,6 +118,7 @@ func main() {
 			nextSample += *every
 		}
 	})
+	stepSpan.End()
 	if err != nil {
 		log.Fatalf("meanfield: %v", err)
 	}

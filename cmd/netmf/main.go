@@ -41,7 +41,12 @@ func main() {
 		csvPath    = flag.String("csv", "", "write a per-node queue trace CSV here ('-' = stdout)")
 		every      = flag.Float64("every", 0.5, "trace sample period (s)")
 	)
+	obsCLI := fpcc.BindObsFlags(flag.CommandLine)
 	flag.Parse()
+	if err := obsCLI.Setup(); err != nil {
+		log.Fatalf("netmf: %v", err)
+	}
+	defer obsCLI.Close()
 
 	var (
 		cfg fpcc.NetMeanFieldConfig
@@ -65,11 +70,15 @@ func main() {
 		log.Fatalf("netmf: %v", err)
 	}
 	cfg.SecondOrder = !*firstOrd
+	rec := obsCLI.Recorder("netmf")
+	cfg.Obs = rec
 
+	setup := rec.Span("setup")
 	eng, err := fpcc.NewNetMeanField(cfg)
 	if err != nil {
 		log.Fatalf("netmf: %v", err)
 	}
+	setup.End()
 
 	var trace io.Writer
 	if *csvPath != "" {
@@ -97,6 +106,7 @@ func main() {
 	start := time.Now()
 	var steps int
 	nextSample := 0.0
+	stepSpan := rec.Span("step")
 	meanQ, rates, err := fpcc.NetMeanFieldSteadyStats(eng, *warmup, *horizon, func() {
 		steps++
 		if trace != nil && eng.Time() >= nextSample {
@@ -111,6 +121,7 @@ func main() {
 			nextSample += *every
 		}
 	})
+	stepSpan.End()
 	if err != nil {
 		log.Fatalf("netmf: %v", err)
 	}

@@ -177,7 +177,13 @@ func main() {
 	workers := flag.Int("workers", 0, "sweep worker count (0 = GOMAXPROCS)")
 	csvPath := flag.String("csv", "", "sweep: write CSV here ('-' = stdout)")
 	jsonPath := flag.String("json", "", "sweep: write JSON here ('-' = stdout)")
+	obsCLI := fpcc.BindObsFlags(flag.CommandLine)
 	flag.Parse()
+	if err := obsCLI.Setup(); err != nil {
+		log.Fatal(err)
+	}
+	defer obsCLI.Close()
+	rec := obsCLI.Recorder("netsim")
 
 	base := params{
 		hops: *hops, mu: *mu, mu2: *mu2, delay: *delay,
@@ -189,7 +195,9 @@ func main() {
 		if *csvPath != "" || *jsonPath != "" {
 			log.Fatal("-csv and -json apply to sweeps; add -sweep or drop them")
 		}
+		sp := rec.Span("run")
 		runSingle(*topology, base, *seed, *horizon, *warmup)
+		sp.End()
 		return
 	}
 
@@ -202,6 +210,7 @@ func main() {
 			log.Fatal(err)
 		}
 	}
+	sweepSpan := rec.Span("sweep")
 	res, err := fpcc.RunSweep(fpcc.SweepConfig{
 		Params: axes,
 		Build: func(values []float64, cellSeed uint64) (fpcc.NetConfig, error) {
@@ -218,6 +227,7 @@ func main() {
 		BaseSeed: *seed,
 		Workers:  *workers,
 	})
+	sweepSpan.End()
 	if err != nil {
 		log.Fatal(err)
 	}

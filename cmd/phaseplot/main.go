@@ -33,7 +33,15 @@ func main() {
 	delay := flag.Float64("delay", 0, "feedback delay τ (uses the DDE tracer when > 0)")
 	samples := flag.Int("samples", 2000, "number of output samples")
 	portrait := flag.Bool("portrait", false, "trace a lattice of initial conditions (full Figure 2 picture)")
+	obsCLI := fpcc.BindObsFlags(flag.CommandLine)
 	flag.Parse()
+	if err := obsCLI.Setup(); err != nil {
+		log.Fatal(err)
+	}
+	defer obsCLI.Close()
+	rec := obsCLI.Recorder("phaseplot")
+	sp := rec.Span("run")
+	defer sp.End()
 
 	law, err := fpcc.NewAIMD(*c0, *c1, *qHat)
 	if err != nil {

@@ -23,6 +23,7 @@ import (
 	"strings"
 
 	"fpcc/internal/control"
+	"fpcc/internal/obs"
 	"fpcc/internal/stability"
 )
 
@@ -48,7 +49,15 @@ func main() {
 	widthsArg := flag.String("widths", "0.5,1,2,4", "comma-separated signal smoothing widths")
 	musArg := flag.String("mus", "5,10,20", "comma-separated service rates")
 	tau := flag.Float64("tau", 0, "operating delay to classify (0 = skip)")
+	obsCLI := obs.BindFlags(flag.CommandLine)
 	flag.Parse()
+	if err := obsCLI.Setup(); err != nil {
+		log.Fatal(err)
+	}
+	defer obsCLI.Close()
+	rec := obsCLI.Recorder("stabmap")
+	sp := rec.Span("run")
+	defer sp.End()
 
 	widths, err := parseList(*widthsArg)
 	if err != nil {

@@ -49,6 +49,9 @@
 package fpcc
 
 import (
+	"flag"
+	"io"
+
 	"fpcc/internal/characteristics"
 	"fpcc/internal/control"
 	"fpcc/internal/des"
@@ -58,6 +61,7 @@ import (
 	"fpcc/internal/meanfield"
 	"fpcc/internal/netmf"
 	"fpcc/internal/netsim"
+	"fpcc/internal/obs"
 	"fpcc/internal/sde"
 	"fpcc/internal/stability"
 	"fpcc/internal/stats"
@@ -621,3 +625,44 @@ type TahoeResult = des.TahoeResult
 
 // NewTahoeSim builds a Tahoe simulator.
 func NewTahoeSim(cfg TahoeConfig) (*TahoeSim, error) { return des.NewTahoe(cfg) }
+
+// Observability (internal/obs): an opt-in metrics/tracing/invariant
+// layer every engine accepts via its config's Obs field. The nil
+// default is a true no-op — engines pay one branch per step and
+// produce byte-identical results with or without a recorder attached.
+
+// ObsConfig configures the observability layer: an optional JSONL
+// sink, the invariant-checking switch, the probe sampling period, and
+// the mass-conservation tolerance.
+type ObsConfig = obs.Config
+
+// ObsRecorder collects counters, gauges, histograms, span timings and
+// probe series for one scope. A nil *ObsRecorder is the zero-overhead
+// disabled state accepted everywhere.
+type ObsRecorder = obs.Recorder
+
+// ObsEvent is one record of the JSONL trace stream.
+type ObsEvent = obs.Event
+
+// ObsJSONL is a concurrency-safe streaming JSONL event sink.
+type ObsJSONL = obs.JSONL
+
+// ObsViolation is the step-stamped error an engine returns when an
+// invariant check fails under ObsConfig.Invariants.
+type ObsViolation = obs.Violation
+
+// NewObsJSONL returns a streaming JSONL sink writing to w.
+func NewObsJSONL(w io.Writer) *ObsJSONL { return obs.NewJSONL(w) }
+
+// ObsProbeCatalog lists every probe series the engines emit, with
+// units — the reference EXPERIMENTS.md documents.
+func ObsProbeCatalog() []obs.ProbeSeries { return obs.Catalog() }
+
+// ObsCLI holds the shared observability flags every command binds
+// (-trace, -trace-dt, -pprof, -obs-invariants).
+type ObsCLI = obs.CLI
+
+// BindObsFlags registers the observability flags on fs (pass
+// flag.CommandLine for the process flags). Call Setup after parsing,
+// hand Recorder(scope) to engine configs, and defer Close.
+func BindObsFlags(fs *flag.FlagSet) *ObsCLI { return obs.BindFlags(fs) }

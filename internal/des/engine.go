@@ -25,6 +25,7 @@ import (
 
 	"fpcc/internal/control"
 	"fpcc/internal/eventq"
+	"fpcc/internal/obs"
 	"fpcc/internal/rng"
 	"fpcc/internal/stats"
 	"fpcc/internal/traffic"
@@ -108,6 +109,16 @@ type Config struct {
 	// router. 0 means the paper's infinite queue. Finite buffers are
 	// required for ImplicitLoss sources.
 	Buffer int
+
+	// Obs, when non-nil, receives a rate-limited queue-length probe
+	// (des.q), end-of-run counters (des.delivered, des.dropped,
+	// des.events), and, when it enables invariants, per-event checks
+	// that the queue stays non-negative, the FIFO owner list matches
+	// the queue length, and the history timestamps never regress. A
+	// failing check aborts Run with a step-stamped error. The nil
+	// default costs one branch per event and never changes any
+	// observable.
+	Obs *obs.Recorder
 }
 
 // Validate checks the configuration.
@@ -308,6 +319,7 @@ func (s *Sim) Run(horizon, warmup float64) (*Result, error) {
 	}
 	nextSample := 0.0
 	lastQChange := 0.0
+	var nEvents int64 // processed events, stamping probes and violations
 	for s.events.Len() > 0 {
 		e := s.events.Pop()
 		if e.t > horizon {
@@ -419,6 +431,34 @@ func (s *Sim) Run(horizon, warmup float64) (*Result, error) {
 			s.push(event{t: s.t + st.cfg.Burst.Sojourn(st.modState, st.rng), kind: evModSwitch, src: e.src})
 			s.scheduleArrival(e.src)
 		}
+		nEvents++
+		if rec := s.cfg.Obs; rec.Enabled() {
+			if rec.ProbeDue("des.q", s.t) {
+				rec.Probe("des.q", s.t, float64(s.queue))
+			}
+			if rec.Invariants() {
+				// Every arrival pushes one FIFO owner and every
+				// departure pops one, so the owner list and the
+				// queue counter must agree at every event.
+				if s.queue < 0 || len(s.qOwner) != s.queue {
+					return nil, rec.Violationf(nEvents, s.t, "des.queue",
+						"queue %d with %d FIFO owners", s.queue, len(s.qOwner))
+				}
+				if err := rec.CheckMonotoneTail(nEvents, "des.history", s.hist.TailTimes()); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	if rec := s.cfg.Obs; rec.Enabled() {
+		var delivered, dropped int64
+		for i := range res.Delivered {
+			delivered += res.Delivered[i]
+			dropped += res.Dropped[i]
+		}
+		rec.Count("des.delivered", delivered)
+		rec.Count("des.dropped", dropped)
+		rec.Count("des.events", nEvents)
 	}
 	res.FinalT = math.Min(s.t, horizon)
 	window := horizon - warmup

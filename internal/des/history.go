@@ -50,6 +50,17 @@ func (h *QueueHistory) Record(t float64, q int, sig, cut float64) {
 	}
 }
 
+// TailTimes returns the timestamps of the most recent (up to) two
+// records, oldest first — what the per-event history-monotonicity
+// invariant inspects (each change appends once, so checking the tail
+// at every event covers the whole series).
+func (h *QueueHistory) TailTimes() []float64 {
+	if n := len(h.t); n > 2 {
+		return h.t[n-2:]
+	}
+	return h.t
+}
+
 // idxAt returns the index of the last record at or before t, or -1
 // when t precedes every record. Duplicate timestamps — a burst of
 // same-time events — resolve to the LAST record of the burst: the

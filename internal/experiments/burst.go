@@ -15,7 +15,7 @@ import (
 // scale variability changes. Burstiness β is the on/off peak factor;
 // the equivalent index of dispersion grows with β. The β grid runs on
 // the parallel sweep runner, one independent DES per cell.
-func E18BurstinessSweep() (*Table, error) {
+func E18BurstinessSweep(rc *Recorder) (*Table, error) {
 	t := &Table{
 		ID:      "E18",
 		Caption: "AIMD under on/off bursts (2s cycle, mean factor 1): queue statistics vs burstiness",
@@ -37,6 +37,7 @@ func E18BurstinessSweep() (*Table, error) {
 	}
 	cells, err := sweep.Run(sweep.Config{
 		Grid: sweep.Grid{Dims: []sweep.Dim{{Name: "beta", Values: betas}}},
+		Obs:  rc,
 	}, func(c sweep.Cell) (cellOut, error) {
 		var mod traffic.Modulator
 		if beta := c.Values[0]; beta > 1 {

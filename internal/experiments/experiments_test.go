@@ -32,17 +32,17 @@ func checkTable(t *testing.T, tb *Table, err error, wantRows int) {
 }
 
 func TestE1(t *testing.T) {
-	tb, err := E1QuadrantDrifts()
+	tb, err := E1QuadrantDrifts(nil)
 	checkTable(t, tb, err, 4)
 }
 
 func TestE2(t *testing.T) {
-	tb, err := E2ConvergentSpiral()
+	tb, err := E2ConvergentSpiral(nil)
 	checkTable(t, tb, err, 5)
 }
 
 func TestE3(t *testing.T) {
-	tb, err := E3QueueTrace()
+	tb, err := E3QueueTrace(nil)
 	checkTable(t, tb, err, 5)
 }
 
@@ -50,7 +50,7 @@ func TestE4(t *testing.T) {
 	if testing.Short() {
 		t.Skip("long fluid+DES run")
 	}
-	tb, err := E4FairnessEqual()
+	tb, err := E4FairnessEqual(nil)
 	checkTable(t, tb, err, 2)
 }
 
@@ -58,7 +58,7 @@ func TestE5(t *testing.T) {
 	if testing.Short() {
 		t.Skip("long fluid run")
 	}
-	tb, err := E5FairnessHetero()
+	tb, err := E5FairnessHetero(nil)
 	checkTable(t, tb, err, 3)
 }
 
@@ -66,7 +66,7 @@ func TestE6(t *testing.T) {
 	if testing.Short() {
 		t.Skip("delay sweep")
 	}
-	tb, err := E6DelayOscillation()
+	tb, err := E6DelayOscillation(nil)
 	checkTable(t, tb, err, 5)
 }
 
@@ -74,12 +74,12 @@ func TestE7(t *testing.T) {
 	if testing.Short() {
 		t.Skip("delay-ratio sweep")
 	}
-	tb, err := E7DelayUnfairness()
+	tb, err := E7DelayUnfairness(nil)
 	checkTable(t, tb, err, 4)
 }
 
 func TestE8(t *testing.T) {
-	tb, err := E8AlgorithmOscillation()
+	tb, err := E8AlgorithmOscillation(nil)
 	checkTable(t, tb, err, 2)
 }
 
@@ -87,7 +87,7 @@ func TestE9(t *testing.T) {
 	if testing.Short() {
 		t.Skip("PDE + 40k-particle ensemble")
 	}
-	tb, err := E9FokkerPlanckVsMonteCarlo()
+	tb, err := E9FokkerPlanckVsMonteCarlo(nil)
 	checkTable(t, tb, err, 5)
 }
 
@@ -95,7 +95,7 @@ func TestE10(t *testing.T) {
 	if testing.Short() {
 		t.Skip("PDE steady-state run")
 	}
-	tb, err := E10VariabilityVsFluid()
+	tb, err := E10VariabilityVsFluid(nil)
 	checkTable(t, tb, err, 5)
 }
 
@@ -103,7 +103,7 @@ func TestE11(t *testing.T) {
 	if testing.Short() {
 		t.Skip("9-point parameter sweep")
 	}
-	tb, err := E11ParameterSweep()
+	tb, err := E11ParameterSweep(nil)
 	checkTable(t, tb, err, 9)
 }
 
@@ -111,7 +111,7 @@ func TestE12(t *testing.T) {
 	if testing.Short() {
 		t.Skip("sigma sweep of PDE runs")
 	}
-	tb, err := E12DiffusionSpread()
+	tb, err := E12DiffusionSpread(nil)
 	checkTable(t, tb, err, 4)
 }
 
@@ -119,7 +119,7 @@ func TestE13(t *testing.T) {
 	if testing.Short() {
 		t.Skip("two long DES runs")
 	}
-	tb, err := E13WindowRateEquivalence()
+	tb, err := E13WindowRateEquivalence(nil)
 	checkTable(t, tb, err, 2)
 }
 
@@ -127,12 +127,12 @@ func TestE14(t *testing.T) {
 	if testing.Short() {
 		t.Skip("two PDE runs + ensemble")
 	}
-	tb, err := E14SchemeAblation()
+	tb, err := E14SchemeAblation(nil)
 	checkTable(t, tb, err, 3)
 }
 
 func TestE15(t *testing.T) {
-	tb, err := E15ReturnMapLaw()
+	tb, err := E15ReturnMapLaw(nil)
 	checkTable(t, tb, err, 6)
 }
 
@@ -140,7 +140,7 @@ func TestE16(t *testing.T) {
 	if testing.Short() {
 		t.Skip("long tandem run")
 	}
-	tb, err := E16TandemHopCount()
+	tb, err := E16TandemHopCount(nil)
 	checkTable(t, tb, err, 3)
 }
 
@@ -173,6 +173,13 @@ func TestAllRegistryComplete(t *testing.T) {
 		if !heading.Match(doc) {
 			t.Errorf("%s is registered but has no '### %s' section in EXPERIMENTS.md", r.ID, r.ID)
 		}
+		// The suite runner derives the experiment-level span metric
+		// ("exp.<ID>") and the trace scope from the ID, so IDs must
+		// stay plain E<number> tokens — anything else would produce
+		// trace names that filters and dashboards can't address.
+		if !regexp.MustCompile(`^E\d+$`).MatchString(r.ID) {
+			t.Errorf("id %q is not a plain E<number> token (breaks exp.<ID> span naming)", r.ID)
+		}
 	}
 }
 
@@ -197,7 +204,7 @@ func TestE17(t *testing.T) {
 	if testing.Short() {
 		t.Skip("uniformization + FP run")
 	}
-	tb, err := E17FokkerPlanckVsMarkov()
+	tb, err := E17FokkerPlanckVsMarkov(nil)
 	checkTable(t, tb, err, 4)
 }
 
@@ -205,7 +212,7 @@ func TestE18(t *testing.T) {
 	if testing.Short() {
 		t.Skip("long DES sweep")
 	}
-	tb, err := E18BurstinessSweep()
+	tb, err := E18BurstinessSweep(nil)
 	checkTable(t, tb, err, 4)
 }
 
@@ -213,7 +220,7 @@ func TestE19(t *testing.T) {
 	if testing.Short() {
 		t.Skip("DDE sweep")
 	}
-	tb, err := E19StabilityBoundary()
+	tb, err := E19StabilityBoundary(nil)
 	checkTable(t, tb, err, 7)
 }
 
@@ -221,7 +228,7 @@ func TestE20(t *testing.T) {
 	if testing.Short() {
 		t.Skip("DES gateway sweep")
 	}
-	tb, err := E20GatewayComparison()
+	tb, err := E20GatewayComparison(nil)
 	checkTable(t, tb, err, 3)
 }
 
@@ -229,7 +236,7 @@ func TestE21(t *testing.T) {
 	if testing.Short() {
 		t.Skip("Tahoe sweep")
 	}
-	tb, err := E21TahoeRTTShare()
+	tb, err := E21TahoeRTTShare(nil)
 	checkTable(t, tb, err, 4)
 }
 
@@ -237,7 +244,7 @@ func TestE22(t *testing.T) {
 	if testing.Short() {
 		t.Skip("reference integration")
 	}
-	tb, err := E22IntegratorAblation()
+	tb, err := E22IntegratorAblation(nil)
 	checkTable(t, tb, err, 9)
 }
 
@@ -245,7 +252,7 @@ func TestE23(t *testing.T) {
 	if testing.Short() {
 		t.Skip("DDE sweep")
 	}
-	tb, err := E23DelayBudgetEngineering()
+	tb, err := E23DelayBudgetEngineering(nil)
 	checkTable(t, tb, err, 5)
 }
 
@@ -253,7 +260,7 @@ func TestE24(t *testing.T) {
 	if testing.Short() {
 		t.Skip("n-source DDE sweep")
 	}
-	tb, err := E24MultiSourceDelay()
+	tb, err := E24MultiSourceDelay(nil)
 	checkTable(t, tb, err, 4)
 }
 
@@ -261,7 +268,7 @@ func TestE25(t *testing.T) {
 	if testing.Short() {
 		t.Skip("long DES runs")
 	}
-	tb, err := E25ImplicitVsExplicit()
+	tb, err := E25ImplicitVsExplicit(nil)
 	checkTable(t, tb, err, 3)
 }
 
@@ -269,7 +276,7 @@ func TestE26(t *testing.T) {
 	if testing.Short() {
 		t.Skip("long netsim run")
 	}
-	tb, err := E26ParkingLotFairness()
+	tb, err := E26ParkingLotFairness(nil)
 	checkTable(t, tb, err, 4)
 }
 
@@ -277,6 +284,6 @@ func TestE27(t *testing.T) {
 	if testing.Short() {
 		t.Skip("netsim sweep")
 	}
-	tb, err := E27BottleneckMigration()
+	tb, err := E27BottleneckMigration(nil)
 	checkTable(t, tb, err, 6)
 }

@@ -16,7 +16,7 @@ import (
 // the original window protocol (Equation 1) and its rate analogue
 // (Equation 2, via control.Window.RateEquivalent) through the packet
 // simulator and compare long-run throughput and queue behaviour.
-func E13WindowRateEquivalence() (*Table, error) {
+func E13WindowRateEquivalence(rc *Recorder) (*Table, error) {
 	t := &Table{
 		ID:      "E13",
 		Caption: "Eq. 1 window protocol vs its Eq. 2 rate analogue (packet-level)",
@@ -76,7 +76,7 @@ func E13WindowRateEquivalence() (*Table, error) {
 // solver — first-order upwind advection with an optional second-order
 // MUSCL/minmod limiter: both schemes against the Monte-Carlo ground
 // truth at the same grid, plus their cost per step.
-func E14SchemeAblation() (*Table, error) {
+func E14SchemeAblation(rc *Recorder) (*Table, error) {
 	t := &Table{
 		ID:      "E14",
 		Caption: "FP advection scheme ablation at t=15 (150x120 grid): first-order upwind vs MUSCL",
@@ -134,7 +134,7 @@ func E14SchemeAblation() (*Table, error) {
 // E15ReturnMapLaw tabulates the Poincaré return map and its quadratic
 // small-amplitude law a' = a − (2/3)a²/μ — the sharpened form of
 // Theorem 1 this reproduction derives (see EXPERIMENTS.md E2).
-func E15ReturnMapLaw() (*Table, error) {
+func E15ReturnMapLaw(rc *Recorder) (*Table, error) {
 	t := &Table{
 		ID:      "E15",
 		Caption: "Poincaré return map of the AIMD spiral and its quadratic contraction law",

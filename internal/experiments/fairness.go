@@ -13,15 +13,17 @@ import (
 // queue-length trajectory of the packet-level system under adaptive
 // control, summarized by trace statistics (the full trace is available
 // through cmd/ccsim).
-func E3QueueTrace() (*Table, error) {
+func E3QueueTrace(rc *Recorder) (*Table, error) {
 	t := &Table{
 		ID:      "E3",
 		Caption: "packet-level queue trace under AIMD control (Figure 1 analogue)",
 		Columns: []string{"metric", "value"},
 	}
 	const mu = 50.0
+	setup := rc.Span("setup")
 	cfg := des.Config{
 		Mu:          mu,
+		Obs:         rc,
 		Seed:        101,
 		SampleEvery: 0.1,
 		Sources: []des.SourceConfig{{
@@ -35,10 +37,15 @@ func E3QueueTrace() (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
+	setup.End()
+	stepSpan := rc.Span("step")
 	res, err := sim.Run(400, 50)
+	stepSpan.End()
 	if err != nil {
 		return nil, err
 	}
+	render := rc.Span("render")
+	defer render.End()
 	meanQ := res.QueueStats.Mean()
 	stdQ := res.QueueStats.StdDev()
 	osc := stats.MeasureOscillation(res.TraceT, res.TraceQ, 50, 5)
@@ -55,7 +62,7 @@ func E3QueueTrace() (*Table, error) {
 // E4FairnessEqual verifies the Section 6 fairness result: sources
 // using identical parameters converge to equal shares, in both the
 // deterministic fluid system and the packet simulator.
-func E4FairnessEqual() (*Table, error) {
+func E4FairnessEqual(rc *Recorder) (*Table, error) {
 	t := &Table{
 		ID:      "E4",
 		Caption: "equal-parameter sources share the bottleneck equally (Section 6)",
@@ -120,7 +127,7 @@ func fmtShares(x []float64) string {
 
 // E5FairnessHetero verifies Section 6's exact-share law: sources with
 // different (C0, C1) receive shares proportional to C0/C1.
-func E5FairnessHetero() (*Table, error) {
+func E5FairnessHetero(rc *Recorder) (*Table, error) {
 	t := &Table{
 		ID:      "E5",
 		Caption: "heterogeneous-parameter shares vs the C0/C1 prediction (Section 6)",

@@ -26,7 +26,7 @@ func e9Config(sigma float64) fokkerplanck.Config {
 // E9FokkerPlanckVsMonteCarlo validates the Section 4 equation: the
 // PDE solution's moments and q-marginal must match a large SDE
 // particle ensemble of the same system through the transient.
-func E9FokkerPlanckVsMonteCarlo() (*Table, error) {
+func E9FokkerPlanckVsMonteCarlo(rc *Recorder) (*Table, error) {
 	t := &Table{
 		ID:      "E9",
 		Caption: "Eq. 14 PDE vs Monte-Carlo ensemble: transient moments and density distance",
@@ -34,7 +34,9 @@ func E9FokkerPlanckVsMonteCarlo() (*Table, error) {
 	}
 	const sigma = 1.5
 	const q0, l0, stdQ, stdL = 5.0, 8.0, 1.5, 1.0
+	setup := rc.Span("setup")
 	cfg := e9Config(sigma)
+	cfg.Obs = rc
 	s, err := fokkerplanck.New(cfg)
 	if err != nil {
 		return nil, err
@@ -47,10 +49,13 @@ func E9FokkerPlanckVsMonteCarlo() (*Table, error) {
 		Particles: 40000, Dt: 2e-3, Seed: 99,
 		Q0: q0, Lambda0: l0, InitStdQ: stdQ, InitStdL: stdL,
 		Workers: innerWorkers(),
+		Obs:     rc,
 	})
 	if err != nil {
 		return nil, err
 	}
+	setup.End()
+	stepSpan := rc.Span("step")
 	checkpoints := []float64{1, 2, 5, 10, 20}
 	worstL1 := 0.0
 	worstMean := 0.0
@@ -82,6 +87,12 @@ func E9FokkerPlanckVsMonteCarlo() (*Table, error) {
 		}
 		t.AddRow(cp, fp.MeanQ, mc.MeanQ, fp.VarQ, mc.VarQ, l1)
 	}
+	stepSpan.End()
+	if err := ens.InvariantViolation(); err != nil {
+		return nil, err
+	}
+	render := rc.Span("render")
+	defer render.End()
 	if worstMean < 2.5 && worstL1 < 0.5 {
 		t.AddFinding("FP tracks the particle system through the transient (worst mean gap %.2f, worst L1 %.2f): Eq. 14 is the right forward equation", worstMean, worstL1)
 	} else {
@@ -97,7 +108,7 @@ func E9FokkerPlanckVsMonteCarlo() (*Table, error) {
 // value overflows with probability exactly 0; the FP density keeps the
 // spread and reports a positive overflow probability near the
 // operating point.
-func E10VariabilityVsFluid() (*Table, error) {
+func E10VariabilityVsFluid(rc *Recorder) (*Table, error) {
 	t := &Table{
 		ID:      "E10",
 		Caption: "buffer overflow P(Q > B) at steady state: fluid vs Fokker-Planck vs Monte-Carlo",
@@ -107,7 +118,9 @@ func E10VariabilityVsFluid() (*Table, error) {
 	// (cross-checked by E12's longer runs).
 	const sigma = 2.0
 	const horizon = 80.0
+	setup := rc.Span("setup")
 	cfg := e9Config(sigma)
+	cfg.Obs = rc
 	s, err := fokkerplanck.New(cfg)
 	if err != nil {
 		return nil, err
@@ -115,6 +128,8 @@ func E10VariabilityVsFluid() (*Table, error) {
 	if err := s.SetGaussian(5, -2, 1.5, 1); err != nil {
 		return nil, err
 	}
+	setup.End()
+	stepSpan := rc.Span("step")
 	if err := s.Advance(horizon, 0); err != nil {
 		return nil, err
 	}
@@ -123,11 +138,18 @@ func E10VariabilityVsFluid() (*Table, error) {
 		Particles: 20000, Dt: 5e-3, Seed: 123,
 		Q0: 5, Lambda0: 8, InitStdQ: 1.5, InitStdL: 1,
 		Workers: innerWorkers(),
+		Obs:     rc,
 	})
 	if err != nil {
 		return nil, err
 	}
 	ens.Run(horizon)
+	stepSpan.End()
+	if err := ens.InvariantViolation(); err != nil {
+		return nil, err
+	}
+	render := rc.Span("render")
+	defer render.End()
 
 	// Fluid trajectory: deterministic point state at the horizon.
 	m := fluid.Model{Mu: refMu, Q0: 5, Sources: []fluid.Source{{Law: refLaw(), Lambda0: 8}}}

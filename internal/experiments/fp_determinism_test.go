@@ -31,7 +31,7 @@ func TestE9E10TablesDeterministicAcrossInnerWorkers(t *testing.T) {
 		if e.Run == nil {
 			t.Fatalf("experiment %s not in registry", id)
 		}
-		tb, err := e.Run()
+		tb, err := e.Run(nil)
 		if err != nil {
 			t.Fatalf("%s at inner workers %d: %v", id, workers, err)
 		}

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"math"
+	"strconv"
 
 	"fpcc/internal/control"
 	"fpcc/internal/meanfield"
@@ -42,14 +43,14 @@ const (
 // the time-averaged rate distribution (marginal L1). The particle
 // cells run on the parallel sweep runner with deterministic per-cell
 // seeds.
-func E28MeanFieldConvergence() (*Table, error) {
-	return e28Table(0)
+func E28MeanFieldConvergence(rc *Recorder) (*Table, error) {
+	return e28Table(rc, 0)
 }
 
 // e28Table is E28 with an explicit worker bound for both the sweep
 // pool and the per-cell particle chunk pool, so determinism tests can
 // pin workers=1 vs 8 and compare bytes.
-func e28Table(workers int) (*Table, error) {
+func e28Table(rc *Recorder, workers int) (*Table, error) {
 	t := &Table{
 		ID:      "E28",
 		Caption: "mean-field convergence: particle ensembles vs kinetic density as N grows (per-source units)",
@@ -58,12 +59,16 @@ func e28Table(workers int) (*Table, error) {
 
 	// Kinetic reference: one density solve serves every N (the
 	// scenario is scaled so per-source observables are N-invariant).
+	setup := rc.Span("setup")
 	cfg := mfScaledConfig(10000)
 	cfg.SecondOrder = true
+	cfg.Obs = rc.Child("ref")
 	d, err := meanfield.NewDensity(cfg)
 	if err != nil {
 		return nil, err
 	}
+	setup.End()
+	stepSpan := rc.Span("step")
 	if err := d.Run(mfWarm); err != nil {
 		return nil, err
 	}
@@ -96,9 +101,11 @@ func e28Table(workers int) (*Table, error) {
 		{Name: "N", Values: []float64{100, 1000, 10000}},
 	}}
 	dl := cfg.LMax / float64(cfg.Bins)
-	cells, err := sweep.Run(sweep.Config{Grid: grid, BaseSeed: 28, Workers: workers}, func(c sweep.Cell) (cellOut, error) {
+	cells, err := sweep.Run(sweep.Config{Grid: grid, BaseSeed: 28, Workers: workers, Obs: rc}, func(c sweep.Cell) (cellOut, error) {
 		n := int(c.Values[0])
-		p, err := meanfield.NewParticles(mfScaledConfig(n), c.Seed, workers)
+		pcfg := mfScaledConfig(n)
+		pcfg.Obs = rc.Child("cell" + strconv.Itoa(c.Index))
+		p, err := meanfield.NewParticles(pcfg, c.Seed, workers)
 		if err != nil {
 			return cellOut{}, err
 		}
@@ -132,9 +139,12 @@ func e28Table(workers int) (*Table, error) {
 		meanQ := qSum / float64(qn) / float64(n)
 		return cellOut{meanQ: meanQ, gap: 100 * math.Abs(meanQ-refQ) / refQ, l1: l1}, nil
 	})
+	stepSpan.End()
 	if err != nil {
 		return nil, err
 	}
+	render := rc.Span("render")
+	defer render.End()
 	l1Monotone := true
 	for i, c := range cells {
 		t.AddRow(grid.Dims[0].Values[i], c.meanQ, refQ, c.gap, c.l1)
@@ -159,12 +169,12 @@ func e28Table(workers int) (*Table, error) {
 // class (the slow class probes more slowly, C0 ∝ 1/RTT, and observes
 // the queue later), swept over the mix fraction and the RTT ratio as
 // grid dimensions of the parallel sweep runner.
-func E29HeterogeneousRTTMix() (*Table, error) {
-	return e29Table(0)
+func E29HeterogeneousRTTMix(rc *Recorder) (*Table, error) {
+	return e29Table(rc, 0)
 }
 
 // e29Table is E29 with an explicit sweep worker bound (see e28Table).
-func e29Table(workers int) (*Table, error) {
+func e29Table(rc *Recorder, workers int) (*Table, error) {
 	t := &Table{
 		ID:      "E29",
 		Caption: "heterogeneous RTT mix at N=10⁶: per-source shares of slow vs fast classes (mean-field density)",
@@ -181,7 +191,8 @@ func e29Table(workers int) (*Table, error) {
 		{Name: "slowfrac", Values: []float64{0.2, 0.5, 0.8}},
 		{Name: "rttratio", Values: []float64{2, 8}},
 	}}
-	cells, err := sweep.Run(sweep.Config{Grid: grid, BaseSeed: 29, Workers: workers}, func(c sweep.Cell) (cellOut, error) {
+	stepSpan := rc.Span("step")
+	cells, err := sweep.Run(sweep.Config{Grid: grid, BaseSeed: 29, Workers: workers, Obs: rc}, func(c sweep.Cell) (cellOut, error) {
 		frac, ratio := c.Values[0], c.Values[1]
 		nSlow := int(frac * total)
 		nFast := total - nSlow
@@ -198,6 +209,7 @@ func e29Table(workers int) (*Table, error) {
 				},
 			},
 			Mu: total, LMax: 6, Bins: 192, Dt: 0.005, Q0: qhat, SecondOrder: true,
+			Obs: rc.Child("cell" + strconv.Itoa(c.Index)),
 		}
 		d, err := meanfield.NewDensity(cfg)
 		if err != nil {
@@ -219,9 +231,12 @@ func e29Table(workers int) (*Table, error) {
 			jain: sum * sum / (float64(total) * sumSq),
 		}, nil
 	})
+	stepSpan.End()
 	if err != nil {
 		return nil, err
 	}
+	render := rc.Span("render")
+	defer render.End()
 	allBeaten := true
 	ratioGrows := true
 	maxRatio := math.Inf(-1)

@@ -23,7 +23,7 @@ import (
 //   - above τ* all sources ring *in phase* — the paper's
 //     "oscillations for every individual user" — while their pairwise
 //     spread (the fairness gap) stays damped.
-func E24MultiSourceDelay() (*Table, error) {
+func E24MultiSourceDelay(rc *Recorder) (*Table, error) {
 	t := &Table{
 		ID:      "E24",
 		Caption: "n delayed sources, one queue: symmetric-mode Hopf analysis vs nonlinear DDE (τ test = 0.35 s)",
@@ -98,6 +98,7 @@ func E24MultiSourceDelay() (*Table, error) {
 	}
 	cells, err := sweep.Run(sweep.Config{
 		Grid: sweep.Grid{Dims: []sweep.Dim{{Name: "n", Values: ns}}},
+		Obs:  rc,
 	}, func(c sweep.Cell) (cellOut, error) {
 		n := int(c.Values[0])
 		lin, err := stability.MultiSourceLinearize(law, mu, n, 0, 400)

@@ -15,16 +15,16 @@ func TestNetmfTablesDeterministicAcrossWorkers(t *testing.T) {
 	}
 	for _, tc := range []struct {
 		id  string
-		run func(workers int) (*Table, error)
+		run func(rc *Recorder, workers int) (*Table, error)
 	}{
 		{"E30", e30Table},
 		{"E31", e31Table},
 	} {
-		serial, err := tc.run(1)
+		serial, err := tc.run(nil, 1)
 		if err != nil {
 			t.Fatalf("%s workers=1: %v", tc.id, err)
 		}
-		parallel, err := tc.run(8)
+		parallel, err := tc.run(nil, 8)
 		if err != nil {
 			t.Fatalf("%s workers=8: %v", tc.id, err)
 		}

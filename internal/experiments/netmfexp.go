@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"math"
+	"strconv"
 
 	"fpcc/internal/netmf"
 	"fpcc/internal/stats"
@@ -30,13 +31,13 @@ import (
 // below threshold re-open its increase branch); in the kinetic limit
 // the multi-bottleneck observation bias alone starves a long path
 // completely.
-func E30ParkingLotLargeN() (*Table, error) {
-	return e30Table(0)
+func E30ParkingLotLargeN(rc *Recorder) (*Table, error) {
+	return e30Table(rc, 0)
 }
 
 // e30Table is E30 with an explicit sweep worker bound, so determinism
 // tests can pin workers=1 vs 8 and compare bytes.
-func e30Table(workers int) (*Table, error) {
+func e30Table(rc *Recorder, workers int) (*Table, error) {
 	t := &Table{
 		ID:      "E30",
 		Caption: "parking-lot fairness at N=10⁶ per class: hop count × RTT stretch (netmf sweep)",
@@ -50,7 +51,8 @@ func e30Table(workers int) (*Table, error) {
 		{Name: "hops", Values: []float64{2, 3, 5}},
 		{Name: "rttstretch", Values: []float64{1, 4}},
 	}}
-	cells, err := sweep.Run(sweep.Config{Grid: grid, BaseSeed: 30, Workers: workers}, func(c sweep.Cell) (cellOut, error) {
+	stepSpan := rc.Span("step")
+	cells, err := sweep.Run(sweep.Config{Grid: grid, BaseSeed: 30, Workers: workers, Obs: rc}, func(c sweep.Cell) (cellOut, error) {
 		hops := int(c.Values[0])
 		cfg, err := netmf.ParkingLot(netmf.ParkingLotConfig{
 			Hops: hops, N: n, Delay: 0.2, RTTStretch: c.Values[1],
@@ -59,6 +61,7 @@ func e30Table(workers int) (*Table, error) {
 			return cellOut{}, err
 		}
 		cfg.SecondOrder = true
+		cfg.Obs = rc.Child("cell" + strconv.Itoa(c.Index))
 		e, err := netmf.New(cfg)
 		if err != nil {
 			return cellOut{}, err
@@ -85,9 +88,12 @@ func e30Table(workers int) (*Table, error) {
 		alloc = append(alloc, rates...)
 		return cellOut{long: long, minCross: minCross, q: qPerHop, jain: stats.JainIndex(alloc)}, nil
 	})
+	stepSpan.End()
 	if err != nil {
 		return nil, err
 	}
+	render := rc.Span("render")
+	defer render.End()
 	allBeaten := true
 	jainRises := true
 	minLong, maxLong := math.Inf(1), math.Inf(-1)
@@ -133,12 +139,12 @@ func e30Table(workers int) (*Table, error) {
 // throughput tracking the shrinking residual across the whole ramp
 // because its feedback sums the path backlog wherever the queue
 // stands.
-func E31BottleneckMigrationLargeN() (*Table, error) {
-	return e31Table(0)
+func E31BottleneckMigrationLargeN(rc *Recorder) (*Table, error) {
+	return e31Table(rc, 0)
 }
 
 // e31Table is E31 with an explicit sweep worker bound (see e30Table).
-func e31Table(workers int) (*Table, error) {
+func e31Table(rc *Recorder, workers int) (*Table, error) {
 	t := &Table{
 		ID:      "E31",
 		Caption: "bottleneck migration under a class-mix ramp at N=10⁶: adaptive 2-hop class vs constant cross class (netmf sweep)",
@@ -151,7 +157,8 @@ func e31Table(workers int) (*Table, error) {
 	grid := sweep.Grid{Dims: []sweep.Dim{
 		{Name: "crossfrac", Values: []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5}},
 	}}
-	cells, err := sweep.Run(sweep.Config{Grid: grid, BaseSeed: 31, Workers: workers}, func(c sweep.Cell) (cellOut, error) {
+	stepSpan := rc.Span("step")
+	cells, err := sweep.Run(sweep.Config{Grid: grid, BaseSeed: 31, Workers: workers, Obs: rc}, func(c sweep.Cell) (cellOut, error) {
 		cfg, err := netmf.CrossChain(netmf.CrossChainConfig{
 			N: n, CrossFrac: c.Values[0], Delay: 0.1,
 		})
@@ -159,6 +166,7 @@ func e31Table(workers int) (*Table, error) {
 			return cellOut{}, err
 		}
 		cfg.SecondOrder = true
+		cfg.Obs = rc.Child("cell" + strconv.Itoa(c.Index))
 		e, err := netmf.New(cfg)
 		if err != nil {
 			return cellOut{}, err
@@ -175,9 +183,12 @@ func e31Table(workers int) (*Table, error) {
 			q2:   meanQ[1] / n,
 		}, nil
 	})
+	stepSpan.End()
 	if err != nil {
 		return nil, err
 	}
+	render := rc.Span("render")
+	defer render.End()
 	firstBottleneck, lastBottleneck := "", ""
 	var tputs []float64
 	for i, c := range cells {

@@ -17,7 +17,7 @@ import (
 // characteristic root and the simulated tail amplitude of the rate.
 // The τ/τ* grid runs on the parallel sweep runner, one DDE solve per
 // cell.
-func E19StabilityBoundary() (*Table, error) {
+func E19StabilityBoundary(rc *Recorder) (*Table, error) {
 	t := &Table{
 		ID:      "E19",
 		Caption: "delayed-feedback stability boundary: analytic dominant root vs simulated amplitude",
@@ -70,6 +70,7 @@ func E19StabilityBoundary() (*Table, error) {
 	}
 	cells, err := sweep.Run(sweep.Config{
 		Grid: sweep.Grid{Dims: []sweep.Dim{{Name: "tau_frac", Values: fracs}}},
+		Obs:  rc,
 	}, func(c sweep.Cell) (cellOut, error) {
 		tau := c.Values[0] * tauStar
 		root, err := stability.DominantRoot(lin.A, lin.B, tau)

@@ -8,6 +8,7 @@ import (
 	"regexp"
 	"time"
 
+	"fpcc/internal/obs"
 	"fpcc/internal/sweep"
 )
 
@@ -25,14 +26,24 @@ type SuiteConfig struct {
 	Filter *regexp.Regexp
 	// Workers bounds the parallelism (0 means GOMAXPROCS).
 	Workers int
+	// Obs, when non-nil, instruments the run: each experiment gets a
+	// recorder scoped to its ID (streaming probes/spans/violations to
+	// the configured sink) and its setup/step/render phase spans are
+	// harvested into Report.Phases and the bench JSON. Nil is the
+	// zero-overhead default; the suite renderings are byte-identical
+	// either way.
+	Obs *obs.Config
 }
 
 // Report is one executed experiment: its registry entry, the table it
-// produced, and the wall-clock time it took.
+// produced, the wall-clock time it took, and — when the run was
+// instrumented — the per-phase span totals (seconds by span name,
+// e.g. "setup", "step", "render") its recorder accumulated.
 type Report struct {
 	Experiment Experiment
 	Table      *Table
 	Elapsed    time.Duration
+	Phases     map[string]float64
 }
 
 // Suite holds the reports of a completed run in registry order.
@@ -83,16 +94,27 @@ func RunSuite(cfg SuiteConfig) (*Suite, error) {
 	if len(selected) == 0 {
 		return nil, fmt.Errorf("experiments: %w", ErrNoMatch)
 	}
-	reports, err := sweep.Map(len(selected), cfg.Workers, func(i int) (Report, error) {
+	suiteRec := cfg.Obs.Recorder("suite")
+	reports, err := sweep.MapWorker(len(selected), cfg.Workers, func(w, i int) (Report, error) {
+		rec := cfg.Obs.Recorder(selected[i].ID)
+		sp := suiteRec.WorkerSpan("exp."+selected[i].ID, w)
 		start := time.Now()
-		tb, err := selected[i].Run()
+		tb, err := selected[i].Run(rec)
+		elapsed := time.Since(start)
+		sp.End()
 		if err != nil {
 			return Report{}, fmt.Errorf("%s: %w", selected[i].ID, err)
 		}
-		return Report{Experiment: selected[i], Table: tb, Elapsed: time.Since(start)}, nil
+		if ferr := rec.Flush(); ferr != nil {
+			return Report{}, fmt.Errorf("%s: flushing trace: %w", selected[i].ID, ferr)
+		}
+		return Report{Experiment: selected[i], Table: tb, Elapsed: elapsed, Phases: rec.SpanSeconds()}, nil
 	})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: suite %w", err)
+	}
+	if ferr := suiteRec.Flush(); ferr != nil {
+		return nil, fmt.Errorf("experiments: flushing suite trace: %w", ferr)
 	}
 	return &Suite{Reports: reports}, nil
 }
@@ -159,17 +181,30 @@ func (s *Suite) WriteJSON(w io.Writer) error {
 	return enc.Encode(entries)
 }
 
+// BenchSchema versions the bench JSON artifact. "fpcc-bench/2" added
+// the schema field itself and the optional per-experiment phase
+// breakdowns; schema-less files are the v1 shape (still decodable —
+// the added fields are optional, so old BENCH_*.json baselines keep
+// working).
+const BenchSchema = "fpcc-bench/2"
+
 // BenchEntry is one experiment's timing in the machine-readable
-// benchmark report.
+// benchmark report. Phases, present when the run was instrumented
+// (benchreport -trace / SuiteConfig.Obs), breaks Seconds down by span
+// name — setup/step/render for the instrumented heavy experiments —
+// so a regression names the phase it lives in, not just the
+// experiment.
 type BenchEntry struct {
-	ID      string  `json:"id"`
-	Title   string  `json:"title"`
-	Seconds float64 `json:"seconds"`
+	ID      string             `json:"id"`
+	Title   string             `json:"title"`
+	Seconds float64            `json:"seconds"`
+	Phases  map[string]float64 `json:"phases,omitempty"`
 }
 
 // BenchReport is the machine-readable per-experiment timing report
 // seeding the BENCH_*.json perf trajectory.
 type BenchReport struct {
+	Schema       string       `json:"schema,omitempty"`
 	Workers      int          `json:"workers"`
 	TotalSeconds float64      `json:"total_seconds"`
 	Experiments  []BenchEntry `json:"experiments"`
@@ -179,13 +214,17 @@ type BenchReport struct {
 // of the whole run (under parallelism it is less than the sum of the
 // per-experiment times); workers records the pool bound used.
 func (s *Suite) Bench(workers int, total time.Duration) *BenchReport {
-	rep := &BenchReport{Workers: workers, TotalSeconds: total.Seconds()}
+	rep := &BenchReport{Schema: BenchSchema, Workers: workers, TotalSeconds: total.Seconds()}
 	for _, r := range s.Reports {
-		rep.Experiments = append(rep.Experiments, BenchEntry{
+		entry := BenchEntry{
 			ID:      r.Experiment.ID,
 			Title:   r.Experiment.Title,
 			Seconds: r.Elapsed.Seconds(),
-		})
+		}
+		if len(r.Phases) > 0 {
+			entry.Phases = r.Phases
+		}
+		rep.Experiments = append(rep.Experiments, entry)
 	}
 	return rep
 }

@@ -19,6 +19,7 @@ import (
 	"io"
 	"strings"
 
+	"fpcc/internal/obs"
 	"fpcc/internal/sweep"
 )
 
@@ -188,13 +189,21 @@ func (t *Table) WriteCSV(w io.Writer) error {
 	return nil
 }
 
+// Recorder aliases obs.Recorder so every experiment signature can
+// name the observability hook without importing internal/obs. The nil
+// default is the zero-overhead no-op; the suite runner hands each
+// experiment its own recorder when benchreport enables tracing.
+type Recorder = obs.Recorder
+
 // Experiment is one registry entry: stable id, human title, coarse
-// tags for selection, and the entry point.
+// tags for selection, and the entry point. Run receives the
+// experiment's recorder (nil when observability is off) and must
+// produce byte-identical tables either way.
 type Experiment struct {
 	ID    string
 	Title string
 	Tags  []string
-	Run   func() (*Table, error)
+	Run   func(rc *Recorder) (*Table, error)
 }
 
 // Runner is the registry entry's pre-registry name, kept as an alias.

@@ -71,6 +71,7 @@ import (
 	"fpcc/internal/control"
 	"fpcc/internal/grid"
 	"fpcc/internal/linalg"
+	"fpcc/internal/obs"
 	"fpcc/internal/parallel"
 )
 
@@ -109,6 +110,15 @@ type Config struct {
 	// (0 = GOMAXPROCS). It affects wall-clock time only, never
 	// results: the sweep partitioning is fixed by the grid alone.
 	Workers int
+
+	// Obs, when non-nil, receives per-step probes (fp.mass, fp.meanq,
+	// fp.clipped, fp.outflow, fp.cfl) and, when it enables invariants,
+	// runs the per-step checks: mass budget ∫f = 1 + clipped − outflow,
+	// density non-negativity, CFL margin, and delay-history
+	// monotonicity. A failing check aborts Step with a step-stamped
+	// error. The nil default costs one branch per step and never
+	// changes any observable.
+	Obs *obs.Recorder
 }
 
 // Validate checks the configuration.
@@ -186,6 +196,8 @@ type Solver struct {
 	histT     []float64
 	histQ     []float64
 	histStart int
+
+	step int64 // completed steps, stamping probes and violations
 }
 
 // New builds a solver with an all-zero density (call SetGaussian or
@@ -291,6 +303,7 @@ func (s *Solver) normalize() error {
 	s.histT = s.histT[:0]
 	s.histQ = s.histQ[:0]
 	s.histStart = 0
+	s.step = 0
 	s.recordMeanQ()
 	return nil
 }
@@ -468,7 +481,43 @@ func (s *Solver) Step(dt float64) error {
 	}) * s.g2d.CellArea()
 	s.t += dt
 	s.recordMeanQ()
+	s.step++
+	if rec := s.cfg.Obs; rec.Enabled() {
+		if err := s.observe(rec, dt); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// observe feeds the attached recorder after a completed step: probe
+// samples when due, invariant checks when enabled. It runs only with
+// a live recorder, so the uninstrumented step pays one nil check.
+func (s *Solver) observe(rec *obs.Recorder, dt float64) error {
+	if rec.ProbeDue("fp.mass", s.t) {
+		rec.Probe("fp.mass", s.t, s.g2d.Integrate(s.f))
+		rec.Probe("fp.meanq", s.t, s.meanQ())
+		rec.Probe("fp.clipped", s.t, s.clipped)
+		rec.Probe("fp.outflow", s.t, s.outflow)
+		rec.Probe("fp.cfl", s.t, s.g2d.CFL(dt, s.maxV, s.maxG))
+	}
+	if !rec.Invariants() {
+		return nil
+	}
+	// Mass budget: transport is conservative, clipping ADDS mass to
+	// the field (tracked positive), outflow removes it, so the exact
+	// budget is ∫f = 1 + clipped − outflow to rounding.
+	mass := s.g2d.Integrate(s.f)
+	if err := rec.CheckMass(s.step, s.t, "fp.mass", mass, 1+s.clipped-s.outflow, rec.MassTol()); err != nil {
+		return err
+	}
+	if err := rec.CheckNonNegative(s.step, s.t, "fp.density", s.f); err != nil {
+		return err
+	}
+	if err := rec.CheckCourant(s.step, s.t, "fp.cfl", s.g2d.CFL(dt, s.maxV, s.maxG), 1.0000001); err != nil {
+		return err
+	}
+	return rec.CheckMonotoneTail(s.step, "fp.history", s.histT)
 }
 
 // StepAuto advances by the largest stable step, capped at dtMax, and

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"fpcc/internal/grid"
+	"fpcc/internal/obs"
 	"fpcc/internal/parallel"
 )
 
@@ -40,6 +41,7 @@ type Density struct {
 
 	hist     History
 	maxDelay float64
+	step     int64 // completed steps, stamping probes and violations
 }
 
 // NewDensity builds the kinetic engine with every class initialized
@@ -150,7 +152,42 @@ func (d *Density) Step() error {
 	d.q = math.Max(d.q+(agg-d.cfg.Mu)*dt, 0)
 	d.t += dt
 	d.hist.Record(d.t, d.q, d.t-d.maxDelay-1)
+	d.step++
+	if rec := d.cfg.Obs; rec.Enabled() {
+		if err := d.observe(rec, agg); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// observe feeds the attached recorder after a completed step: probe
+// samples when due (the per-class moment passes are O(bins), computed
+// only then), invariant checks when enabled.
+func (d *Density) observe(rec *obs.Recorder, agg float64) error {
+	if rec.ProbeDue("mf.queue", d.t) {
+		rec.Probe("mf.queue", d.t, d.q)
+		rec.Probe("mf.lambda", d.t, agg)
+		rec.Probe("mf.clipped", d.t, d.ClippedMass())
+		for k, rd := range d.dens {
+			mean, variance := rd.Moments()
+			name := "mf." + d.cfg.ClassName(k)
+			rec.Probe(name+".mean", d.t, mean)
+			rec.Probe(name+".var", d.t, variance)
+		}
+	}
+	if !rec.Invariants() {
+		return nil
+	}
+	for k, rd := range d.dens {
+		if err := rd.CheckInvariants(rec, d.step, d.t, "mf."+d.cfg.ClassName(k)); err != nil {
+			return err
+		}
+	}
+	if err := rec.CheckFinite(d.step, d.t, "mf.queue", d.q); err != nil {
+		return err
+	}
+	return rec.CheckMonotoneTail(d.step, "mf.history", d.hist.TailTimes())
 }
 
 // Run advances until time tEnd (whole steps; the final partial step

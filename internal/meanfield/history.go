@@ -30,6 +30,17 @@ func (h *History) Record(t, q, cut float64) {
 	}
 }
 
+// TailTimes returns the timestamps of the most recent (up to) two
+// samples, oldest first — what the per-step history-monotonicity
+// invariant inspects (each step appends once, so checking the tail
+// every step covers the whole series).
+func (h *History) TailTimes() []float64 {
+	if n := len(h.t); n > 2 {
+		return h.t[n-2:]
+	}
+	return h.t
+}
+
 // At returns the queue length at time t, linearly interpolated
 // between samples and clamped to the recorded range (times before the
 // first sample return the initial state).

@@ -46,6 +46,7 @@ import (
 	"math"
 
 	"fpcc/internal/control"
+	"fpcc/internal/obs"
 )
 
 // Class describes one homogeneous sub-population of sources.
@@ -109,6 +110,16 @@ type Config struct {
 	// particle backend takes its worker bound as a NewParticles
 	// argument instead, alongside its seed.)
 	Workers int
+
+	// Obs, when non-nil, receives per-step probes (mf.queue,
+	// mf.lambda, per-class moments; the particle backend's mfp.*
+	// series) and, when it enables invariants, runs the per-step
+	// checks: per-class mass budget ∫f_k = 1 + clipped_k, density
+	// non-negativity, CFL margin, queue non-negativity, and
+	// queue-history monotonicity. A failing check aborts Step with a
+	// step-stamped error. The nil default costs one branch per step
+	// and never changes any observable.
+	Obs *obs.Recorder
 }
 
 // Validate checks the configuration shared by both backends.

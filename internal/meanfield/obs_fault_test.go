@@ -1,0 +1,96 @@
+package meanfield
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"fpcc/internal/obs"
+)
+
+// TestDensityInvariantCorruptMass corrupts one class's density mass
+// between steps and requires the next Step to fail with a
+// *obs.Violation naming the per-class mass field and the exact step.
+func TestDensityInvariantCorruptMass(t *testing.T) {
+	cfg := testConfig(100)
+	rec := (&obs.Config{Invariants: true}).Recorder("mf")
+	cfg.Obs = rec
+	d, err := NewDensity(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Step(); err != nil {
+		t.Fatalf("clean step rejected: %v", err)
+	}
+	// Scale the class density: advection conserves the corruption, so
+	// the class mass budget ∫f = 1 + clipped breaks immediately.
+	for i := range d.dens[0].f {
+		d.dens[0].f[i] *= 1.02
+	}
+	err = d.Step()
+	if err == nil {
+		t.Fatal("corrupted class mass passed the invariant checker")
+	}
+	var v *obs.Violation
+	if !errors.As(err, &v) {
+		t.Fatalf("error %v is not a *obs.Violation", err)
+	}
+	if want := "mf." + cfg.ClassName(0) + ".mass"; v.Field != want {
+		t.Errorf("violation field = %q, want %q", v.Field, want)
+	}
+	if v.Step != 2 {
+		t.Errorf("violation step = %d, want 2 (the first step after corruption)", v.Step)
+	}
+	if rec.Violations() != 1 {
+		t.Errorf("recorder counted %d violations, want 1", rec.Violations())
+	}
+}
+
+// TestDensityInvariantNaNQueue injects a poisoned queue (a plain
+// negative value is healed by the queue ODE's max(·, 0) clamp before
+// the checker sees it; NaN survives) and requires the checker to
+// stamp the mf.queue field.
+func TestDensityInvariantNaNQueue(t *testing.T) {
+	cfg := testConfig(100)
+	cfg.Obs = (&obs.Config{Invariants: true}).Recorder("mf")
+	d, err := NewDensity(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Step(); err != nil {
+		t.Fatalf("clean step rejected: %v", err)
+	}
+	d.q = math.NaN()
+	err = d.Step()
+	if err == nil {
+		t.Fatal("negative queue passed the invariant checker")
+	}
+	var v *obs.Violation
+	if !errors.As(err, &v) {
+		t.Fatalf("error %v is not a *obs.Violation", err)
+	}
+	if v.Field != "mf.queue" {
+		t.Errorf("violation field = %q, want mf.queue", v.Field)
+	}
+	if v.Step != 2 {
+		t.Errorf("violation step = %d, want 2", v.Step)
+	}
+}
+
+// TestDensityInvariantsCleanRun pins the positive case: an
+// uncorrupted instrumented run stays violation-free.
+func TestDensityInvariantsCleanRun(t *testing.T) {
+	cfg := testConfig(100)
+	rec := (&obs.Config{Invariants: true}).Recorder("mf")
+	cfg.Obs = rec
+	d, err := NewDensity(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Run(5); err != nil {
+		t.Fatalf("instrumented run failed: %v", err)
+	}
+	if n := rec.Violations(); n != 0 {
+		t.Fatalf("clean run recorded %d violations", n)
+	}
+}

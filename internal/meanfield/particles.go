@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"fpcc/internal/obs"
 	"fpcc/internal/rng"
 	"fpcc/internal/stats"
 	"fpcc/internal/sweep"
@@ -51,6 +52,7 @@ type Particles struct {
 
 	hist     History
 	maxDelay float64
+	step     int64 // completed steps, stamping probes and violations
 }
 
 // NewParticles builds the particle backend with every source's
@@ -189,11 +191,11 @@ func (p *Particles) Step() error {
 		c := p.chunks[i]
 		cl := &p.cfg.Classes[c.class]
 		law := cl.Law
-		obs := qObs[c.class]
+		qo := qObs[c.class]
 		sum := 0.0
 		mom := stats.Moments{}
 		for j, l := range c.lam {
-			l += law.Drift(obs, l) * dt
+			l += law.Drift(qo, l) * dt
 			if cl.SigmaL > 0 {
 				l += cl.SigmaL * sqdt * c.r.Norm()
 			}
@@ -212,7 +214,39 @@ func (p *Particles) Step() error {
 	p.q = math.Max(p.q+(agg-p.cfg.Mu)*dt, 0)
 	p.t += dt
 	p.hist.Record(p.t, p.q, p.t-p.maxDelay-1)
+	p.step++
+	if rec := p.cfg.Obs; rec.Enabled() {
+		if err := p.observe(rec); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// observe feeds the attached recorder after a completed step. The
+// aggregate rate reuses the per-chunk sums the step just refreshed,
+// so probes stay O(chunks); the invariant scan over every particle is
+// O(N) and runs only when invariants are enabled.
+func (p *Particles) observe(rec *obs.Recorder) error {
+	if rec.ProbeDue("mfp.queue", p.t) {
+		rec.Probe("mfp.queue", p.t, p.q)
+		rec.Probe("mfp.lambda", p.t, p.AggregateRate())
+	}
+	if !rec.Invariants() {
+		return nil
+	}
+	// clampRate reflects every particle into [0, LMax]; a violation
+	// means a law produced NaN or the state was corrupted.
+	for k, arr := range p.lam {
+		name := "mfp." + p.cfg.ClassName(k) + ".rates"
+		if err := rec.CheckNonNegative(p.step, p.t, name, arr); err != nil {
+			return err
+		}
+	}
+	if err := rec.CheckFinite(p.step, p.t, "mfp.queue", p.q); err != nil {
+		return err
+	}
+	return rec.CheckMonotoneTail(p.step, "mfp.history", p.hist.TailTimes())
 }
 
 // Run advances until time tEnd on the same whole-step lattice as

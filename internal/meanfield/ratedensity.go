@@ -7,6 +7,7 @@ import (
 	"fpcc/internal/control"
 	"fpcc/internal/grid"
 	"fpcc/internal/linalg"
+	"fpcc/internal/obs"
 )
 
 // RateDensity is the single-class kinetic kernel: one rate density
@@ -34,6 +35,10 @@ type RateDensity struct {
 	// CFL-checked) for the pending step; edges 1..Bins-1 are used.
 	drift       []float64
 	secondOrder bool
+
+	// courant is the largest |g|·dt/Δλ of the drifts SetDrift last
+	// cached — the margin the invariant checker re-verifies.
+	courant float64
 
 	// Prefactored Crank-Nicolson solve for the σ diffusion: the
 	// bands depend only on rr, so the shared kernel rebuilds its
@@ -94,6 +99,36 @@ func (r *RateDensity) Marginal() []float64 {
 // gain; see ClampNegative).
 func (r *RateDensity) ClippedMass() float64 { return r.clipped }
 
+// Mass returns the current total probability mass ∫f dλ. The sweeps
+// are conservative with zero-flux ends, so the exact budget is
+// Mass = 1 + ClippedMass to rounding.
+func (r *RateDensity) Mass() float64 {
+	var m float64
+	for _, v := range r.f {
+		m += v
+	}
+	return m * r.ax.Dx
+}
+
+// Courant returns the largest Courant number |g|·dt/Δλ of the last
+// SetDrift (0 before the first step).
+func (r *RateDensity) Courant() float64 { return r.courant }
+
+// CheckInvariants verifies the kernel's conservation laws against the
+// attached recorder at the given step: the mass budget
+// ∫f = 1 + clipped, density non-negativity (including NaN), and the
+// cached Courant margin. Field names are prefixed with field (e.g.
+// "mf.class0" → "mf.class0.mass").
+func (r *RateDensity) CheckInvariants(rec *obs.Recorder, step int64, t float64, field string) error {
+	if err := rec.CheckMass(step, t, field+".mass", r.Mass(), 1+r.clipped, rec.MassTol()); err != nil {
+		return err
+	}
+	if err := rec.CheckNonNegative(step, t, field+".density", r.f); err != nil {
+		return err
+	}
+	return rec.CheckCourant(step, t, field+".cfl", r.courant, 1.0000001)
+}
+
 // MeanRate returns ⟨λ⟩, the mean rate of the density normalized by
 // its current mass, in a single O(Bins) pass.
 func (r *RateDensity) MeanRate() float64 {
@@ -134,14 +169,18 @@ func (r *RateDensity) Moments() (mean, variance float64) {
 // advecting any: a CFL error leaves the whole system untouched.
 func (r *RateDensity) SetDrift(law control.Law, qObs, dt float64) error {
 	dl := r.ax.Dx
+	var cmax float64
 	for e := 1; e < r.ax.N; e++ {
 		a := law.Drift(qObs, r.ax.Edge(e))
-		if math.Abs(a)*dt/dl > 1.0000001 {
+		if c := math.Abs(a) * dt / dl; c > 1.0000001 {
 			return fmt.Errorf("drift %v at λ=%v violates CFL (|c|=%.3f > 1); reduce Dt",
-				a, r.ax.Edge(e), math.Abs(a)*dt/dl)
+				a, r.ax.Edge(e), c)
+		} else if c > cmax {
+			cmax = c
 		}
 		r.drift[e] = a
 	}
+	r.courant = cmax
 	return nil
 }
 

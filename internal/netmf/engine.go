@@ -6,6 +6,7 @@ import (
 
 	"fpcc/internal/grid"
 	"fpcc/internal/meanfield"
+	"fpcc/internal/obs"
 	"fpcc/internal/parallel"
 )
 
@@ -40,6 +41,7 @@ type Engine struct {
 	t    float64
 
 	maxDelay float64
+	step     int64 // completed steps, stamping probes and violations
 }
 
 // New builds the networked engine with every class initialized to its
@@ -203,6 +205,50 @@ func (e *Engine) Step() error {
 	for j := range e.q {
 		e.q[j] = math.Max(e.q[j]+(e.arr[j]-e.cfg.Topology.Nodes[j].Mu)*dt, 0)
 		e.hist[j].Record(e.t, e.q[j], cut)
+	}
+	e.step++
+	if rec := e.cfg.Obs; rec.Enabled() {
+		if err := e.observe(rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// observe feeds the attached recorder after a completed step: probe
+// samples when due (per-node queues and per-class rates), invariant
+// checks when enabled.
+func (e *Engine) observe(rec *obs.Recorder) error {
+	if rec.ProbeDue("netmf.q", e.t) {
+		// One shared rate-limit series ("netmf.q") gates the whole
+		// snapshot, so every node and class samples at the same times.
+		rec.Probe("netmf.q", e.t, e.TotalQueue())
+		for j := range e.q {
+			rec.Probe("netmf."+e.cfg.Topology.NodeName(j)+".q", e.t, e.q[j])
+		}
+		rec.Probe("netmf.clipped", e.t, e.ClippedMass())
+		for k := range e.dens {
+			name := "netmf." + e.cfg.ClassName(k)
+			rec.Probe(name+".lambda", e.t, e.ClassOfferedRate(k))
+			rec.Probe(name+".mean", e.t, e.dens[k].MeanRate())
+		}
+	}
+	if !rec.Invariants() {
+		return nil
+	}
+	for k, rd := range e.dens {
+		if err := rd.CheckInvariants(rec, e.step, e.t, "netmf."+e.cfg.ClassName(k)); err != nil {
+			return err
+		}
+	}
+	for j, q := range e.q {
+		field := "netmf." + e.cfg.Topology.NodeName(j)
+		if err := rec.CheckFinite(e.step, e.t, field+".q", q); err != nil {
+			return err
+		}
+		if err := rec.CheckMonotoneTail(e.step, field+".history", e.hist[j].TailTimes()); err != nil {
+			return err
+		}
 	}
 	return nil
 }

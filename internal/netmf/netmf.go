@@ -46,6 +46,7 @@ import (
 
 	"fpcc/internal/control"
 	"fpcc/internal/netsim"
+	"fpcc/internal/obs"
 )
 
 // Class describes one homogeneous sub-population of sources following
@@ -113,6 +114,16 @@ type Config struct {
 	// results: each class's kernel is independent within a step and
 	// the arrival-rate coupling stays in class order.
 	Workers int
+
+	// Obs, when non-nil, receives per-step probes (per-node queues,
+	// per-class offered rates and means) and, when it enables
+	// invariants, runs the per-step checks: per-class mass budget
+	// ∫f_k = 1 + clipped_k, density non-negativity, CFL margin,
+	// per-node queue non-negativity, and queue-history monotonicity.
+	// A failing check aborts Step with a step-stamped error. The nil
+	// default costs one branch per step and never changes any
+	// observable.
+	Obs *obs.Recorder
 }
 
 // Validate checks the configuration.

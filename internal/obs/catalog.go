@@ -1,0 +1,41 @@
+package obs
+
+// ProbeSeries documents one probe series (or end-of-run counter) an
+// engine emits when a recorder is attached. Names containing <class>
+// or <node> are families: the placeholder is replaced by the class or
+// node display name at runtime.
+type ProbeSeries struct {
+	Engine string // owning package (fokkerplanck, sde, meanfield, netmf, des)
+	Name   string // series name as it appears in Event.Name
+	Unit   string
+	Desc   string
+}
+
+// Catalog lists every probe series the engines emit. It is the single
+// source of truth the EXPERIMENTS.md probe table is checked against
+// (TestProbeCatalogDocumented in internal/experiments), so adding a
+// probe to an engine means adding it here and to the doc table.
+func Catalog() []ProbeSeries {
+	return []ProbeSeries{
+		{"fokkerplanck", "fp.mass", "1", "total density mass ∫f dq dv"},
+		{"fokkerplanck", "fp.meanq", "packets", "mass-weighted mean queue E[Q]"},
+		{"fokkerplanck", "fp.clipped", "1", "cumulative mass removed by negativity clipping"},
+		{"fokkerplanck", "fp.outflow", "1", "cumulative mass lost through the q = QMax boundary"},
+		{"fokkerplanck", "fp.cfl", "1", "Courant number of the last step"},
+		{"sde", "sde.meanq", "packets", "ensemble mean queue length"},
+		{"sde", "sde.meanlam", "packets/s", "ensemble mean sending rate"},
+		{"sde", "sde.varq", "packets²", "ensemble queue-length variance"},
+		{"meanfield", "mf.queue", "packets", "bottleneck fluid queue length Q"},
+		{"meanfield", "mf.lambda", "packets/s", "aggregate arrival rate Λ = Σ_k w_k N_k ⟨λ⟩_k"},
+		{"meanfield", "mf.clipped", "1", "cumulative clipped density mass, summed over classes"},
+		{"meanfield", "mf.<class>.mean", "packets/s", "class mean per-source rate ⟨λ⟩_k"},
+		{"meanfield", "mf.<class>.var", "(packets/s)²", "class per-source rate variance"},
+		{"meanfield", "mfp.queue", "packets", "particle-backend fluid queue length"},
+		{"meanfield", "mfp.lambda", "packets/s", "particle-backend aggregate arrival rate"},
+		{"netmf", "netmf.<node>.q", "packets", "per-node fluid queue length Q_j"},
+		{"netmf", "netmf.<class>.lambda", "packets/s", "class offered rate Λ_k = w_k N_k ⟨λ⟩_k"},
+		{"netmf", "netmf.<class>.mean", "packets/s", "class mean per-source rate ⟨λ⟩_k"},
+		{"netmf", "netmf.clipped", "1", "cumulative clipped density mass, summed over classes"},
+		{"des", "des.q", "packets", "packet queue length (packets in system)"},
+	}
+}

@@ -1,0 +1,105 @@
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	_ "net/http/pprof" // registered on the default mux, served only when -pprof is set
+	"os"
+)
+
+// CLI is the shared observability flag set every cmd binds:
+//
+//	-trace out.jsonl    stream probe/span/metric events as JSONL
+//	-trace-dt t         probe sampling interval in simulation seconds
+//	-pprof addr         serve net/http/pprof on addr (e.g. localhost:6060)
+//	-obs-invariants     run per-step invariant checks (fail fast)
+//
+// Bind the flags with BindFlags before flag.Parse, call Setup after,
+// hand Recorder(scope) to the engine configs, and defer Close.
+type CLI struct {
+	tracePath  string
+	traceDt    float64
+	pprofAddr  string
+	invariants bool
+
+	sink      *JSONL
+	traceFile *os.File
+	cfg       *Config
+	recorders []*Recorder
+}
+
+// BindFlags registers the observability flags on fs and returns the
+// CLI holding them.
+func BindFlags(fs *flag.FlagSet) *CLI {
+	c := &CLI{}
+	fs.StringVar(&c.tracePath, "trace", "", "stream observability events (probes, spans, violations) as JSONL to this file")
+	fs.Float64Var(&c.traceDt, "trace-dt", 0, fmt.Sprintf("probe sampling interval in simulation seconds (default %g)", DefaultProbeDt))
+	fs.StringVar(&c.pprofAddr, "pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	fs.BoolVar(&c.invariants, "obs-invariants", false, "run per-step invariant checks (mass budgets, non-negativity, CFL, history monotonicity); fail fast on violation")
+	return c
+}
+
+// Setup opens the trace file and starts the pprof server per the
+// parsed flags. Call it once, after flag parsing.
+func (c *CLI) Setup() error {
+	if c.tracePath != "" {
+		f, err := os.Create(c.tracePath)
+		if err != nil {
+			return fmt.Errorf("obs: creating trace file: %w", err)
+		}
+		c.traceFile = f
+		c.sink = NewJSONL(f)
+	}
+	if c.pprofAddr != "" {
+		go func() {
+			// The pprof handlers are on http.DefaultServeMux via the
+			// net/http/pprof import; the server runs for the process
+			// lifetime.
+			if err := http.ListenAndServe(c.pprofAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "obs: pprof server: %v\n", err)
+			}
+		}()
+	}
+	if c.sink != nil || c.invariants {
+		c.cfg = &Config{Sink: c.sink, Invariants: c.invariants, ProbeDt: c.traceDt}
+	}
+	return nil
+}
+
+// Config returns the observability config the flags selected, or nil
+// when no observability flag was set (the zero-overhead default).
+func (c *CLI) Config() *Config { return c.cfg }
+
+// Recorder returns a recorder under the given scope, or nil when
+// observability is disabled. Close flushes every recorder handed out.
+func (c *CLI) Recorder(scope string) *Recorder {
+	r := c.cfg.Recorder(scope)
+	if r != nil {
+		c.recorders = append(c.recorders, r)
+	}
+	return r
+}
+
+// Close flushes summary events for every recorder handed out, flushes
+// the sink, and closes the trace file.
+func (c *CLI) Close() error {
+	var first error
+	for _, r := range c.recorders {
+		if err := r.Flush(); err != nil && first == nil {
+			first = err
+		}
+	}
+	if c.sink != nil {
+		if err := c.sink.Flush(); err != nil && first == nil {
+			first = err
+		}
+	}
+	if c.traceFile != nil {
+		if err := c.traceFile.Close(); err != nil && first == nil {
+			first = err
+		}
+		c.traceFile = nil
+	}
+	return first
+}

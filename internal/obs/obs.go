@@ -1,0 +1,462 @@
+// Package obs is the observability layer shared by every engine in
+// this repository: counters, gauges, histograms, monotonic span
+// timers, periodic per-step probes, and a fail-fast invariant checker,
+// all behind a *Recorder whose disabled default — a nil pointer — is a
+// true no-op.
+//
+// # Zero overhead when off
+//
+// Every Recorder method begins with an inlineable nil check, so an
+// uninstrumented run pays exactly one predictable branch per call
+// site and touches no memory. Engines additionally gate any work
+// needed only to FEED the recorder (an O(N) moment pass, a mass
+// integral) behind Enabled/Invariants/ProbeDue, so a nil recorder
+// costs nothing beyond the branch. The determinism contract is
+// absolute: attaching or detaching a recorder never changes a single
+// bit of any engine observable (enforced by the suite byte-identity
+// test in internal/experiments).
+//
+// # Event stream
+//
+// When a JSONL sink is attached, probes, span timings, and invariant
+// violations stream out as one JSON object per line (Event), cheap
+// enough to leave running for whole experiment suites. Counters,
+// gauges, and histograms accumulate in memory and are emitted as
+// summary events by Flush.
+//
+// # Invariants
+//
+// The checker half of the package (invariants.go) verifies the
+// conservation laws the solvers are built on — density mass budgets,
+// non-negativity, CFL margins, history time-monotonicity — and fails
+// fast with step-stamped context: a violation is an error carrying
+// the exact step, time, and field, returned from the engine's Step so
+// the run stops at the first corrupted state rather than rendering a
+// poisoned table.
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Event is one observability record: a probe sample, a span timing, a
+// counter/gauge/histogram summary, or an invariant violation. Events
+// marshal to single-line JSON in the trace stream.
+type Event struct {
+	// Kind is "probe", "span", "span_total", "counter", "gauge",
+	// "hist", or "violation".
+	Kind string `json:"kind"`
+	// Scope identifies the recorder that emitted the event (an
+	// experiment id, a CLI name, a sweep cell).
+	Scope string `json:"scope,omitempty"`
+	Name  string `json:"name"`
+	// Step and T stamp the simulation step and time of probes and
+	// violations.
+	Step int64   `json:"step,omitempty"`
+	T    float64 `json:"t,omitempty"`
+	// Value carries the probe sample, gauge level, span seconds, or
+	// histogram mean.
+	Value float64 `json:"value,omitempty"`
+	Count int64   `json:"count,omitempty"`
+	// Worker is the 1-based worker index of an attributed span
+	// (0 = unattributed).
+	Worker int    `json:"worker,omitempty"`
+	Msg    string `json:"msg,omitempty"`
+}
+
+// JSONL is a concurrency-safe streaming sink writing one Event per
+// line. Create with NewJSONL, share it between any number of
+// Recorders, and Flush (or Close the underlying file) when done.
+type JSONL struct {
+	mu     sync.Mutex
+	bw     *bufio.Writer
+	enc    *json.Encoder
+	events int64
+	err    error
+}
+
+// NewJSONL wraps w in a buffered JSONL event sink.
+func NewJSONL(w io.Writer) *JSONL {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	return &JSONL{bw: bw, enc: json.NewEncoder(bw)}
+}
+
+// Emit writes one event line. Safe on a nil sink (drops the event)
+// and from any goroutine.
+func (s *JSONL) Emit(ev Event) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if err := s.enc.Encode(ev); err != nil && s.err == nil {
+		s.err = err
+	}
+	s.events++
+	s.mu.Unlock()
+}
+
+// Events returns the number of events emitted so far.
+func (s *JSONL) Events() int64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.events
+}
+
+// Flush drains the buffer to the underlying writer and returns the
+// first write error encountered, if any.
+func (s *JSONL) Flush() error {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.bw.Flush(); err != nil && s.err == nil {
+		s.err = err
+	}
+	return s.err
+}
+
+// DefaultProbeDt is the probe sampling interval (in simulation
+// seconds) used when Config.ProbeDt is zero: fine enough to resolve
+// the paper's oscillation periods (tens of seconds), coarse enough
+// that a long run stays a few thousand lines per series.
+const DefaultProbeDt = 0.25
+
+// DefaultMassTol is the mass-budget tolerance used when
+// Config.MassTol is zero. The solvers' transport is conservative to
+// rounding, so the budget drift over a long run stays orders of
+// magnitude below this.
+const DefaultMassTol = 1e-6
+
+// Config describes an observability setup: where events stream,
+// whether invariants run, and how often probes sample. The zero value
+// (and a nil *Config) disables everything.
+type Config struct {
+	// Sink receives the event stream (nil discards probes and spans;
+	// counters still accumulate for SpanSeconds/Flush).
+	Sink *JSONL
+	// Invariants enables the per-step invariant checks in every
+	// engine holding a Recorder from this Config.
+	Invariants bool
+	// ProbeDt is the minimum simulation-time spacing between samples
+	// of one probe series (0 = DefaultProbeDt).
+	ProbeDt float64
+	// MassTol is the relative tolerance of the density mass-budget
+	// checks (0 = DefaultMassTol).
+	MassTol float64
+}
+
+// Recorder returns a new recorder bound to this config under the
+// given scope. A nil *Config returns a nil *Recorder — the no-op
+// default every engine accepts.
+func (c *Config) Recorder(scope string) *Recorder {
+	if c == nil {
+		return nil
+	}
+	return &Recorder{cfg: *c, scope: scope}
+}
+
+// spanKey identifies a span accumulator: name plus the 0-based worker
+// index (-1 for unattributed spans).
+type spanKey struct {
+	name   string
+	worker int
+}
+
+type spanStat struct {
+	total time.Duration
+	count int64
+}
+
+type histStat struct {
+	count         int64
+	sum, min, max float64
+}
+
+// Recorder collects metrics for one scope (an experiment, a CLI run,
+// a sweep cell). All methods are safe on a nil receiver — the
+// disabled default — and safe for concurrent use; engines keep their
+// hot paths cheap by gating any feeding work behind Enabled,
+// Invariants, and ProbeDue.
+type Recorder struct {
+	cfg   Config
+	scope string
+
+	mu         sync.Mutex
+	counters   map[string]int64
+	gauges     map[string]float64
+	hists      map[string]*histStat
+	spans      map[spanKey]*spanStat
+	probeLast  map[string]float64
+	violations int64
+}
+
+// Enabled reports whether the recorder is live. Engines use it to
+// gate probe computation; a nil recorder reports false.
+func (r *Recorder) Enabled() bool { return r != nil }
+
+// Invariants reports whether the per-step invariant checks should
+// run.
+func (r *Recorder) Invariants() bool { return r != nil && r.cfg.Invariants }
+
+// MassTol returns the mass-budget tolerance of the invariant checks.
+func (r *Recorder) MassTol() float64 {
+	if r == nil || r.cfg.MassTol == 0 {
+		return DefaultMassTol
+	}
+	return r.cfg.MassTol
+}
+
+// Scope returns the recorder's scope label ("" on a nil recorder).
+func (r *Recorder) Scope() string {
+	if r == nil {
+		return ""
+	}
+	return r.scope
+}
+
+// Child returns a recorder sharing this recorder's config (sink,
+// invariants, tolerances) under a nested scope — e.g. one per sweep
+// cell, so interleaved probe series from concurrent cells stay
+// distinguishable in the trace. A nil receiver returns nil.
+func (r *Recorder) Child(scope string) *Recorder {
+	if r == nil {
+		return nil
+	}
+	return &Recorder{cfg: r.cfg, scope: r.scope + "/" + scope}
+}
+
+func (r *Recorder) emit(ev Event) {
+	ev.Scope = r.scope
+	r.cfg.Sink.Emit(ev)
+}
+
+// Count adds delta to the named counter.
+func (r *Recorder) Count(name string, delta int64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if r.counters == nil {
+		r.counters = make(map[string]int64)
+	}
+	r.counters[name] += delta
+	r.mu.Unlock()
+}
+
+// Gauge sets the named gauge to v (last value wins).
+func (r *Recorder) Gauge(name string, v float64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if r.gauges == nil {
+		r.gauges = make(map[string]float64)
+	}
+	r.gauges[name] = v
+	r.mu.Unlock()
+}
+
+// Observe adds a sample to the named histogram (count/sum/min/max
+// summary, emitted by Flush).
+func (r *Recorder) Observe(name string, v float64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if r.hists == nil {
+		r.hists = make(map[string]*histStat)
+	}
+	h := r.hists[name]
+	if h == nil {
+		h = &histStat{min: math.Inf(1), max: math.Inf(-1)}
+		r.hists[name] = h
+	}
+	h.count++
+	h.sum += v
+	h.min = math.Min(h.min, v)
+	h.max = math.Max(h.max, v)
+	r.mu.Unlock()
+}
+
+// ProbeDue reports whether the named probe series is due for a sample
+// at simulation time t — true when no sample exists yet or at least
+// ProbeDt has elapsed since the last one. Engines call it BEFORE
+// computing an expensive probe value, so a between-samples step pays
+// only the check. Always false on a nil recorder.
+func (r *Recorder) ProbeDue(name string, t float64) bool {
+	if r == nil {
+		return false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	last, ok := r.probeLast[name]
+	return !ok || t >= last+r.probeDt()
+}
+
+func (r *Recorder) probeDt() float64 {
+	if r.cfg.ProbeDt > 0 {
+		return r.cfg.ProbeDt
+	}
+	return DefaultProbeDt
+}
+
+// Probe records one sample of the named series at simulation time t,
+// updating the series' rate-limit clock and emitting a "probe" event.
+func (r *Recorder) Probe(name string, t, v float64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if r.probeLast == nil {
+		r.probeLast = make(map[string]float64)
+	}
+	r.probeLast[name] = t
+	r.mu.Unlock()
+	r.emit(Event{Kind: "probe", Name: name, T: t, Value: v})
+}
+
+// Span is an in-flight monotonic timer returned by Recorder.Span; End
+// stops it. The zero Span (from a nil recorder) is a no-op.
+type Span struct {
+	r      *Recorder
+	name   string
+	worker int // 0-based; -1 unattributed
+	start  time.Time
+}
+
+// Span starts an unattributed monotonic timer under the given name.
+func (r *Recorder) Span(name string) Span { return r.WorkerSpan(name, -1) }
+
+// WorkerSpan starts a monotonic timer attributed to the 0-based
+// worker index that executes the timed region (sweep cells, suite
+// experiments).
+func (r *Recorder) WorkerSpan(name string, worker int) Span {
+	if r == nil {
+		return Span{}
+	}
+	return Span{r: r, name: name, worker: worker, start: time.Now()}
+}
+
+// End stops the span, accumulating its duration into the recorder's
+// totals and emitting a "span" event.
+func (s Span) End() {
+	if s.r == nil {
+		return
+	}
+	d := time.Since(s.start)
+	r := s.r
+	r.mu.Lock()
+	if r.spans == nil {
+		r.spans = make(map[spanKey]*spanStat)
+	}
+	k := spanKey{s.name, s.worker}
+	st := r.spans[k]
+	if st == nil {
+		st = &spanStat{}
+		r.spans[k] = st
+	}
+	st.total += d
+	st.count++
+	r.mu.Unlock()
+	r.emit(Event{Kind: "span", Name: s.name, Worker: s.worker + 1, Value: d.Seconds()})
+}
+
+// SpanSeconds returns the total seconds accumulated per span name
+// (workers summed) — the per-phase breakdown benchreport embeds in
+// its JSON artifact. Nil and empty recorders return an empty map.
+func (r *Recorder) SpanSeconds() map[string]float64 {
+	out := map[string]float64{}
+	if r == nil {
+		return out
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for k, st := range r.spans {
+		out[k.name] += st.total.Seconds()
+	}
+	return out
+}
+
+// Violations returns the number of invariant violations recorded.
+func (r *Recorder) Violations() int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.violations
+}
+
+// Flush emits summary events for every counter, gauge, histogram, and
+// span total (sorted by name, so traces are deterministic given
+// deterministic values) and flushes the sink. Call it once at the end
+// of the scope's run.
+func (r *Recorder) Flush() error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	counters := sortedKeys(r.counters)
+	gauges := sortedKeys(r.gauges)
+	hists := sortedKeys(r.hists)
+	spanKeys := make([]spanKey, 0, len(r.spans))
+	for k := range r.spans {
+		spanKeys = append(spanKeys, k)
+	}
+	sort.Slice(spanKeys, func(i, j int) bool {
+		if spanKeys[i].name != spanKeys[j].name {
+			return spanKeys[i].name < spanKeys[j].name
+		}
+		return spanKeys[i].worker < spanKeys[j].worker
+	})
+	var evs []Event
+	for _, n := range counters {
+		evs = append(evs, Event{Kind: "counter", Name: n, Count: r.counters[n]})
+	}
+	for _, n := range gauges {
+		evs = append(evs, Event{Kind: "gauge", Name: n, Value: r.gauges[n]})
+	}
+	for _, n := range hists {
+		h := r.hists[n]
+		mean := 0.0
+		if h.count > 0 {
+			mean = h.sum / float64(h.count)
+		}
+		evs = append(evs, Event{
+			Kind: "hist", Name: n, Count: h.count, Value: mean,
+			Msg: fmt.Sprintf("min=%g max=%g sum=%g", h.min, h.max, h.sum),
+		})
+	}
+	for _, k := range spanKeys {
+		st := r.spans[k]
+		evs = append(evs, Event{
+			Kind: "span_total", Name: k.name, Worker: k.worker + 1,
+			Count: st.count, Value: st.total.Seconds(),
+		})
+	}
+	r.mu.Unlock()
+	for _, ev := range evs {
+		r.emit(ev)
+	}
+	return r.cfg.Sink.Flush()
+}
+
+func sortedKeys[M ~map[string]V, V any](m M) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}

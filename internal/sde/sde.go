@@ -31,6 +31,7 @@ import (
 	"math"
 
 	"fpcc/internal/control"
+	"fpcc/internal/obs"
 	"fpcc/internal/parallel"
 	"fpcc/internal/rng"
 	"fpcc/internal/stats"
@@ -63,6 +64,15 @@ type Config struct {
 	// affects wall-clock time only, never results: chunk streams and
 	// reductions are fixed by Particles and Seed alone.
 	Workers int
+
+	// Obs, when non-nil, receives per-step probes (sde.meanq,
+	// sde.meanlam, sde.varq) and, when it enables invariants, scans
+	// the particle arrays for NaN/negative states. Step has no error
+	// return, so the first violation is latched and exposed through
+	// InvariantViolation rather than aborting mid-step. The nil
+	// default costs one branch per step and never changes any
+	// observable.
+	Obs *obs.Recorder
 }
 
 // Validate checks the configuration.
@@ -97,6 +107,9 @@ type Ensemble struct {
 	streams []*rng.Source // one deterministic stream per fixed chunk
 	drift   *parallel.Scratch[[]float64]
 	t       float64
+
+	step   int64 // completed steps, stamping probes and violations
+	invErr error // first latched invariant violation (Step has no error return)
 }
 
 // New creates an ensemble with the configured initial distribution.
@@ -188,7 +201,39 @@ func (e *Ensemble) Step() {
 		}
 	})
 	e.t += dt
+	e.step++
+	if rec := e.cfg.Obs; rec.Enabled() {
+		e.observe(rec)
+	}
 }
+
+// observe feeds the attached recorder after a completed step. Moments
+// is an O(N) pass, so it runs only when the probe series is due.
+func (e *Ensemble) observe(rec *obs.Recorder) {
+	if rec.ProbeDue("sde.meanq", e.t) {
+		m := e.Moments()
+		rec.Probe("sde.meanq", e.t, m.MeanQ)
+		rec.Probe("sde.meanlam", e.t, m.MeanLam)
+		rec.Probe("sde.varq", e.t, m.VarQ)
+	}
+	if !rec.Invariants() || e.invErr != nil {
+		return
+	}
+	// Reflection and clamping keep every particle in q ≥ 0, λ ≥ 0; a
+	// violation means a law produced NaN or the state was corrupted.
+	if err := rec.CheckNonNegative(e.step, e.t, "sde.q", e.q); err != nil {
+		e.invErr = err
+		return
+	}
+	if err := rec.CheckNonNegative(e.step, e.t, "sde.lambda", e.lam); err != nil {
+		e.invErr = err
+	}
+}
+
+// InvariantViolation returns the first invariant violation latched by
+// a stepped ensemble (nil when none, or when invariants are off).
+// Step has no error return, so callers poll this after Run.
+func (e *Ensemble) InvariantViolation() error { return e.invErr }
 
 // Run advances the ensemble until time t (inclusive of the final
 // partial step).

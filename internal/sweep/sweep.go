@@ -27,6 +27,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"fpcc/internal/obs"
 	"fpcc/internal/rng"
 )
 
@@ -106,6 +107,10 @@ type Config struct {
 	BaseSeed uint64
 	// Workers bounds the parallelism (0 means GOMAXPROCS).
 	Workers int
+	// Obs, when non-nil, records one "cell" span per evaluated cell,
+	// attributed to the worker that ran it. It never affects results
+	// — only the trace.
+	Obs *obs.Recorder
 }
 
 // CellError reports the lowest-indexed failing cell of a sweep.
@@ -129,6 +134,18 @@ func (e *CellError) Unwrap() error { return e.Err }
 // *CellError is deterministic regardless of worker count or
 // scheduling.
 func Map[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
+	if fn == nil {
+		return nil, fmt.Errorf("sweep: nil function")
+	}
+	return MapWorker(n, workers, func(_, i int) (T, error) { return fn(i) })
+}
+
+// MapWorker is Map with the executing worker's 0-based index handed
+// to fn alongside the item index — the hook for worker-attributed
+// span timings (and for per-worker scratch). The worker index must
+// not influence any result: scheduling varies run to run, only the
+// item index is deterministic.
+func MapWorker[T any](n, workers int, fn func(worker, i int) (T, error)) ([]T, error) {
 	if n < 0 {
 		return nil, fmt.Errorf("sweep: negative item count %d", n)
 	}
@@ -148,19 +165,19 @@ func Map[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for !failed.Load() {
 				idx := int(next.Add(1)) - 1
 				if idx >= n {
 					return
 				}
-				results[idx], errs[idx] = fn(idx)
+				results[idx], errs[idx] = fn(w, idx)
 				if errs[idx] != nil {
 					failed.Store(true)
 				}
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	for idx, err := range errs {
@@ -182,7 +199,9 @@ func Run[T any](cfg Config, fn func(Cell) (T, error)) ([]T, error) {
 	if fn == nil {
 		return nil, fmt.Errorf("sweep: nil cell function")
 	}
-	return Map(cfg.Grid.Size(), cfg.Workers, func(idx int) (T, error) {
+	return MapWorker(cfg.Grid.Size(), cfg.Workers, func(w, idx int) (T, error) {
+		sp := cfg.Obs.WorkerSpan("cell", w)
+		defer sp.End()
 		return fn(Cell{
 			Index:  idx,
 			Values: cfg.Grid.Values(idx),
