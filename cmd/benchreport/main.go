@@ -12,8 +12,9 @@
 //	benchreport -workers 8 -format json  # parallel, machine output
 //	benchreport -workers 1 -inner-workers 8  # serial suite, parallel solver sweeps
 //	benchreport -bench-json bench.json   # also write per-experiment timings
-//	benchreport -workers 1 -baseline BENCH_2026-07-27.json  # diff timings (matching worker
-//	                                     # count); >25% regressions exit non-zero
+//	benchreport -workers 1 -baseline BENCH_2026-07-27.json  # diff timings (matching
+//	                                     # outer AND inner worker config);
+//	                                     # >25%+10ms regressions exit non-zero
 //	benchreport -list                    # list the registry
 package main
 
@@ -37,7 +38,7 @@ func main() {
 	only := flag.String("only", "", "run only the experiment with this exact id (e.g. E6)")
 	run := flag.String("run", "", "run experiments whose id, title or tag matches this regexp")
 	workers := flag.Int("workers", 0, "experiment worker count (0 = GOMAXPROCS)")
-	innerWorkers := flag.Int("inner-workers", 0, "intra-experiment worker bound for the heavy solver/ensemble experiments (0 = GOMAXPROCS); never changes results")
+	innerWorkers := flag.Int("inner-workers", 0, "force the per-experiment inner worker grant (0 = negotiate GOMAXPROCS across the outer pool); never changes results")
 	format := flag.String("format", "text", "output format: text, csv or json")
 	benchJSON := flag.String("bench-json", "", "write a machine-readable per-experiment timing report here")
 	baseline := flag.String("baseline", "", "diff current timings against this prior BENCH_*.json; >25% regressions exit non-zero")
@@ -176,6 +177,17 @@ func diffBaseline(path string, suite *experiments.Suite, workers int) (regressio
 	if base.Workers > 0 && base.Workers != workers {
 		return 0, fmt.Errorf("baseline %s was recorded at workers=%d but this run used workers=%d; rerun with -workers %d for a comparable diff",
 			path, base.Workers, workers, base.Workers)
+	}
+	// The inner grant shifts where time is spent inside the heavy
+	// experiments, so mismatched (outer, inner) splits are equally
+	// incommensurable. Only fpcc-bench/3 baselines record the grant;
+	// for older ones the split is unverifiable, so warn instead.
+	switch {
+	case base.InnerWorkers > 0 && base.InnerWorkers != suite.InnerGrant:
+		return 0, fmt.Errorf("baseline %s was recorded at inner_workers=%d but this run granted %d; rerun with -inner-workers %d (or match -workers) for a comparable diff",
+			path, base.InnerWorkers, suite.InnerGrant, base.InnerWorkers)
+	case base.InnerWorkers == 0:
+		fmt.Fprintf(os.Stderr, "note: baseline %s predates inner_workers (pre-%s); inner split not verified\n", path, experiments.BenchSchema)
 	}
 	baseSec := make(map[string]float64, len(base.Experiments))
 	for _, e := range base.Experiments {

@@ -205,13 +205,46 @@ type Sim struct {
 	events  eventq.Q[event]
 	seq     uint64
 	t       float64
-	queue   int   // packets in system
-	qOwner  []int // FIFO of source ids for queued packets
+	queue   int // packets in system
+	// qOwner[qHead:] is the FIFO of source ids for queued packets: an
+	// arena with a sliding head, so a departure is one index bump
+	// instead of a slice-re-slice that churns the backing array (see
+	// popOwner).
+	qOwner  []int
+	qHead   int
 	serving bool
 	rngSvc  *rng.Source
+	// batch is the reused burst buffer the event loop drains
+	// same-timestamp events into (eventq.PopBatch), so burst draining
+	// allocates nothing in steady state.
+	batch []event
+	// scalarLoop switches Run back to one-event-at-a-time Pop; it
+	// exists only so tests can pin the burst loop byte-identical to
+	// the scalar reference.
+	scalarLoop bool
 	// queue-length history for delayed observation
 	hist     QueueHistory
 	maxDelay float64
+}
+
+// ownerLen returns the FIFO owner count (the live arena window).
+func (s *Sim) ownerLen() int { return len(s.qOwner) - s.qHead }
+
+// popOwner removes and returns the head of the owner FIFO. The arena
+// compacts only when more than half the backing array is dead, so the
+// amortized cost is O(1) with no steady-state allocation.
+func (s *Sim) popOwner() int {
+	owner := s.qOwner[s.qHead]
+	s.qHead++
+	if s.qHead == len(s.qOwner) {
+		s.qOwner = s.qOwner[:0]
+		s.qHead = 0
+	} else if s.qHead > 64 && s.qHead > len(s.qOwner)/2 {
+		n := copy(s.qOwner, s.qOwner[s.qHead:])
+		s.qOwner = s.qOwner[:n]
+		s.qHead = 0
+	}
+	return owner
 }
 
 // New builds a simulator.
@@ -321,28 +354,67 @@ func (s *Sim) Run(horizon, warmup float64) (*Result, error) {
 	lastQChange := 0.0
 	var nEvents int64 // processed events, stamping probes and violations
 	for s.events.Len() > 0 {
-		e := s.events.Pop()
-		if e.t > horizon {
+		// Drain the whole same-timestamp burst at once (a single event
+		// in the common continuous-time case, the full synchronized
+		// burst when timestamps collide); the buffer is reused across
+		// iterations. Trace sampling and the time-weighted statistics
+		// advance once per burst: within a burst the clock is frozen,
+		// so the per-event versions of both are no-ops after the first
+		// event — the burst loop is byte-identical to the scalar one
+		// (pinned by TestBurstLoopMatchesScalar).
+		if s.scalarLoop {
+			s.batch = append(s.batch[:0], s.events.Pop())
+		} else {
+			s.batch = s.events.PopBatch(s.batch[:0])
+		}
+		bt := s.batch[0].t
+		if bt > horizon {
 			break
 		}
-		// Trace sampling between events (piecewise-constant queue).
+		// Trace sampling between bursts (piecewise-constant queue).
 		if s.cfg.SampleEvery > 0 {
-			for nextSample <= e.t {
+			for nextSample <= bt {
 				res.TraceT = append(res.TraceT, nextSample)
 				res.TraceQ = append(res.TraceQ, float64(s.queue))
 				nextSample += s.cfg.SampleEvery
 			}
 		}
 		// Time-weighted queue statistics after warmup.
-		if e.t > warmup {
+		if bt > warmup {
 			from := math.Max(lastQChange, warmup)
-			if w := e.t - from; w > 0 {
+			if w := bt - from; w > 0 {
 				res.QueueStats.Add(float64(s.queue), w)
 			}
-			lastQChange = e.t
+			lastQChange = bt
 		}
-		s.t = e.t
+		s.t = bt
 
+		if err := s.processBatch(res, warmup, &nEvents); err != nil {
+			return nil, err
+		}
+	}
+	if rec := s.cfg.Obs; rec.Enabled() {
+		var delivered, dropped int64
+		for i := range res.Delivered {
+			delivered += res.Delivered[i]
+			dropped += res.Dropped[i]
+		}
+		rec.Count("des.delivered", delivered)
+		rec.Count("des.dropped", dropped)
+		rec.Count("des.events", nEvents)
+	}
+	res.FinalT = math.Min(s.t, horizon)
+	window := horizon - warmup
+	for i := range res.Throughput {
+		res.Throughput[i] = float64(res.Delivered[i]) / window
+	}
+	return res, nil
+}
+
+// processBatch applies every event of the drained burst in (time,
+// sequence) order — exactly the order the scalar loop processed them.
+func (s *Sim) processBatch(res *Result, warmup float64, nEvents *int64) error {
+	for _, e := range s.batch {
 		switch e.kind {
 		case evArrival:
 			st := s.sources[e.src]
@@ -374,8 +446,7 @@ func (s *Sim) Run(horizon, warmup float64) (*Result, error) {
 			if s.queue == 0 {
 				break // defensive; should not happen
 			}
-			owner := s.qOwner[0]
-			s.qOwner = s.qOwner[1:]
+			owner := s.popOwner()
 			s.queue--
 			s.recordQueue()
 			if s.t > warmup {
@@ -431,39 +502,24 @@ func (s *Sim) Run(horizon, warmup float64) (*Result, error) {
 			s.push(event{t: s.t + st.cfg.Burst.Sojourn(st.modState, st.rng), kind: evModSwitch, src: e.src})
 			s.scheduleArrival(e.src)
 		}
-		nEvents++
+		*nEvents++
 		if rec := s.cfg.Obs; rec.Enabled() {
 			if rec.ProbeDue("des.q", s.t) {
 				rec.Probe("des.q", s.t, float64(s.queue))
 			}
 			if rec.Invariants() {
 				// Every arrival pushes one FIFO owner and every
-				// departure pops one, so the owner list and the
+				// departure pops one, so the owner arena and the
 				// queue counter must agree at every event.
-				if s.queue < 0 || len(s.qOwner) != s.queue {
-					return nil, rec.Violationf(nEvents, s.t, "des.queue",
-						"queue %d with %d FIFO owners", s.queue, len(s.qOwner))
+				if s.queue < 0 || s.ownerLen() != s.queue {
+					return rec.Violationf(*nEvents, s.t, "des.queue",
+						"queue %d with %d FIFO owners", s.queue, s.ownerLen())
 				}
-				if err := rec.CheckMonotoneTail(nEvents, "des.history", s.hist.TailTimes()); err != nil {
-					return nil, err
+				if err := rec.CheckMonotoneTail(*nEvents, "des.history", s.hist.TailTimes()); err != nil {
+					return err
 				}
 			}
 		}
 	}
-	if rec := s.cfg.Obs; rec.Enabled() {
-		var delivered, dropped int64
-		for i := range res.Delivered {
-			delivered += res.Delivered[i]
-			dropped += res.Dropped[i]
-		}
-		rec.Count("des.delivered", delivered)
-		rec.Count("des.dropped", dropped)
-		rec.Count("des.events", nEvents)
-	}
-	res.FinalT = math.Min(s.t, horizon)
-	window := horizon - warmup
-	for i := range res.Throughput {
-		res.Throughput[i] = float64(res.Delivered[i]) / window
-	}
-	return res, nil
+	return nil
 }

@@ -17,6 +17,15 @@ type Event interface {
 	Key() (t float64, seq uint64)
 }
 
+// seqBefore reports whether sequence number a was issued before b
+// under modular (wraparound-safe) comparison: a precedes b when the
+// forward distance from a to b is less than half the sequence space.
+// A simulator that issues sequence numbers from a wrapping counter
+// keeps FIFO tie-breaking as long as fewer than 2⁶³ events are in
+// flight at once — a plain a < b would instead jump every pre-wrap
+// event behind every post-wrap one.
+func seqBefore(a, b uint64) bool { return int64(a-b) < 0 }
+
 // Q is a binary min-heap of events ordered by (time, sequence).
 // The zero value is an empty queue ready for use.
 type Q[E Event] struct {
@@ -33,7 +42,7 @@ func (q *Q[E]) less(i, j int) bool {
 	if ti != tj {
 		return ti < tj
 	}
-	return si < sj
+	return seqBefore(si, sj)
 }
 
 // Push adds an event to the queue.
@@ -78,4 +87,40 @@ func (q *Q[E]) Pop() E {
 		i = child
 	}
 	return top
+}
+
+// NextTime returns the timestamp of the earliest queued event. It
+// panics on an empty queue (callers guard with Len, as with Pop).
+func (q *Q[E]) NextTime() float64 {
+	t, _ := q.es[0].Key()
+	return t
+}
+
+// PopBatch removes every event sharing the earliest queued timestamp
+// — a same-time burst — and appends them to dst in (time, sequence)
+// order, returning the extended slice. Passing dst[:0] reuses its
+// backing array, so a simulator's event loop can drain bursts without
+// per-event allocation. The appended order is exactly the order
+// repeated Pop calls would produce, so switching a loop from Pop to
+// PopBatch never reorders processing. An empty queue returns dst
+// unchanged.
+//
+// Events pushed while the caller processes the batch — including new
+// events at the very same timestamp — are not part of it: they pop in
+// a later batch, which again matches repeated Pop (their sequence
+// numbers order them after every drained event).
+func (q *Q[E]) PopBatch(dst []E) []E {
+	if len(q.es) == 0 {
+		return dst
+	}
+	t0, _ := q.es[0].Key()
+	for {
+		dst = append(dst, q.Pop())
+		if len(q.es) == 0 {
+			return dst
+		}
+		if t, _ := q.es[0].Key(); t != t0 {
+			return dst
+		}
+	}
 }

@@ -15,7 +15,8 @@ import (
 // scale variability changes. Burstiness β is the on/off peak factor;
 // the equivalent index of dispersion grows with β. The β grid runs on
 // the parallel sweep runner, one independent DES per cell.
-func E18BurstinessSweep(rc *Recorder) (*Table, error) {
+func E18BurstinessSweep(ctx *Ctx) (*Table, error) {
+	rc := ctx.Rec()
 	t := &Table{
 		ID:      "E18",
 		Caption: "AIMD under on/off bursts (2s cycle, mean factor 1): queue statistics vs burstiness",
@@ -36,8 +37,9 @@ func E18BurstinessSweep(rc *Recorder) (*Table, error) {
 		throughput, util, meanQ, stdQ float64
 	}
 	cells, err := sweep.Run(sweep.Config{
-		Grid: sweep.Grid{Dims: []sweep.Dim{{Name: "beta", Values: betas}}},
-		Obs:  rc,
+		Grid:    sweep.Grid{Dims: []sweep.Dim{{Name: "beta", Values: betas}}},
+		Workers: ctx.Inner(),
+		Obs:     rc,
 	}, func(c sweep.Cell) (cellOut, error) {
 		var mod traffic.Modulator
 		if beta := c.Values[0]; beta > 1 {

@@ -26,7 +26,7 @@ func refLaw() control.AIMD {
 // E1QuadrantDrifts regenerates Figure 2: the sign pattern of the
 // (dq/dt, dv/dt) drift field in the four quadrants around the
 // operating point, which forces clockwise rotation.
-func E1QuadrantDrifts(rc *Recorder) (*Table, error) {
+func E1QuadrantDrifts(ctx *Ctx) (*Table, error) {
 	t := &Table{
 		ID:      "E1",
 		Caption: "drift directions by quadrant (AIMD law, Figure 2)",
@@ -66,7 +66,7 @@ func E1QuadrantDrifts(rc *Recorder) (*Table, error) {
 // E2ConvergentSpiral regenerates Figure 3 / Theorem 1: the exact AIMD
 // trajectory spirals into (q̂, μ); successive Poincaré amplitudes
 // contract.
-func E2ConvergentSpiral(rc *Recorder) (*Table, error) {
+func E2ConvergentSpiral(ctx *Ctx) (*Table, error) {
 	t := &Table{
 		ID:      "E2",
 		Caption: "Poincaré amplitudes of the exact AIMD spiral (Theorem 1, Figure 3)",

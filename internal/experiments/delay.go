@@ -13,7 +13,7 @@ import (
 // induced limit-cycle amplitude and period of the queue (Section 7:
 // "a delay in the feedback information introduces cyclic behavior",
 // with amplitude growing with the delay and vanishing as τ → 0).
-func E6DelayOscillation(rc *Recorder) (*Table, error) {
+func E6DelayOscillation(ctx *Ctx) (*Table, error) {
 	t := &Table{
 		ID:      "E6",
 		Caption: "limit-cycle amplitude and period vs feedback delay τ (Section 7)",
@@ -72,7 +72,7 @@ func E6DelayOscillation(rc *Recorder) (*Table, error) {
 //     measurements refer to, and it produces strong unfairness against
 //     the longer connection, beyond the parameter-only C0/C1 share
 //     law of Section 6.
-func E7DelayUnfairness(rc *Recorder) (*Table, error) {
+func E7DelayUnfairness(ctx *Ctx) (*Table, error) {
 	t := &Table{
 		ID:      "E7",
 		Caption: "unfairness vs connection length (Section 7): pure delay vs full RTT coupling",
@@ -138,7 +138,7 @@ func E7DelayUnfairness(rc *Recorder) (*Table, error) {
 // delay: the paper attributes AIMD oscillation to delay alone, while
 // linear-increase/linear-decrease oscillates because of the algorithm
 // itself (neutrally stable closed orbits).
-func E8AlgorithmOscillation(rc *Recorder) (*Table, error) {
+func E8AlgorithmOscillation(ctx *Ctx) (*Table, error) {
 	t := &Table{
 		ID:      "E8",
 		Caption: "oscillation without delay: AIMD converges, AIAD cycles (Sections 1, 7)",

@@ -16,7 +16,7 @@ import (
 // the original window protocol (Equation 1) and its rate analogue
 // (Equation 2, via control.Window.RateEquivalent) through the packet
 // simulator and compare long-run throughput and queue behaviour.
-func E13WindowRateEquivalence(rc *Recorder) (*Table, error) {
+func E13WindowRateEquivalence(ctx *Ctx) (*Table, error) {
 	t := &Table{
 		ID:      "E13",
 		Caption: "Eq. 1 window protocol vs its Eq. 2 rate analogue (packet-level)",
@@ -76,13 +76,14 @@ func E13WindowRateEquivalence(rc *Recorder) (*Table, error) {
 // solver — first-order upwind advection with an optional second-order
 // MUSCL/minmod limiter: both schemes against the Monte-Carlo ground
 // truth at the same grid, plus their cost per step.
-func E14SchemeAblation(rc *Recorder) (*Table, error) {
+func E14SchemeAblation(ctx *Ctx) (*Table, error) {
 	t := &Table{
 		ID:      "E14",
 		Caption: "FP advection scheme ablation at t=15 (150x120 grid): first-order upwind vs MUSCL",
 		Columns: []string{"scheme", "E[Q]", "Var[Q]", "|E[Q]-MC|", "|Var[Q]-MC|"},
 	}
 	law := refLaw()
+	inner := ctx.Inner()
 	const sigma = 1.5
 	const q0, l0, stdQ, stdL = 5.0, 8.0, 1.5, 1.0
 	const horizon = 15.0
@@ -91,7 +92,7 @@ func E14SchemeAblation(rc *Recorder) (*Table, error) {
 		Law: law, Mu: refMu, Sigma: sigma,
 		Particles: 20000, Dt: 2e-3, Seed: 21,
 		Q0: q0, Lambda0: l0, InitStdQ: stdQ, InitStdL: stdL,
-		Workers: innerWorkers(),
+		Workers: inner,
 	})
 	if err != nil {
 		return nil, err
@@ -101,8 +102,11 @@ func E14SchemeAblation(rc *Recorder) (*Table, error) {
 
 	gaps := make([]float64, 0, 2)
 	for _, secondOrder := range []bool{false, true} {
-		cfg := e9Config(sigma)
+		cfg := e9Config(sigma, inner)
 		cfg.SecondOrder = secondOrder
+		// Only the first-order row is float32-eligible; the lane has
+		// no MUSCL kernels.
+		cfg.Float32 = !secondOrder && float32For("E14")
 		s, err := fokkerplanck.New(cfg)
 		if err != nil {
 			return nil, err
@@ -134,7 +138,7 @@ func E14SchemeAblation(rc *Recorder) (*Table, error) {
 // E15ReturnMapLaw tabulates the Poincaré return map and its quadratic
 // small-amplitude law a' = a − (2/3)a²/μ — the sharpened form of
 // Theorem 1 this reproduction derives (see EXPERIMENTS.md E2).
-func E15ReturnMapLaw(rc *Recorder) (*Table, error) {
+func E15ReturnMapLaw(ctx *Ctx) (*Table, error) {
 	t := &Table{
 		ID:      "E15",
 		Caption: "Poincaré return map of the AIMD spiral and its quadratic contraction law",

@@ -13,7 +13,8 @@ import (
 // queue-length trajectory of the packet-level system under adaptive
 // control, summarized by trace statistics (the full trace is available
 // through cmd/ccsim).
-func E3QueueTrace(rc *Recorder) (*Table, error) {
+func E3QueueTrace(ctx *Ctx) (*Table, error) {
+	rc := ctx.Rec()
 	t := &Table{
 		ID:      "E3",
 		Caption: "packet-level queue trace under AIMD control (Figure 1 analogue)",
@@ -62,7 +63,7 @@ func E3QueueTrace(rc *Recorder) (*Table, error) {
 // E4FairnessEqual verifies the Section 6 fairness result: sources
 // using identical parameters converge to equal shares, in both the
 // deterministic fluid system and the packet simulator.
-func E4FairnessEqual(rc *Recorder) (*Table, error) {
+func E4FairnessEqual(ctx *Ctx) (*Table, error) {
 	t := &Table{
 		ID:      "E4",
 		Caption: "equal-parameter sources share the bottleneck equally (Section 6)",
@@ -127,7 +128,7 @@ func fmtShares(x []float64) string {
 
 // E5FairnessHetero verifies Section 6's exact-share law: sources with
 // different (C0, C1) receive shares proportional to C0/C1.
-func E5FairnessHetero(rc *Recorder) (*Table, error) {
+func E5FairnessHetero(ctx *Ctx) (*Table, error) {
 	t := &Table{
 		ID:      "E5",
 		Caption: "heterogeneous-parameter shares vs the C0/C1 prediction (Section 6)",

@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"math"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestFloat32GoldenDelta is the measurement procedure behind the
+// float32Qualified decision table (precision.go): for each candidate
+// experiment it renders the table on the float64 kernels and on the
+// float32 lane and reports whether the goldens are byte-identical plus
+// the worst relative delta across every numeric CSV cell. It mutates
+// the decision table, so it is gated behind FPCC_MEASURE_F32=1 and
+// never runs in CI — the measured numbers live in EXPERIMENTS.md.
+func TestFloat32GoldenDelta(t *testing.T) {
+	if os.Getenv("FPCC_MEASURE_F32") == "" {
+		t.Skip("measurement procedure; set FPCC_MEASURE_F32=1 to run")
+	}
+	for _, id := range []string{"E9", "E10", "E12", "E14"} {
+		filter := regexp.MustCompile("^" + id + "$")
+		text64, csv64, _ := renderSuite(t, 1, filter)
+		float32Qualified[id] = true
+		text32, csv32, _ := renderSuite(t, 1, filter)
+		float32Qualified[id] = false
+		worst, cells, moved := csvWorstRelDelta(t, csv64, csv32)
+		t.Logf("%s: golden byte-identical=%v; %d/%d numeric cells moved, worst rel delta %.2e",
+			id, text64 == text32 && csv64 == csv32, moved, cells, worst)
+	}
+}
+
+// csvWorstRelDelta compares two CSV renderings cell-by-cell and
+// returns the worst relative delta over numeric cells, the numeric
+// cell count, and how many cells changed at all.
+func csvWorstRelDelta(t *testing.T, a, b string) (worst float64, cells, moved int) {
+	t.Helper()
+	la, lb := strings.Split(a, "\n"), strings.Split(b, "\n")
+	if len(la) != len(lb) {
+		t.Fatalf("CSV line counts differ: %d vs %d", len(la), len(lb))
+	}
+	for i := range la {
+		ca, cb := strings.Split(la[i], ","), strings.Split(lb[i], ",")
+		if len(ca) != len(cb) {
+			t.Fatalf("line %d: cell counts differ", i)
+		}
+		for j := range ca {
+			va, errA := strconv.ParseFloat(strings.TrimSpace(ca[j]), 64)
+			vb, errB := strconv.ParseFloat(strings.TrimSpace(cb[j]), 64)
+			if errA != nil || errB != nil {
+				continue
+			}
+			cells++
+			if ca[j] == cb[j] {
+				continue
+			}
+			moved++
+			den := math.Abs(va)
+			if den == 0 {
+				den = 1
+			}
+			if d := math.Abs(va-vb) / den; d > worst {
+				worst = d
+			}
+		}
+	}
+	return worst, cells, moved
+}

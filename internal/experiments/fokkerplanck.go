@@ -12,21 +12,22 @@ import (
 // e9Config returns the shared FP/SDE configuration for the validation
 // experiments. The solver's sweep pool is bounded by the suite's
 // inner-worker knob; results are worker-count independent.
-func e9Config(sigma float64) fokkerplanck.Config {
+func e9Config(sigma float64, inner int) fokkerplanck.Config {
 	return fokkerplanck.Config{
 		Law:   refLaw(),
 		Mu:    refMu,
 		Sigma: sigma,
 		QMax:  60, NQ: 150,
 		VMin: -12, VMax: 12, NV: 120,
-		Workers: innerWorkers(),
+		Workers: inner,
 	}
 }
 
 // E9FokkerPlanckVsMonteCarlo validates the Section 4 equation: the
 // PDE solution's moments and q-marginal must match a large SDE
 // particle ensemble of the same system through the transient.
-func E9FokkerPlanckVsMonteCarlo(rc *Recorder) (*Table, error) {
+func E9FokkerPlanckVsMonteCarlo(ctx *Ctx) (*Table, error) {
+	rc := ctx.Rec()
 	t := &Table{
 		ID:      "E9",
 		Caption: "Eq. 14 PDE vs Monte-Carlo ensemble: transient moments and density distance",
@@ -34,9 +35,11 @@ func E9FokkerPlanckVsMonteCarlo(rc *Recorder) (*Table, error) {
 	}
 	const sigma = 1.5
 	const q0, l0, stdQ, stdL = 5.0, 8.0, 1.5, 1.0
+	inner := ctx.Inner()
 	setup := rc.Span("setup")
-	cfg := e9Config(sigma)
+	cfg := e9Config(sigma, inner)
 	cfg.Obs = rc
+	cfg.Float32 = float32For("E9")
 	s, err := fokkerplanck.New(cfg)
 	if err != nil {
 		return nil, err
@@ -48,7 +51,7 @@ func E9FokkerPlanckVsMonteCarlo(rc *Recorder) (*Table, error) {
 		Law: cfg.Law, Mu: refMu, Sigma: sigma,
 		Particles: 40000, Dt: 2e-3, Seed: 99,
 		Q0: q0, Lambda0: l0, InitStdQ: stdQ, InitStdL: stdL,
-		Workers: innerWorkers(),
+		Workers: inner,
 		Obs:     rc,
 	})
 	if err != nil {
@@ -108,7 +111,8 @@ func E9FokkerPlanckVsMonteCarlo(rc *Recorder) (*Table, error) {
 // value overflows with probability exactly 0; the FP density keeps the
 // spread and reports a positive overflow probability near the
 // operating point.
-func E10VariabilityVsFluid(rc *Recorder) (*Table, error) {
+func E10VariabilityVsFluid(ctx *Ctx) (*Table, error) {
+	rc := ctx.Rec()
 	t := &Table{
 		ID:      "E10",
 		Caption: "buffer overflow P(Q > B) at steady state: fluid vs Fokker-Planck vs Monte-Carlo",
@@ -118,9 +122,11 @@ func E10VariabilityVsFluid(rc *Recorder) (*Table, error) {
 	// (cross-checked by E12's longer runs).
 	const sigma = 2.0
 	const horizon = 80.0
+	inner := ctx.Inner()
 	setup := rc.Span("setup")
-	cfg := e9Config(sigma)
+	cfg := e9Config(sigma, inner)
 	cfg.Obs = rc
+	cfg.Float32 = float32For("E10")
 	s, err := fokkerplanck.New(cfg)
 	if err != nil {
 		return nil, err
@@ -137,7 +143,7 @@ func E10VariabilityVsFluid(rc *Recorder) (*Table, error) {
 		Law: cfg.Law, Mu: refMu, Sigma: sigma,
 		Particles: 20000, Dt: 5e-3, Seed: 123,
 		Q0: 5, Lambda0: 8, InitStdQ: 1.5, InitStdL: 1,
-		Workers: innerWorkers(),
+		Workers: inner,
 		Obs:     rc,
 	})
 	if err != nil {

@@ -14,7 +14,7 @@ import (
 // gateway line of work that followed. The comparison shows how much
 // of the delayed-feedback oscillation is attributable to the raw,
 // synchronous congestion signal.
-func E20GatewayComparison(rc *Recorder) (*Table, error) {
+func E20GatewayComparison(ctx *Ctx) (*Table, error) {
 	t := &Table{
 		ID:      "E20",
 		Caption: "gateway feedback disciplines under feedback delay 0.5s (AIMD, μ=30, q̂=15)",

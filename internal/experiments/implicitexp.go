@@ -14,7 +14,7 @@ import (
 // Implicit feedback only fires *after* the buffer overflows, so it
 // must operate the queue near the top of the buffer and pay a loss
 // rate; explicit feedback can hold the queue at q̂ ≪ B with zero loss.
-func E25ImplicitVsExplicit(rc *Recorder) (*Table, error) {
+func E25ImplicitVsExplicit(ctx *Ctx) (*Table, error) {
 	t := &Table{
 		ID:      "E25",
 		Caption: "explicit vs implicit feedback at a 40-packet buffer (AIMD, μ=30, q̂=15, delay 0.1s)",

@@ -17,7 +17,7 @@ import (
 // requires. The test problem is the smoothed AIMD loop with C1 = 300
 // (a controller that backs off within milliseconds, as a window halving
 // per RTT at short RTTs effectively does).
-func E22IntegratorAblation(rc *Recorder) (*Table, error) {
+func E22IntegratorAblation(ctx *Ctx) (*Table, error) {
 	t := &Table{
 		ID:      "E22",
 		Caption: "stiff fluid loop (SmoothAIMD C1=300): integrator error at t=1.5 vs step size",

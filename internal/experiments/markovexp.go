@@ -16,7 +16,7 @@ import (
 // determinism (unlike E10). The CTMC's birth-death noise is matched in
 // the PDE by σ² = λ* + μ ≈ 2μ, the diffusion-approximation variance
 // of an M/M/1-like queue near its operating point.
-func E17FokkerPlanckVsMarkov(rc *Recorder) (*Table, error) {
+func E17FokkerPlanckVsMarkov(ctx *Ctx) (*Table, error) {
 	t := &Table{
 		ID:      "E17",
 		Caption: "FP (Eq. 14) vs exact CTMC on (Q, λ): transient queue moments and marginal L1 gap",

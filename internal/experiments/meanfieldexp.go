@@ -43,8 +43,9 @@ const (
 // the time-averaged rate distribution (marginal L1). The particle
 // cells run on the parallel sweep runner with deterministic per-cell
 // seeds.
-func E28MeanFieldConvergence(rc *Recorder) (*Table, error) {
-	return e28Table(rc, 0)
+func E28MeanFieldConvergence(ctx *Ctx) (*Table, error) {
+	rc := ctx.Rec()
+	return e28Table(rc, ctx.Inner())
 }
 
 // e28Table is E28 with an explicit worker bound for both the sweep
@@ -169,8 +170,9 @@ func e28Table(rc *Recorder, workers int) (*Table, error) {
 // class (the slow class probes more slowly, C0 ∝ 1/RTT, and observes
 // the queue later), swept over the mix fraction and the RTT ratio as
 // grid dimensions of the parallel sweep runner.
-func E29HeterogeneousRTTMix(rc *Recorder) (*Table, error) {
-	return e29Table(rc, 0)
+func E29HeterogeneousRTTMix(ctx *Ctx) (*Table, error) {
+	rc := ctx.Rec()
+	return e29Table(rc, ctx.Inner())
 }
 
 // e29Table is E29 with an explicit sweep worker bound (see e28Table).

@@ -23,7 +23,8 @@ import (
 //   - above τ* all sources ring *in phase* — the paper's
 //     "oscillations for every individual user" — while their pairwise
 //     spread (the fairness gap) stays damped.
-func E24MultiSourceDelay(rc *Recorder) (*Table, error) {
+func E24MultiSourceDelay(ctx *Ctx) (*Table, error) {
+	rc := ctx.Rec()
 	t := &Table{
 		ID:      "E24",
 		Caption: "n delayed sources, one queue: symmetric-mode Hopf analysis vs nonlinear DDE (τ test = 0.35 s)",
@@ -97,8 +98,9 @@ func E24MultiSourceDelay(rc *Recorder) (*Table, error) {
 		tauStar, omega, closed, diffRate, swing, spread float64
 	}
 	cells, err := sweep.Run(sweep.Config{
-		Grid: sweep.Grid{Dims: []sweep.Dim{{Name: "n", Values: ns}}},
-		Obs:  rc,
+		Grid:    sweep.Grid{Dims: []sweep.Dim{{Name: "n", Values: ns}}},
+		Workers: ctx.Inner(),
+		Obs:     rc,
 	}, func(c sweep.Cell) (cellOut, error) {
 		n := int(c.Values[0])
 		lin, err := stability.MultiSourceLinearize(law, mu, n, 0, 400)

@@ -31,8 +31,9 @@ import (
 // below threshold re-open its increase branch); in the kinetic limit
 // the multi-bottleneck observation bias alone starves a long path
 // completely.
-func E30ParkingLotLargeN(rc *Recorder) (*Table, error) {
-	return e30Table(rc, 0)
+func E30ParkingLotLargeN(ctx *Ctx) (*Table, error) {
+	rc := ctx.Rec()
+	return e30Table(rc, ctx.Inner())
 }
 
 // e30Table is E30 with an explicit sweep worker bound, so determinism
@@ -139,8 +140,9 @@ func e30Table(rc *Recorder, workers int) (*Table, error) {
 // throughput tracking the shrinking residual across the whole ramp
 // because its feedback sums the path backlog wherever the queue
 // stands.
-func E31BottleneckMigrationLargeN(rc *Recorder) (*Table, error) {
-	return e31Table(rc, 0)
+func E31BottleneckMigrationLargeN(ctx *Ctx) (*Table, error) {
+	rc := ctx.Rec()
+	return e31Table(rc, ctx.Inner())
 }
 
 // e31Table is E31 with an explicit sweep worker bound (see e30Table).

@@ -19,7 +19,7 @@ import (
 // off for congestion anywhere on its path) and pays a longer RTT (so
 // it probes more slowly), the same coupling E16 shows on the tandem
 // special case.
-func E26ParkingLotFairness(rc *Recorder) (*Table, error) {
+func E26ParkingLotFairness(ctx *Ctx) (*Table, error) {
 	t := &Table{
 		ID:      "E26",
 		Caption: "parking-lot topology: long flow vs per-hop cross flows (netsim, 3 bottlenecks)",
@@ -71,7 +71,7 @@ func E26ParkingLotFairness(rc *Recorder) (*Table, error) {
 // throughput tracks the shrinking residual. The feedback loop keeps
 // working across the migration because the flow observes its summed
 // path backlog, wherever the queue happens to stand.
-func E27BottleneckMigration(rc *Recorder) (*Table, error) {
+func E27BottleneckMigration(ctx *Ctx) (*Table, error) {
 	t := &Table{
 		ID:      "E27",
 		Caption: "cross-traffic bottleneck migration: two-hop chain, μ1=40, μ2=60 (netsim sweep)",

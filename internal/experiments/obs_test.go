@@ -167,7 +167,7 @@ func TestE3Trace(t *testing.T) {
 	var trace bytes.Buffer
 	sink := obs.NewJSONL(&trace)
 	rec := (&obs.Config{Sink: sink, Invariants: true}).Recorder("E3")
-	if _, err := E3QueueTrace(rec); err != nil {
+	if _, err := E3QueueTrace(NewCtx(rec, 1)); err != nil {
 		t.Fatal(err)
 	}
 	if err := rec.Flush(); err != nil {
@@ -206,7 +206,7 @@ func TestE30Trace(t *testing.T) {
 	var trace bytes.Buffer
 	sink := obs.NewJSONL(&trace)
 	rec := (&obs.Config{Sink: sink, Invariants: true}).Recorder("E30")
-	if _, err := E30ParkingLotLargeN(rec); err != nil {
+	if _, err := E30ParkingLotLargeN(NewCtx(rec, 1)); err != nil {
 		t.Fatal(err)
 	}
 	if err := rec.Flush(); err != nil {
@@ -275,7 +275,7 @@ func BenchmarkE9ObsOn(b *testing.B) {
 	oc := &obs.Config{Sink: sink, Invariants: true}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := E9FokkerPlanckVsMonteCarlo(oc.Recorder("E9")); err != nil {
+		if _, err := E9FokkerPlanckVsMonteCarlo(NewCtx(oc.Recorder("E9"), 1)); err != nil {
 			b.Fatal(err)
 		}
 	}

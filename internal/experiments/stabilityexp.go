@@ -17,7 +17,8 @@ import (
 // characteristic root and the simulated tail amplitude of the rate.
 // The τ/τ* grid runs on the parallel sweep runner, one DDE solve per
 // cell.
-func E19StabilityBoundary(rc *Recorder) (*Table, error) {
+func E19StabilityBoundary(ctx *Ctx) (*Table, error) {
+	rc := ctx.Rec()
 	t := &Table{
 		ID:      "E19",
 		Caption: "delayed-feedback stability boundary: analytic dominant root vs simulated amplitude",
@@ -69,8 +70,9 @@ func E19StabilityBoundary(rc *Recorder) (*Table, error) {
 		tau, reRoot, imRoot, swing float64
 	}
 	cells, err := sweep.Run(sweep.Config{
-		Grid: sweep.Grid{Dims: []sweep.Dim{{Name: "tau_frac", Values: fracs}}},
-		Obs:  rc,
+		Grid:    sweep.Grid{Dims: []sweep.Dim{{Name: "tau_frac", Values: fracs}}},
+		Workers: ctx.Inner(),
+		Obs:     rc,
 	}, func(c sweep.Cell) (cellOut, error) {
 		tau := c.Values[0] * tauStar
 		root, err := stability.DominantRoot(lin.A, lin.B, tau)

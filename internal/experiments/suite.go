@@ -46,9 +46,14 @@ type Report struct {
 	Phases     map[string]float64
 }
 
-// Suite holds the reports of a completed run in registry order.
+// Suite holds the reports of a completed run in registry order, plus
+// the inner-worker configuration the two-level scheduler used: the
+// base grant each experiment was offered before its Width cap (or the
+// SetInnerWorkers override, when set).
 type Suite struct {
-	Reports []Report
+	Reports     []Report
+	InnerGrant  int
+	InnerForced bool // true when SetInnerWorkers overrode negotiation
 }
 
 // Select returns the registry entries matched by filter (nil = all),
@@ -89,17 +94,28 @@ var ErrNoMatch = errors.New("no experiment matches the filter")
 // their reports in registry order. A failing experiment aborts the
 // suite; the reported error names the lowest-indexed failure
 // regardless of worker count.
+//
+// RunSuite is the outer level of the two-level scheduler: cfg.Workers
+// experiments run concurrently, and each receives an inner-worker
+// grant negotiated from the shared GOMAXPROCS budget (capped by the
+// experiment's declared Width), so outer × inner never oversubscribes
+// the machine. Every (outer, inner) split renders byte-identical
+// tables; only wall-clock time moves.
 func RunSuite(cfg SuiteConfig) (*Suite, error) {
 	selected := Select(cfg.Filter)
 	if len(selected) == 0 {
 		return nil, fmt.Errorf("experiments: %w", ErrNoMatch)
+	}
+	outer := cfg.Workers
+	if n := len(selected); outer > n {
+		outer = n
 	}
 	suiteRec := cfg.Obs.Recorder("suite")
 	reports, err := sweep.MapWorker(len(selected), cfg.Workers, func(w, i int) (Report, error) {
 		rec := cfg.Obs.Recorder(selected[i].ID)
 		sp := suiteRec.WorkerSpan("exp."+selected[i].ID, w)
 		start := time.Now()
-		tb, err := selected[i].Run(rec)
+		tb, err := selected[i].Run(NewCtx(rec, negotiateInner(outer, selected[i].Width)))
 		elapsed := time.Since(start)
 		sp.End()
 		if err != nil {
@@ -116,7 +132,11 @@ func RunSuite(cfg SuiteConfig) (*Suite, error) {
 	if ferr := suiteRec.Flush(); ferr != nil {
 		return nil, fmt.Errorf("experiments: flushing suite trace: %w", ferr)
 	}
-	return &Suite{Reports: reports}, nil
+	s := &Suite{Reports: reports, InnerGrant: negotiateInner(outer, 0)}
+	if forced := InnerWorkersOverride(); forced > 0 {
+		s.InnerGrant, s.InnerForced = forced, true
+	}
+	return s, nil
 }
 
 // Alarms returns every alarmed finding across the suite, prefixed
@@ -183,10 +203,12 @@ func (s *Suite) WriteJSON(w io.Writer) error {
 
 // BenchSchema versions the bench JSON artifact. "fpcc-bench/2" added
 // the schema field itself and the optional per-experiment phase
-// breakdowns; schema-less files are the v1 shape (still decodable —
-// the added fields are optional, so old BENCH_*.json baselines keep
-// working).
-const BenchSchema = "fpcc-bench/2"
+// breakdowns; "fpcc-bench/3" added inner_workers (the inner grant of
+// the two-level scheduler). Schema-less files are the v1 shape; v1/v2
+// baselines still decode — the added fields are optional — but a
+// pre-v3 baseline cannot be checked for inner-worker mismatch, so
+// benchreport only warns for those.
+const BenchSchema = "fpcc-bench/3"
 
 // BenchEntry is one experiment's timing in the machine-readable
 // benchmark report. Phases, present when the run was instrumented
@@ -204,17 +226,23 @@ type BenchEntry struct {
 // BenchReport is the machine-readable per-experiment timing report
 // seeding the BENCH_*.json perf trajectory.
 type BenchReport struct {
-	Schema       string       `json:"schema,omitempty"`
-	Workers      int          `json:"workers"`
+	Schema  string `json:"schema,omitempty"`
+	Workers int    `json:"workers"`
+	// InnerWorkers is the per-experiment inner grant of the two-level
+	// scheduler (before Width caps), or the SetInnerWorkers override.
+	// 0 in pre-v3 baselines, which predate the field.
+	InnerWorkers int          `json:"inner_workers,omitempty"`
 	TotalSeconds float64      `json:"total_seconds"`
 	Experiments  []BenchEntry `json:"experiments"`
 }
 
 // Bench summarizes the suite's timings. total is the wall-clock time
 // of the whole run (under parallelism it is less than the sum of the
-// per-experiment times); workers records the pool bound used.
+// per-experiment times); workers records the pool bound used, and the
+// suite's inner grant rides along so baseline diffs can refuse
+// mismatched worker configurations.
 func (s *Suite) Bench(workers int, total time.Duration) *BenchReport {
-	rep := &BenchReport{Schema: BenchSchema, Workers: workers, TotalSeconds: total.Seconds()}
+	rep := &BenchReport{Schema: BenchSchema, Workers: workers, InnerWorkers: s.InnerGrant, TotalSeconds: total.Seconds()}
 	for _, r := range s.Reports {
 		entry := BenchEntry{
 			ID:      r.Experiment.ID,

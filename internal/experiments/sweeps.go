@@ -15,7 +15,8 @@ import (
 // values should a and d take") the paper poses in Section 2. The 3×3
 // grid runs on the generic parallel sweep runner; cell order (C1
 // varying fastest) matches the original nested loop.
-func E11ParameterSweep(rc *Recorder) (*Table, error) {
+func E11ParameterSweep(ctx *Ctx) (*Table, error) {
+	rc := ctx.Rec()
 	t := &Table{
 		ID:      "E11",
 		Caption: "convergence time and overshoot vs (C0, C1), no delay (Theorem 1)",
@@ -30,7 +31,7 @@ func E11ParameterSweep(rc *Recorder) (*Table, error) {
 		{Name: "c0", Values: []float64{0.5, 2, 8}},
 		{Name: "c1", Values: []float64{0.2, 0.8, 3.2}},
 	}}
-	cells, err := sweep.Run(sweep.Config{Grid: grid, Obs: rc}, func(c sweep.Cell) (cellOut, error) {
+	cells, err := sweep.Run(sweep.Config{Grid: grid, Workers: ctx.Inner(), Obs: rc}, func(c sweep.Cell) (cellOut, error) {
 		law := control.AIMD{C0: c.Values[0], C1: c.Values[1], QHat: refQHat}
 		tr, err := characteristics.Trace(law, refMu, characteristics.Point{Q: 0, Lambda: 2}, 2000, 2e-3)
 		if err != nil {
@@ -82,7 +83,8 @@ func E11ParameterSweep(rc *Recorder) (*Table, error) {
 // σ² > 0 the operating point spreads into a stationary distribution
 // whose width grows with σ. We sweep σ on the parallel runner and
 // report the stationary queue spread around q̂.
-func E12DiffusionSpread(rc *Recorder) (*Table, error) {
+func E12DiffusionSpread(ctx *Ctx) (*Table, error) {
+	rc := ctx.Rec()
 	t := &Table{
 		ID:      "E12",
 		Caption: "stationary queue spread around q̂ vs noise amplitude σ (Section 5, σ²>0)",
@@ -93,14 +95,18 @@ func E12DiffusionSpread(rc *Recorder) (*Table, error) {
 		mean, std, tail float64
 	}
 	cells, err := sweep.Run(sweep.Config{
-		Grid: sweep.Grid{Dims: []sweep.Dim{{Name: "sigma", Values: sigmas}}},
-		Obs:  rc,
+		Grid:    sweep.Grid{Dims: []sweep.Dim{{Name: "sigma", Values: sigmas}}},
+		Workers: ctx.Inner(),
+		Obs:     rc,
 	}, func(c sweep.Cell) (cellOut, error) {
 		// Starting at the operating point itself, the stationary
 		// spread is established quickly; a coarser grid suffices for
 		// the monotonicity question.
-		cfg := e9Config(c.Values[0])
+		// Cells already run in parallel; each FP solve stays
+		// single-threaded so the sweep pool owns the whole grant.
+		cfg := e9Config(c.Values[0], 1)
 		cfg.NQ, cfg.NV = 100, 80
+		cfg.Float32 = float32For("E12")
 		s, err := fokkerplanck.New(cfg)
 		if err != nil {
 			return cellOut{}, err

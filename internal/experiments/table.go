@@ -196,14 +196,20 @@ func (t *Table) WriteCSV(w io.Writer) error {
 type Recorder = obs.Recorder
 
 // Experiment is one registry entry: stable id, human title, coarse
-// tags for selection, and the entry point. Run receives the
-// experiment's recorder (nil when observability is off) and must
-// produce byte-identical tables either way.
+// tags for selection, the entry point, and the parallel width the
+// experiment can exploit internally. Run receives the run context —
+// recorder plus negotiated inner-worker grant; nil is the
+// zero-overhead direct-invocation default — and must produce
+// byte-identical tables for any context. Width declares how many
+// inner workers the experiment can usefully employ (0 = none: the
+// experiment is single-threaded inside); the suite scheduler never
+// grants more than Width.
 type Experiment struct {
 	ID    string
 	Title string
 	Tags  []string
-	Run   func(rc *Recorder) (*Table, error)
+	Run   func(ctx *Ctx) (*Table, error)
+	Width int
 }
 
 // Runner is the registry entry's pre-registry name, kept as an alias.
@@ -215,36 +221,36 @@ type Runner = Experiment
 // the engines exercised and "sweep" for grid-shaped workloads.
 func All() []Experiment {
 	return []Experiment{
-		{"E1", "characteristic drift directions (Figure 2)", []string{"core", "characteristics"}, E1QuadrantDrifts},
-		{"E2", "convergent spiral and Theorem 1 (Figure 3)", []string{"core", "characteristics"}, E2ConvergentSpiral},
-		{"E3", "packet-level queue trace (Figure 1)", []string{"core", "des"}, E3QueueTrace},
-		{"E4", "equal-parameter fairness (Section 6)", []string{"core", "fairness", "fluid", "des"}, E4FairnessEqual},
-		{"E5", "heterogeneous-parameter shares (Section 6)", []string{"core", "fairness", "fluid"}, E5FairnessHetero},
-		{"E6", "delay-induced oscillation (Section 7)", []string{"core", "delay"}, E6DelayOscillation},
-		{"E7", "delay-induced unfairness (Section 7)", []string{"core", "delay", "fairness"}, E7DelayUnfairness},
-		{"E8", "algorithm-induced oscillation: AIAD vs AIMD", []string{"core", "delay"}, E8AlgorithmOscillation},
-		{"E9", "Fokker-Planck vs Monte-Carlo validation (Eq. 14)", []string{"core", "fokkerplanck", "sde"}, E9FokkerPlanckVsMonteCarlo},
-		{"E10", "variability: Fokker-Planck vs fluid approximation", []string{"core", "fokkerplanck", "fluid"}, E10VariabilityVsFluid},
-		{"E11", "convergence speed vs (C0, C1) (Theorem 1)", []string{"core", "characteristics", "sweep"}, E11ParameterSweep},
-		{"E12", "stationary spread vs sigma (Section 5 closing)", []string{"core", "fokkerplanck", "sweep"}, E12DiffusionSpread},
-		{"E13", "window protocol vs rate analogue (Eq. 1 vs Eq. 2)", []string{"core", "des"}, E13WindowRateEquivalence},
-		{"E14", "FP advection scheme ablation (upwind vs MUSCL)", []string{"core", "fokkerplanck", "ablation"}, E14SchemeAblation},
-		{"E15", "Poincaré return map and quadratic contraction law", []string{"core", "characteristics"}, E15ReturnMapLaw},
-		{"E16", "multi-hop tandem network: share vs hop count", []string{"extension", "des", "multihop"}, E16TandemHopCount},
-		{"E17", "Fokker-Planck vs exact Markov chain (Eq. 14 ground truth)", []string{"extension", "fokkerplanck", "markov"}, E17FokkerPlanckVsMarkov},
-		{"E18", "AIMD under bursty (on/off) traffic: variability sweep", []string{"extension", "des", "traffic", "sweep"}, E18BurstinessSweep},
-		{"E19", "delayed-feedback stability boundary (Hopf point)", []string{"extension", "dde", "stability", "sweep"}, E19StabilityBoundary},
-		{"E20", "gateway feedback disciplines: threshold vs DECbit vs RED", []string{"extension", "des", "gateway"}, E20GatewayComparison},
-		{"E21", "TCP-Tahoe share vs RTT ratio (Jacobson/Zhang unfairness)", []string{"extension", "des", "tahoe"}, E21TahoeRTTShare},
-		{"E22", "stiff-law integrator ablation: RK4 vs implicit", []string{"extension", "ode", "ablation"}, E22IntegratorAblation},
-		{"E23", "engineering the delay budget: AIMD vs PD damping", []string{"extension", "dde", "stability"}, E23DelayBudgetEngineering},
-		{"E24", "n delayed sources: shared-loop oscillation, invariant budget", []string{"extension", "dde", "stability", "sweep"}, E24MultiSourceDelay},
-		{"E25", "explicit queue feedback vs implicit loss feedback", []string{"extension", "des"}, E25ImplicitVsExplicit},
-		{"E26", "parking-lot topology fairness (netsim)", []string{"extension", "netsim", "multihop"}, E26ParkingLotFairness},
-		{"E27", "cross-traffic bottleneck migration (netsim sweep)", []string{"extension", "netsim", "sweep"}, E27BottleneckMigration},
-		{"E28", "mean-field convergence: particles vs density in N", []string{"extension", "meanfield", "sde", "sweep"}, E28MeanFieldConvergence},
-		{"E29", "heterogeneous RTT mix at N=10⁶ (mean-field sweep)", []string{"extension", "meanfield", "fairness", "sweep"}, E29HeterogeneousRTTMix},
-		{"E30", "parking-lot fairness in the large-N limit (netmf sweep)", []string{"extension", "netmf", "multihop", "fairness", "sweep"}, E30ParkingLotLargeN},
-		{"E31", "bottleneck migration under a class-mix ramp (netmf sweep)", []string{"extension", "netmf", "sweep"}, E31BottleneckMigrationLargeN},
+		{"E1", "characteristic drift directions (Figure 2)", []string{"core", "characteristics"}, E1QuadrantDrifts, 0},
+		{"E2", "convergent spiral and Theorem 1 (Figure 3)", []string{"core", "characteristics"}, E2ConvergentSpiral, 0},
+		{"E3", "packet-level queue trace (Figure 1)", []string{"core", "des"}, E3QueueTrace, 0},
+		{"E4", "equal-parameter fairness (Section 6)", []string{"core", "fairness", "fluid", "des"}, E4FairnessEqual, 0},
+		{"E5", "heterogeneous-parameter shares (Section 6)", []string{"core", "fairness", "fluid"}, E5FairnessHetero, 0},
+		{"E6", "delay-induced oscillation (Section 7)", []string{"core", "delay"}, E6DelayOscillation, 0},
+		{"E7", "delay-induced unfairness (Section 7)", []string{"core", "delay", "fairness"}, E7DelayUnfairness, 0},
+		{"E8", "algorithm-induced oscillation: AIAD vs AIMD", []string{"core", "delay"}, E8AlgorithmOscillation, 0},
+		{"E9", "Fokker-Planck vs Monte-Carlo validation (Eq. 14)", []string{"core", "fokkerplanck", "sde"}, E9FokkerPlanckVsMonteCarlo, 8},
+		{"E10", "variability: Fokker-Planck vs fluid approximation", []string{"core", "fokkerplanck", "fluid"}, E10VariabilityVsFluid, 8},
+		{"E11", "convergence speed vs (C0, C1) (Theorem 1)", []string{"core", "characteristics", "sweep"}, E11ParameterSweep, 9},
+		{"E12", "stationary spread vs sigma (Section 5 closing)", []string{"core", "fokkerplanck", "sweep"}, E12DiffusionSpread, 4},
+		{"E13", "window protocol vs rate analogue (Eq. 1 vs Eq. 2)", []string{"core", "des"}, E13WindowRateEquivalence, 0},
+		{"E14", "FP advection scheme ablation (upwind vs MUSCL)", []string{"core", "fokkerplanck", "ablation"}, E14SchemeAblation, 8},
+		{"E15", "Poincaré return map and quadratic contraction law", []string{"core", "characteristics"}, E15ReturnMapLaw, 0},
+		{"E16", "multi-hop tandem network: share vs hop count", []string{"extension", "des", "multihop"}, E16TandemHopCount, 0},
+		{"E17", "Fokker-Planck vs exact Markov chain (Eq. 14 ground truth)", []string{"extension", "fokkerplanck", "markov"}, E17FokkerPlanckVsMarkov, 0},
+		{"E18", "AIMD under bursty (on/off) traffic: variability sweep", []string{"extension", "des", "traffic", "sweep"}, E18BurstinessSweep, 4},
+		{"E19", "delayed-feedback stability boundary (Hopf point)", []string{"extension", "dde", "stability", "sweep"}, E19StabilityBoundary, 7},
+		{"E20", "gateway feedback disciplines: threshold vs DECbit vs RED", []string{"extension", "des", "gateway"}, E20GatewayComparison, 0},
+		{"E21", "TCP-Tahoe share vs RTT ratio (Jacobson/Zhang unfairness)", []string{"extension", "des", "tahoe"}, E21TahoeRTTShare, 0},
+		{"E22", "stiff-law integrator ablation: RK4 vs implicit", []string{"extension", "ode", "ablation"}, E22IntegratorAblation, 0},
+		{"E23", "engineering the delay budget: AIMD vs PD damping", []string{"extension", "dde", "stability"}, E23DelayBudgetEngineering, 0},
+		{"E24", "n delayed sources: shared-loop oscillation, invariant budget", []string{"extension", "dde", "stability", "sweep"}, E24MultiSourceDelay, 4},
+		{"E25", "explicit queue feedback vs implicit loss feedback", []string{"extension", "des"}, E25ImplicitVsExplicit, 0},
+		{"E26", "parking-lot topology fairness (netsim)", []string{"extension", "netsim", "multihop"}, E26ParkingLotFairness, 0},
+		{"E27", "cross-traffic bottleneck migration (netsim sweep)", []string{"extension", "netsim", "sweep"}, E27BottleneckMigration, 0},
+		{"E28", "mean-field convergence: particles vs density in N", []string{"extension", "meanfield", "sde", "sweep"}, E28MeanFieldConvergence, 8},
+		{"E29", "heterogeneous RTT mix at N=10⁶ (mean-field sweep)", []string{"extension", "meanfield", "fairness", "sweep"}, E29HeterogeneousRTTMix, 8},
+		{"E30", "parking-lot fairness in the large-N limit (netmf sweep)", []string{"extension", "netmf", "multihop", "fairness", "sweep"}, E30ParkingLotLargeN, 6},
+		{"E31", "bottleneck migration under a class-mix ramp (netmf sweep)", []string{"extension", "netmf", "sweep"}, E31BottleneckMigrationLargeN, 6},
 	}
 }

@@ -13,7 +13,7 @@ import (
 // bottleneck and the propagation-delay ratio is swept. The share
 // ratio should grow with the RTT ratio (between linear and quadratic
 // in it, per the classic TCP-friendliness analyses that followed).
-func E21TahoeRTTShare(rc *Recorder) (*Table, error) {
+func E21TahoeRTTShare(ctx *Ctx) (*Table, error) {
 	t := &Table{
 		ID:      "E21",
 		Caption: "TCP-Tahoe share of a drop-tail bottleneck vs RTT ratio (μ=100 pkt/s, buffer 25)",

@@ -14,7 +14,7 @@ import (
 // smaller number of hops." Flows with window-per-RTT probing (rate
 // gain C0 = a/RTT) cross 1..4 store-and-forward hops; all share one
 // bottleneck hop.
-func E16TandemHopCount(rc *Recorder) (*Table, error) {
+func E16TandemHopCount(ctx *Ctx) (*Table, error) {
 	t := &Table{
 		ID:      "E16",
 		Caption: "share of a common bottleneck vs path length (tandem network, Zhang/Jacobson observation)",

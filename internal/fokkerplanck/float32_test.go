@@ -1,0 +1,159 @@
+package fokkerplanck
+
+import (
+	"math"
+	"testing"
+)
+
+// float32TestConfig is the E9-shaped configuration the float32 lane is
+// qualified against: first-order upwind, q-diffusion only (the lane
+// rejects SecondOrder and SigmaV).
+func float32TestConfig(workers int) Config {
+	cfg := workersTestConfig(workers)
+	cfg.SigmaV = 0
+	cfg.Float32 = workers >= 0 // always; keeps the helper shape obvious
+	return cfg
+}
+
+func relErr(got, want float64) float64 {
+	if want == 0 {
+		return math.Abs(got)
+	}
+	return math.Abs(got-want) / math.Abs(want)
+}
+
+// TestFloat32Validate pins the lane's support boundary: single
+// precision is only offered where it is qualified (first-order upwind,
+// no v-diffusion); everything else must fail loudly at Validate rather
+// than silently run an untested kernel combination.
+func TestFloat32Validate(t *testing.T) {
+	cfg := float32TestConfig(1)
+	cfg.SecondOrder = true
+	if err := cfg.Validate(); err == nil {
+		t.Error("Float32+SecondOrder must be rejected")
+	}
+	cfg = float32TestConfig(1)
+	cfg.SigmaV = 0.4
+	if err := cfg.Validate(); err == nil {
+		t.Error("Float32+SigmaV must be rejected")
+	}
+	cfg = float32TestConfig(1)
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("first-order Float32 config rejected: %v", err)
+	}
+}
+
+// TestFloat32MatchesFloat64 is the lane's equivalence bar: after an
+// E9-scale horizon the float32 solver's observables (moments, mass
+// audits, tail probability, marginals) must agree with the float64
+// kernel to single-precision accuracy. The tolerances here — not byte
+// identity — are exactly why the suite experiments whose goldens
+// render more digits than 1e-5 stay on float64 (see EXPERIMENTS.md).
+func TestFloat32MatchesFloat64(t *testing.T) {
+	cfg64 := float32TestConfig(1)
+	cfg64.Float32 = false
+	cfg32 := float32TestConfig(1)
+
+	run := func(cfg Config) *Solver {
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.SetGaussian(5, 3, 1.5, 1); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Advance(3, 0); err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	s64, s32 := run(cfg64), run(cfg32)
+
+	m64, m32 := s64.Moments(), s32.Moments()
+	const tol = 2e-5
+	for _, c := range []struct {
+		name     string
+		w, g     float64
+		tolerate float64
+	}{
+		{"mass", m64.Mass, m32.Mass, tol},
+		{"meanQ", m64.MeanQ, m32.MeanQ, tol},
+		{"varQ", m64.VarQ, m32.VarQ, 1e-4},
+		{"meanV", m64.MeanV, m32.MeanV, 1e-4},
+		{"varV", m64.VarV, m32.VarV, 1e-4},
+		{"clipped", s64.ClippedMass(), s32.ClippedMass(), 1e-3},
+		{"outflow", s64.OutflowMass(), s32.OutflowMass(), 1e-3},
+		{"tail", s64.TailProb(20), s32.TailProb(20), 1e-3},
+	} {
+		if e := relErr(c.g, c.w); e > c.tolerate {
+			t.Errorf("%s: float32 %v vs float64 %v (rel err %.2e > %.0e)",
+				c.name, c.g, c.w, e, c.tolerate)
+		}
+	}
+
+	q64, q32 := s64.MarginalQ(), s32.MarginalQ()
+	var linf float64
+	for i := range q64 {
+		if d := math.Abs(q64[i] - q32[i]); d > linf {
+			linf = d
+		}
+	}
+	if linf > 1e-5 {
+		t.Errorf("MarginalQ L∞ gap %.2e > 1e-5", linf)
+	}
+}
+
+// TestFloat32Delayed covers the delayed-closure coupling: the history
+// and drift tables stay float64, fed by the f32 field's widened mean,
+// and the result must still track the float64 kernel.
+func TestFloat32Delayed(t *testing.T) {
+	cfg64 := float32TestConfig(1)
+	cfg64.Float32 = false
+	cfg64.DelayTau = 0.8
+	cfg32 := cfg64
+	cfg32.Float32 = true
+
+	run := func(cfg Config) Moments {
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.SetGaussian(5, 3, 1.5, 1); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Advance(4, 0); err != nil {
+			t.Fatal(err)
+		}
+		return s.Moments()
+	}
+	m64, m32 := run(cfg64), run(cfg32)
+	if e := relErr(m32.MeanQ, m64.MeanQ); e > 1e-4 {
+		t.Errorf("delayed meanQ: float32 %v vs float64 %v (rel err %.2e)", m32.MeanQ, m64.MeanQ, e)
+	}
+	if e := relErr(m32.Mass, m64.Mass); e > 1e-4 {
+		t.Errorf("delayed mass: float32 %v vs float64 %v (rel err %.2e)", m32.Mass, m64.Mass, e)
+	}
+}
+
+// TestFloat32BitIdenticalAcrossWorkers holds the float32 lane to the
+// same determinism bar as the float64 kernel: the raw single-precision
+// field must be bit-identical for any Workers setting — the fixed
+// block partition must not leak into the stored bits.
+func TestFloat32BitIdenticalAcrossWorkers(t *testing.T) {
+	run := func(workers int) ([]float64, float64, float64) {
+		return runWorkers(t, float32TestConfig(workers), 3)
+	}
+	f1, c1, o1 := run(1)
+	for _, workers := range []int{2, 3, 8} {
+		fw, cw, ow := run(workers)
+		if cw != c1 || ow != o1 {
+			t.Fatalf("workers=%d: audit diverged: clip %v vs %v, outflow %v vs %v",
+				workers, cw, c1, ow, o1)
+		}
+		for i := range f1 {
+			if fw[i] != f1[i] {
+				t.Fatalf("workers=%d: density[%d] = %v, workers=1 got %v", workers, i, fw[i], f1[i])
+			}
+		}
+	}
+}

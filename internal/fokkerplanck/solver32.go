@@ -1,0 +1,166 @@
+package fokkerplanck
+
+// This file is the float32 lane of the solver (Config.Float32): the
+// three first-order transport kernels rewritten over the float32
+// field. The algorithms are identical to their float64 twins in
+// solver.go — same sweep order, same ping-pong, same fixed block
+// partition (bit-identical for any Workers setting) — only the field
+// arithmetic is single-precision. Couplings that feed back into the
+// dynamics (the CFL bound, the delayed-closure history, the drift
+// tables, the audit accumulators) stay float64: the lane changes how
+// the density is stored and transported, not how the problem is
+// posed.
+
+import (
+	"fpcc/internal/parallel"
+)
+
+// qCourant32 fills s.cq32 with the per-row Courant numbers, each
+// computed in float64 and rounded once.
+func (s *Solver) qCourant32(dt float64) []float32 {
+	dq := s.g2d.X.Dx
+	for iv, v := range s.vc {
+		s.cq32[iv] = float32(v * dt / dq)
+	}
+	return s.cq32
+}
+
+// addQOutflow32 is addQOutflow over the float32 field: the flux is
+// what the float32 sweep actually removes (computed single-precision
+// per cell), accumulated into the float64 audit.
+func (s *Solver) addQOutflow32(src []float32, cq []float32) {
+	nq, nv := s.cfg.NQ, s.cfg.NV
+	last := src[(nq-1)*nv : nq*nv]
+	var flux float64
+	for iv, c := range cq {
+		if c > 0 {
+			flux += float64(c * last[iv])
+		}
+	}
+	s.outflow += flux * s.g2d.CellArea()
+}
+
+// advectQ32 is the float32 upwind sweep of f_t + v f_q = 0 (see
+// advectQ for the scheme and boundary conditions).
+func (s *Solver) advectQ32(dt float64) {
+	nq, nv := s.cfg.NQ, s.cfg.NV
+	cq := s.qCourant32(dt)
+	src, dst := s.f32, s.tmp32
+	s.addQOutflow32(src, cq)
+	parallel.For(nq, s.workers, func(loQ, hiQ int) {
+		for iq := loQ; iq < hiQ; iq++ {
+			cur := src[iq*nv : (iq+1)*nv]
+			out := dst[iq*nv : (iq+1)*nv]
+			var up, down []float32
+			if iq > 0 {
+				up = src[(iq-1)*nv : iq*nv]
+			}
+			if iq < nq-1 {
+				down = src[(iq+1)*nv : (iq+2)*nv]
+			}
+			for iv, c := range cq {
+				switch {
+				case c > 0:
+					var fluxIn float32
+					if up != nil {
+						fluxIn = c * up[iv]
+					}
+					out[iv] = cur[iv] + fluxIn - c*cur[iv]
+				case c < 0:
+					ac := -c
+					var fluxIn, fluxOut float32
+					if up != nil {
+						fluxOut = ac * cur[iv]
+					}
+					if down != nil {
+						fluxIn = ac * down[iv]
+					}
+					out[iv] = cur[iv] + fluxIn - fluxOut
+				default:
+					out[iv] = cur[iv]
+				}
+			}
+		}
+	})
+	s.f32, s.tmp32 = dst, src
+}
+
+// advectV32 is the float32 conservative upwind sweep of
+// f_t + (g f)_v = 0. The cached edge drifts stay float64; each edge
+// coefficient g·dt/Δv is rounded once per (row, edge).
+func (s *Solver) advectV32(dt float64) {
+	nq, nv := s.cfg.NQ, s.cfg.NV
+	dv := s.g2d.Y.Dx
+	cdt := dt / dv
+	src, dst := s.f32, s.tmp32
+	parallel.For(nq, s.workers, func(loQ, hiQ int) {
+		for iq := loQ; iq < hiQ; iq++ {
+			cur := src[iq*nv : (iq+1)*nv]
+			out := dst[iq*nv : (iq+1)*nv]
+			drift := s.vEdgeDrifts(iq)
+			prev := float32(0)
+			for iv := 0; iv < nv; iv++ {
+				var next float32
+				if iv < nv-1 {
+					if a := drift[iv+1]; a > 0 {
+						next = float32(a*cdt) * cur[iv]
+					} else {
+						next = float32(a*cdt) * cur[iv+1]
+					}
+				}
+				out[iv] = cur[iv] + prev - next
+				prev = next
+			}
+		}
+	})
+	s.f32, s.tmp32 = dst, src
+}
+
+// diffuseQ32 is the float32 multi-RHS Crank-Nicolson solve of
+// f_t = (σ²/2) f_qq: the factorization is built in float64 and
+// rounded (linalg.CNFactor32), the streaming forward/back sweeps run
+// single-precision over whole v-rows exactly like diffuseQ.
+func (s *Solver) diffuseQ32(dt float64) {
+	nq, nv := s.cfg.NQ, s.cfg.NV
+	dq := s.g2d.X.Dx
+	rr := 0.5 * s.cfg.Sigma * s.cfg.Sigma * dt / (2 * dq * dq) // θ=1/2 CN factor
+	s.qFac32.Ensure(rr, nq)
+	inv, cp := s.qFac32.Inv, s.qFac32.Cp
+	r := s.qFac32.R32()
+	f, dp := s.f32, s.tmp32
+	parallel.For(nv, s.workers, func(loV, hiV int) {
+		// Fused RHS build + forward elimination, top row down.
+		for iv := loV; iv < hiV; iv++ {
+			dp[iv] = (f[iv] + r*(f[nv+iv]-f[iv])) * inv[0]
+		}
+		for iq := 1; iq < nq; iq++ {
+			base := iq * nv
+			prevRow := dp[(iq-1)*nv:]
+			rowInv := inv[iq]
+			switch iq {
+			case nq - 1:
+				for iv := loV; iv < hiV; iv++ {
+					rhs := f[base+iv] + r*(f[base-nv+iv]-f[base+iv])
+					dp[base+iv] = (rhs + r*prevRow[iv]) * rowInv
+				}
+			default:
+				for iv := loV; iv < hiV; iv++ {
+					rhs := f[base+iv] + r*(f[base-nv+iv]-2*f[base+iv]+f[base+nv+iv])
+					dp[base+iv] = (rhs + r*prevRow[iv]) * rowInv
+				}
+			}
+		}
+		// Back substitution, bottom row up, into f.
+		base := (nq - 1) * nv
+		for iv := loV; iv < hiV; iv++ {
+			f[base+iv] = dp[base+iv]
+		}
+		for iq := nq - 2; iq >= 0; iq-- {
+			base := iq * nv
+			rowCp := cp[iq]
+			for iv := loV; iv < hiV; iv++ {
+				f[base+iv] = dp[base+iv] - rowCp*f[base+nv+iv]
+			}
+		}
+	})
+}

@@ -1,0 +1,73 @@
+package linalg
+
+// CNFactor32 is the float32 twin of CNFactor: the prefactored Thomas
+// decomposition of the zero-flux Crank-Nicolson left-hand side, with
+// bands stored single-precision for the float32 density lanes of the
+// Fokker-Planck and mean-field kernels. The factorization itself is
+// computed in float64 (it is done once and costs nothing) and rounded
+// to float32, so the bands carry the correctly-rounded values rather
+// than accumulated single-precision recurrence error; the per-step
+// sweeps then run entirely in float32. Diagonal dominance holds for
+// every r ≥ 0 exactly as in the float64 kernel.
+type CNFactor32 struct {
+	R   float64   // the factor the decomposition was built for
+	N   int       // system size
+	Cp  []float32 // Cp[i] = du[i]/den[i], the back-substitution band
+	Inv []float32 // Inv[i] = 1/den[i], the forward-sweep pivots
+	r32 float32   // r rounded once, used by the sweeps
+}
+
+// Ensure (re)builds the factorization for the given r and system size
+// n >= 2; a repeated call with the same parameters is free.
+func (f *CNFactor32) Ensure(r float64, n int) {
+	if f.N == n && f.R == r && f.Cp != nil {
+		return
+	}
+	if cap(f.Cp) < n {
+		f.Cp = make([]float32, n)
+		f.Inv = make([]float32, n)
+	}
+	f.Cp = f.Cp[:n]
+	f.Inv = f.Inv[:n]
+	f.R = r
+	f.N = n
+	f.r32 = float32(r)
+	inv := 1 / (1 + r)
+	cp := -r * inv
+	f.Inv[0] = float32(inv)
+	f.Cp[0] = float32(cp)
+	for i := 1; i < n; i++ {
+		dd := 1 + 2*r
+		if i == n-1 {
+			dd = 1 + r
+		}
+		den := dd + r*cp // dd − dl·cp with dl = −r
+		inv = 1 / den
+		cp = -r * inv
+		f.Inv[i] = float32(inv)
+		f.Cp[i] = float32(cp)
+	}
+}
+
+// R32 returns the step factor rounded to float32, for callers that
+// build right-hand sides themselves (the multi-RHS q-diffusion).
+func (f *CNFactor32) R32() float32 { return f.r32 }
+
+// Step advances x by one Crank-Nicolson diffusion step in place, all
+// arithmetic single-precision: RHS build fused with the forward
+// elimination into dp (len >= N), then back substitution into x.
+func (f *CNFactor32) Step(x, dp []float32) {
+	n, r := f.N, f.r32
+	inv, cp := f.Inv, f.Cp
+	dp[0] = (x[0] + r*(x[1]-x[0])) * inv[0]
+	for i := 1; i < n-1; i++ {
+		rhs := x[i] + r*(x[i-1]-2*x[i]+x[i+1])
+		dp[i] = (rhs + r*dp[i-1]) * inv[i]
+	}
+	rhs := x[n-1] + r*(x[n-2]-x[n-1])
+	dp[n-1] = (rhs + r*dp[n-2]) * inv[n-1]
+	x[n-1] = dp[n-1]
+	for i := n - 2; i >= 0; i-- {
+		x[i] = dp[i] - cp[i]*x[i+1]
+	}
+}

@@ -1,0 +1,35 @@
+package linalg
+
+// ClampNonNegative32 is ClampNonNegative for a float32 field: it
+// zeroes every negative element and returns the total (negative) mass
+// removed, accumulated in float64 so the audit quantity does not
+// itself lose precision.
+func ClampNonNegative32(x []float32) float64 {
+	var removed float64
+	for i, v := range x {
+		if v < 0 {
+			removed += float64(v)
+			x[i] = 0
+		}
+	}
+	return removed
+}
+
+// Widen copies a float32 field into a float64 one (dst and src must
+// have equal length) — the boundary conversion of the float32 density
+// lanes: storage and sweeps run single-precision, every reduction and
+// rendered observable runs on the widened copy.
+func Widen(dst []float64, src []float32) {
+	for i, v := range src {
+		dst[i] = float64(v)
+	}
+}
+
+// Narrow copies a float64 field into a float32 one (equal lengths) —
+// the inverse boundary conversion, used when an initial condition
+// computed in float64 seeds a float32 lane.
+func Narrow(dst []float32, src []float64) {
+	for i, v := range src {
+		dst[i] = float32(v)
+	}
+}

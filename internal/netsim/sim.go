@@ -43,8 +43,13 @@ type packetRef struct {
 
 // nodeState is the runtime state of one queue.
 type nodeState struct {
-	cfg     Node
-	queue   []packetRef // FIFO, head in service when serving
+	cfg Node
+	// queue[head:] is the FIFO of queued packets (head in service when
+	// serving): a per-node arena with a sliding head, so a departure
+	// is one index bump instead of a slice-re-slice that churns the
+	// backing array (see pop).
+	queue   []packetRef
+	head    int
 	serving bool
 	rng     *rng.Source
 	// Queue-length (and gateway-signal) history for delayed
@@ -53,6 +58,26 @@ type nodeState struct {
 	hist       des.QueueHistory
 	drops      int64   // post-warmup drop-tail losses at this node
 	lastChange float64 // when the queue last changed (for time-weighted stats)
+}
+
+// qLen returns the node's queue length (the live arena window).
+func (ns *nodeState) qLen() int { return len(ns.queue) - ns.head }
+
+// pop removes and returns the head packet. The arena compacts only
+// when more than half the backing array is dead, so the amortized cost
+// is O(1) with no steady-state allocation.
+func (ns *nodeState) pop() packetRef {
+	pkt := ns.queue[ns.head]
+	ns.head++
+	if ns.head == len(ns.queue) {
+		ns.queue = ns.queue[:0]
+		ns.head = 0
+	} else if ns.head > 64 && ns.head > len(ns.queue)/2 {
+		n := copy(ns.queue, ns.queue[ns.head:])
+		ns.queue = ns.queue[:n]
+		ns.head = 0
+	}
+	return pkt
 }
 
 // flowState is the runtime state of one sender.
@@ -110,6 +135,12 @@ type Sim struct {
 	seq     uint64
 	t       float64
 	maxLook float64
+	// batch is the reused burst buffer the event loop drains
+	// same-timestamp events into (eventq.PopBatch); scalarLoop
+	// switches Run back to one-event-at-a-time Pop so tests can pin
+	// the burst loop byte-identical to the scalar reference.
+	batch      []event
+	scalarLoop bool
 }
 
 // New builds a simulator.
@@ -169,9 +200,9 @@ func (s *Sim) recordNode(h int) {
 	ns := s.nodes[h]
 	var sig float64
 	if ns.cfg.Gateway != nil {
-		sig = ns.cfg.Gateway.Signal(s.t, len(ns.queue))
+		sig = ns.cfg.Gateway.Signal(s.t, ns.qLen())
 	}
-	ns.hist.Record(s.t, len(ns.queue), sig, s.t-s.maxLook-1)
+	ns.hist.Record(s.t, ns.qLen(), sig, s.t-s.maxLook-1)
 }
 
 // observePath returns the congestion value flow i's controller sees:
@@ -206,7 +237,7 @@ func (s *Sim) scheduleSend(i int) {
 // startService begins serving the head packet at node h if idle.
 func (s *Sim) startService(h int) {
 	ns := s.nodes[h]
-	if ns.serving || len(ns.queue) == 0 {
+	if ns.serving || ns.qLen() == 0 {
 		return
 	}
 	ns.serving = true
@@ -246,29 +277,64 @@ func (s *Sim) Run(horizon, warmup float64) (*Result, error) {
 		if now > warmup {
 			from := math.Max(ns.lastChange, warmup)
 			if w := now - from; w > 0 {
-				res.NodeQueue[h].Add(float64(len(ns.queue)), w)
+				res.NodeQueue[h].Add(float64(ns.qLen()), w)
 			}
 		}
 		ns.lastChange = now
 	}
 	nextSample := 0.0
 	for s.events.Len() > 0 {
-		e := s.events.Pop()
-		if e.t > horizon {
+		// Drain the whole same-timestamp burst at once into the reused
+		// buffer (eventq.PopBatch pops in exactly repeated-Pop order).
+		// Trace sampling advances once per burst: within a burst the
+		// clock is frozen, so the per-event version is a no-op after
+		// the first event — the burst loop is byte-identical to the
+		// scalar one (pinned by TestBurstLoopMatchesScalar).
+		if s.scalarLoop {
+			s.batch = append(s.batch[:0], s.events.Pop())
+		} else {
+			s.batch = s.events.PopBatch(s.batch[:0])
+		}
+		bt := s.batch[0].t
+		if bt > horizon {
 			break
 		}
-		// Trace sampling between events (piecewise-constant queues).
+		// Trace sampling between bursts (piecewise-constant queues).
 		if s.cfg.SampleEvery > 0 {
-			for nextSample <= e.t {
+			for nextSample <= bt {
 				res.TraceT = append(res.TraceT, nextSample)
 				for h, ns := range s.nodes {
-					res.TraceQ[h] = append(res.TraceQ[h], float64(len(ns.queue)))
+					res.TraceQ[h] = append(res.TraceQ[h], float64(ns.qLen()))
 				}
 				nextSample += s.cfg.SampleEvery
 			}
 		}
-		s.t = e.t
+		s.t = bt
 
+		s.processBatch(res, warmup, accrue)
+	}
+	res.FinalT = math.Min(s.t, horizon)
+	// Flush each node's final constant stretch up to the last
+	// processed event, matching the every-event accumulation of
+	// des.Engine (the [last event, horizon] tail is excluded there
+	// too).
+	for h := range s.nodes {
+		accrue(h, res.FinalT)
+	}
+	window := horizon - warmup
+	for i := range res.Throughput {
+		res.Throughput[i] = float64(res.Delivered[i]) / window
+	}
+	for h, ns := range s.nodes {
+		res.NodeDropped[h] = ns.drops
+	}
+	return res, nil
+}
+
+// processBatch applies every event of the drained burst in (time,
+// sequence) order — exactly the order the scalar loop processed them.
+func (s *Sim) processBatch(res *Result, warmup float64, accrue func(h int, now float64)) {
+	for _, e := range s.batch {
 		switch e.kind {
 		case evSend:
 			fs := s.flows[e.flow]
@@ -283,7 +349,7 @@ func (s *Sim) Run(horizon, warmup float64) (*Result, error) {
 
 		case evArrive:
 			ns := s.nodes[e.node]
-			if ns.cfg.Buffer > 0 && len(ns.queue) >= ns.cfg.Buffer {
+			if ns.cfg.Buffer > 0 && ns.qLen() >= ns.cfg.Buffer {
 				// Drop-tail loss at the finite buffer.
 				if e.t > warmup {
 					res.Dropped[e.flow]++
@@ -298,12 +364,11 @@ func (s *Sim) Run(horizon, warmup float64) (*Result, error) {
 
 		case evDepart:
 			ns := s.nodes[e.node]
-			if len(ns.queue) == 0 {
+			if ns.qLen() == 0 {
 				break // defensive; should not happen
 			}
 			accrue(e.node, s.t)
-			pkt := ns.queue[0]
-			ns.queue = ns.queue[1:]
+			pkt := ns.pop()
 			ns.serving = false
 			s.recordNode(e.node)
 			s.startService(e.node)
@@ -333,22 +398,6 @@ func (s *Sim) Run(horizon, warmup float64) (*Result, error) {
 			s.push(event{t: s.t + fs.interval, kind: evControl, flow: e.flow})
 		}
 	}
-	res.FinalT = math.Min(s.t, horizon)
-	// Flush each node's final constant stretch up to the last
-	// processed event, matching the every-event accumulation of
-	// des.Engine (the [last event, horizon] tail is excluded there
-	// too).
-	for h := range s.nodes {
-		accrue(h, res.FinalT)
-	}
-	window := horizon - warmup
-	for i := range res.Throughput {
-		res.Throughput[i] = float64(res.Delivered[i]) / window
-	}
-	for h, ns := range s.nodes {
-		res.NodeDropped[h] = ns.drops
-	}
-	return res, nil
 }
 
 // RTT returns the base (propagation-only) round-trip time of flow i.
