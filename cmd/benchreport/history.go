@@ -1,0 +1,226 @@
+package main
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"fpcc/internal/experiments"
+)
+
+// This file is `benchreport -history`: the committed BENCH_*.json
+// artifacts form the repo's perf trajectory, and -history renders it
+// as one table — experiments down, snapshots across — so a slow creep
+// that no single -baseline diff flags is visible at a glance. All
+// schema generations decode (fpcc-bench/1 files predate the schema
+// field itself; every later field is optional).
+
+// historySnapshot is one decoded BENCH_*.json.
+type historySnapshot struct {
+	Path   string
+	Label  string // file name without the BENCH_ prefix / .json suffix
+	Report experiments.BenchReport
+}
+
+// loadHistory reads every BENCH_*.json under dir, sorted by file name
+// (the date-stamped names order chronologically).
+func loadHistory(dir string) ([]historySnapshot, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return nil, fmt.Errorf("history: %w", err)
+	}
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("history: no BENCH_*.json files in %s", dir)
+	}
+	sort.Strings(paths)
+	snaps := make([]historySnapshot, 0, len(paths))
+	for _, p := range paths {
+		raw, err := os.ReadFile(p)
+		if err != nil {
+			return nil, fmt.Errorf("history: %w", err)
+		}
+		var rep experiments.BenchReport
+		if err := json.Unmarshal(raw, &rep); err != nil {
+			return nil, fmt.Errorf("history: %s does not decode as a BENCH_*.json timing report: %w", p, err)
+		}
+		if rep.Schema == "" {
+			rep.Schema = "fpcc-bench/1"
+		}
+		label := strings.TrimSuffix(strings.TrimPrefix(filepath.Base(p), "BENCH_"), ".json")
+		snaps = append(snaps, historySnapshot{Path: p, Label: label, Report: rep})
+	}
+	return snaps, nil
+}
+
+// historyIDs returns the union of experiment ids across snapshots in
+// natural order (E2 before E10; non-E ids sort lexicographically
+// after).
+func historyIDs(snaps []historySnapshot) []string {
+	seen := map[string]bool{}
+	var ids []string
+	for _, s := range snaps {
+		for _, e := range s.Report.Experiments {
+			if !seen[e.ID] {
+				seen[e.ID] = true
+				ids = append(ids, e.ID)
+			}
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return idLess(ids[i], ids[j]) })
+	return ids
+}
+
+// idLess orders registry ids naturally: E<number> ids by number,
+// anything else lexicographically after them.
+func idLess(a, b string) bool {
+	na, oka := idNum(a)
+	nb, okb := idNum(b)
+	switch {
+	case oka && okb:
+		if na != nb {
+			return na < nb
+		}
+		return a < b
+	case oka:
+		return true
+	case okb:
+		return false
+	default:
+		return a < b
+	}
+}
+
+func idNum(id string) (int, bool) {
+	if !strings.HasPrefix(id, "E") {
+		return 0, false
+	}
+	n, err := strconv.Atoi(id[1:])
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// renderHistory loads dir's snapshots and renders them in the
+// requested format: text (aligned matrix), csv (long form, one row
+// per snapshot × experiment) or json (the decoded reports keyed by
+// label).
+func renderHistory(w io.Writer, dir, format string) error {
+	snaps, err := loadHistory(dir)
+	if err != nil {
+		return err
+	}
+	switch format {
+	case "text":
+		return writeHistoryText(w, snaps)
+	case "csv":
+		return writeHistoryCSV(w, snaps)
+	case "json":
+		return writeHistoryJSON(w, snaps)
+	default:
+		return fmt.Errorf("unknown format %q (want text, csv or json)", format)
+	}
+}
+
+// writeHistoryText renders the trajectory matrix: one row per
+// experiment, one column per snapshot (seconds; "-" where the
+// snapshot lacks the experiment), with schema/worker config rows up
+// top so incommensurable columns are obvious.
+func writeHistoryText(w io.Writer, snaps []historySnapshot) error {
+	ids := historyIDs(snaps)
+	width := 14
+	for _, s := range snaps {
+		if len(s.Label) > width {
+			width = len(s.Label)
+		}
+	}
+	row := func(head string, cell func(historySnapshot) string) {
+		fmt.Fprintf(w, "%-8s", head)
+		for _, s := range snaps {
+			fmt.Fprintf(w, "  %*s", width, cell(s))
+		}
+		fmt.Fprintln(w)
+	}
+	row("", func(s historySnapshot) string { return s.Label })
+	row("schema", func(s historySnapshot) string { return strings.TrimPrefix(s.Report.Schema, "fpcc-bench/") })
+	row("workers", func(s historySnapshot) string {
+		if s.Report.InnerWorkers > 0 {
+			return fmt.Sprintf("%d×%d", s.Report.Workers, s.Report.InnerWorkers)
+		}
+		return strconv.Itoa(s.Report.Workers)
+	})
+	row("total", func(s historySnapshot) string { return fmt.Sprintf("%.3fs", s.Report.TotalSeconds) })
+	for _, id := range ids {
+		row(id, func(s historySnapshot) string {
+			for _, e := range s.Report.Experiments {
+				if e.ID == id {
+					return fmt.Sprintf("%.4fs", e.Seconds)
+				}
+			}
+			return "-"
+		})
+	}
+	return nil
+}
+
+// writeHistoryCSV renders the long form: one row per snapshot ×
+// experiment, carrying the v4 resource columns when present (empty
+// for older snapshots).
+func writeHistoryCSV(w io.Writer, snaps []historySnapshot) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"snapshot", "schema", "workers", "inner_workers", "id", "seconds", "cpu_seconds", "alloc_bytes", "num_gc"}); err != nil {
+		return err
+	}
+	ids := historyIDs(snaps)
+	for _, s := range snaps {
+		byID := map[string]experiments.BenchEntry{}
+		for _, e := range s.Report.Experiments {
+			byID[e.ID] = e
+		}
+		for _, id := range ids {
+			e, ok := byID[id]
+			if !ok {
+				continue
+			}
+			rec := []string{
+				s.Label, s.Report.Schema,
+				strconv.Itoa(s.Report.Workers), strconv.Itoa(s.Report.InnerWorkers),
+				id, strconv.FormatFloat(e.Seconds, 'g', -1, 64),
+				"", "", "",
+			}
+			if e.Resources != nil {
+				rec[6] = strconv.FormatFloat(e.Resources.CPUSeconds, 'g', -1, 64)
+				rec[7] = strconv.FormatUint(e.Resources.AllocBytes, 10)
+				rec[8] = strconv.FormatUint(uint64(e.Resources.NumGC), 10)
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// writeHistoryJSON dumps the decoded snapshots, labeled, in file
+// order.
+func writeHistoryJSON(w io.Writer, snaps []historySnapshot) error {
+	type entry struct {
+		Snapshot string                   `json:"snapshot"`
+		Path     string                   `json:"path"`
+		Report   *experiments.BenchReport `json:"report"`
+	}
+	out := make([]entry, len(snaps))
+	for i := range snaps {
+		out[i] = entry{Snapshot: snaps[i].Label, Path: snaps[i].Path, Report: &snaps[i].Report}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

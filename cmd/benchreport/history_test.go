@@ -1,0 +1,155 @@
+package main
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// writeHistoryFixtures drops one snapshot per schema generation into a
+// temp dir: v1 (schema-less), v3 and v4 — enough to exercise schema
+// defaulting, the id union, and the resource columns.
+func writeHistoryFixtures(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	files := map[string]string{
+		"BENCH_2025-01-01.json": `{"workers":4,"total_seconds":20,
+			"experiments":[{"id":"E2","title":"Two","seconds":1.5},
+			               {"id":"E10","title":"Ten","seconds":4}]}`,
+		"BENCH_2025-06-01-w8.json": `{"schema":"fpcc-bench/3","workers":8,
+			"inner_workers":2,"total_seconds":12,
+			"experiments":[{"id":"E2","title":"Two","seconds":1.2},
+			               {"id":"E30","title":"Thirty","seconds":5}]}`,
+		"BENCH_2025-12-01-w8.json": `{"schema":"fpcc-bench/4","workers":8,
+			"inner_workers":2,"total_seconds":11,
+			"experiments":[{"id":"E2","title":"Two","seconds":1.1,
+			                "resources":{"wall_seconds":1.1,"cpu_seconds":2.2,
+			                             "alloc_bytes":1048576,"num_gc":3}}]}`,
+	}
+	for name, body := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// TestLoadHistory pins chronological file order, label derivation and
+// the fpcc-bench/1 schema default for schema-less files.
+func TestLoadHistory(t *testing.T) {
+	snaps, err := loadHistory(writeHistoryFixtures(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) != 3 {
+		t.Fatalf("loaded %d snapshots, want 3", len(snaps))
+	}
+	if snaps[0].Label != "2025-01-01" || snaps[2].Label != "2025-12-01-w8" {
+		t.Errorf("snapshot order/labels wrong: %s .. %s", snaps[0].Label, snaps[2].Label)
+	}
+	if snaps[0].Report.Schema != "fpcc-bench/1" {
+		t.Errorf("schema-less file decoded as %q, want the fpcc-bench/1 default", snaps[0].Report.Schema)
+	}
+	if snaps[1].Report.InnerWorkers != 2 {
+		t.Errorf("v3 inner_workers = %d, want 2", snaps[1].Report.InnerWorkers)
+	}
+	if r := snaps[2].Report.Experiments[0].Resources; r == nil || r.CPUSeconds != 2.2 {
+		t.Errorf("v4 resources = %+v, want cpu 2.2", r)
+	}
+
+	if _, err := loadHistory(t.TempDir()); err == nil {
+		t.Error("empty dir must be an error, not an empty table")
+	}
+}
+
+// TestHistoryIDOrder pins the natural union order: E2 before E10
+// before E30, non-E ids after.
+func TestHistoryIDOrder(t *testing.T) {
+	snaps, err := loadHistory(writeHistoryFixtures(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := historyIDs(snaps), []string{"E2", "E10", "E30"}; !reflect.DeepEqual(got, want) {
+		t.Errorf("id union = %v, want %v", got, want)
+	}
+	if !idLess("E2", "E10") || idLess("E10", "E2") {
+		t.Error("idLess sorts E10 before E2 (lexicographic, not natural)")
+	}
+	if !idLess("E30", "bench") || idLess("zz", "E1") {
+		t.Error("non-E ids must sort after E<number> ids")
+	}
+}
+
+// TestRenderHistoryText checks the matrix: config rows up top, one row
+// per experiment, "-" where a snapshot lacks the experiment.
+func TestRenderHistoryText(t *testing.T) {
+	var buf bytes.Buffer
+	if err := renderHistory(&buf, writeHistoryFixtures(t), "text"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"schema", "workers", "8×2", "E2", "1.1000s", "E10", "E30"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text output missing %q:\n%s", want, out)
+		}
+	}
+	// E10 exists only in the first snapshot; later columns show "-".
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "E10") && !strings.Contains(line, "-") {
+			t.Errorf("E10 row has no gap marker for snapshots without it: %q", line)
+		}
+	}
+}
+
+// TestRenderHistoryCSV checks the long form: header, one row per
+// snapshot × experiment, resource columns filled only for v4.
+func TestRenderHistoryCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := renderHistory(&buf, writeHistoryFixtures(t), "csv"); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []string{"snapshot", "schema", "workers", "inner_workers", "id", "seconds", "cpu_seconds", "alloc_bytes", "num_gc"}; !reflect.DeepEqual(rows[0], want) {
+		t.Fatalf("header = %v, want %v", rows[0], want)
+	}
+	if len(rows) != 1+5 { // 2 + 2 + 1 experiment rows
+		t.Fatalf("%d data rows, want 5:\n%v", len(rows)-1, rows)
+	}
+	for _, r := range rows[1:] {
+		isV4 := r[1] == "fpcc-bench/4"
+		if filled := r[6] != ""; filled != isV4 {
+			t.Errorf("row %v: cpu_seconds filled=%v for schema %s", r, filled, r[1])
+		}
+	}
+}
+
+// TestRenderHistoryJSON checks the labeled dump decodes and carries
+// every snapshot in file order.
+func TestRenderHistoryJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := renderHistory(&buf, writeHistoryFixtures(t), "json"); err != nil {
+		t.Fatal(err)
+	}
+	var out []struct {
+		Snapshot string          `json:"snapshot"`
+		Report   json.RawMessage `json:"report"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 3 || out[0].Snapshot != "2025-01-01" {
+		t.Fatalf("json history = %+v, want 3 labeled snapshots in order", out)
+	}
+
+	if err := renderHistory(&buf, writeHistoryFixtures(t), "yaml"); err == nil {
+		t.Error("unknown format must error")
+	}
+}

@@ -31,7 +31,7 @@ import (
 	"time"
 
 	"fpcc/internal/experiments"
-	"fpcc/internal/obs"
+	"fpcc/internal/obs/obscli"
 )
 
 func main() {
@@ -43,10 +43,19 @@ func main() {
 	benchJSON := flag.String("bench-json", "", "write a machine-readable per-experiment timing report here")
 	baseline := flag.String("baseline", "", "diff current timings against this prior BENCH_*.json; >25% regressions exit non-zero")
 	list := flag.Bool("list", false, "list experiments and exit")
-	obsCLI := obs.BindFlags(flag.CommandLine)
+	history := flag.Bool("history", false, "read every BENCH_*.json in -history-dir and render the per-experiment perf trajectory (honors -format), then exit")
+	historyDir := flag.String("history-dir", ".", "directory scanned by -history for BENCH_*.json files")
+	obsCLI := obscli.Bind(flag.CommandLine)
 	flag.Parse()
 	if err := obsCLI.Setup(); err != nil {
 		fatal(err)
+	}
+
+	if *history {
+		if err := renderHistory(os.Stdout, *historyDir, *format); err != nil {
+			fatal(err)
+		}
+		return
 	}
 
 	if *list {
@@ -97,6 +106,10 @@ func main() {
 		if errors.Is(err, experiments.ErrNoMatch) {
 			err = fmt.Errorf("%w (use -list to see the registry)", err)
 		}
+		// A violation carries its flight-recorder context; dump it and
+		// close the obs layer so trace/manifest artifacts survive.
+		obsCLI.DumpViolation(err)
+		obsCLI.Close()
 		fatal(err)
 	}
 	total := time.Since(start)

@@ -127,7 +127,7 @@ func main() {
 	res, err := sim.Run(*horizon, *warmup)
 	runSpan.End()
 	if err != nil {
-		log.Fatal(err)
+		obsCLI.Fatal("ccsim", err)
 	}
 
 	var total float64

@@ -66,7 +66,7 @@ func main() {
 	fmt.Println("# t\tE[Q]\tStd[Q]\tE[lambda]\tStd[v]\tmass\tP(Q>qhat)")
 	for t := 0.0; t <= *horizon+1e-9; t += *every {
 		if err := solver.Advance(t, 0); err != nil {
-			log.Fatal(err)
+			obsCLI.Fatal("fpsolve", err)
 		}
 		m := solver.Moments()
 		fmt.Printf("%.3f\t%.4f\t%.4f\t%.4f\t%.4f\t%.6f\t%.4f\n",

@@ -120,7 +120,7 @@ func main() {
 	})
 	stepSpan.End()
 	if err != nil {
-		log.Fatalf("meanfield: %v", err)
+		obsCLI.Fatal("meanfield", err)
 	}
 	elapsed := time.Since(start)
 

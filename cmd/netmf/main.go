@@ -123,7 +123,7 @@ func main() {
 	})
 	stepSpan.End()
 	if err != nil {
-		log.Fatalf("netmf: %v", err)
+		obsCLI.Fatal("netmf", err)
 	}
 	elapsed := time.Since(start)
 

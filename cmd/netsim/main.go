@@ -196,7 +196,7 @@ func main() {
 			log.Fatal("-csv and -json apply to sweeps; add -sweep or drop them")
 		}
 		sp := rec.Span("run")
-		runSingle(*topology, base, *seed, *horizon, *warmup)
+		runSingle(obsCLI, *topology, base, *seed, *horizon, *warmup)
 		sp.End()
 		return
 	}
@@ -229,7 +229,7 @@ func main() {
 	})
 	sweepSpan.End()
 	if err != nil {
-		log.Fatal(err)
+		obsCLI.Fatal("netsim", err)
 	}
 	wrote := false
 	for _, out := range []struct {
@@ -264,7 +264,7 @@ func main() {
 }
 
 // runSingle executes one simulation and prints the report tables.
-func runSingle(topology string, p params, seed uint64, horizon, warmup float64) {
+func runSingle(obsCLI *fpcc.ObsCLI, topology string, p params, seed uint64, horizon, warmup float64) {
 	cfg, err := buildConfig(topology, p, seed)
 	if err != nil {
 		log.Fatal(err)
@@ -275,7 +275,7 @@ func runSingle(topology string, p params, seed uint64, horizon, warmup float64) 
 	}
 	res, err := sim.Run(horizon, warmup)
 	if err != nil {
-		log.Fatal(err)
+		obsCLI.Fatal("netsim", err)
 	}
 
 	fmt.Printf("%s: %d nodes, %d flows, horizon %.0fs (warmup %.0fs)\n",

@@ -54,7 +54,7 @@ func main() {
 			GridQ: 4, GridL: 4, Horizon: *horizon, Samples: *samples / 10,
 		})
 		if err != nil {
-			log.Fatal(err)
+			obsCLI.Fatal("phaseplot", err)
 		}
 		fmt.Println("# trajectory blocks separated by blank lines: t\tq\tlambda")
 		for _, traj := range p.Trajectories {
@@ -78,7 +78,7 @@ func main() {
 		}
 		sol, err := m.Solve(*horizon, 1e-3, stride)
 		if err != nil {
-			log.Fatal(err)
+			obsCLI.Fatal("phaseplot", err)
 		}
 		for i := 0; i < sol.Len(); i++ {
 			t, y := sol.At(i)
@@ -88,7 +88,7 @@ func main() {
 	}
 	path, err := fpcc.TraceExact(law, *mu, fpcc.Point{Q: *q0, Lambda: *l0}, *horizon, 500000)
 	if err != nil {
-		log.Fatal(err)
+		obsCLI.Fatal("phaseplot", err)
 	}
 	ts, pts := path.Sample(*samples)
 	for i, p := range pts {

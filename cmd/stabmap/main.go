@@ -23,7 +23,7 @@ import (
 	"strings"
 
 	"fpcc/internal/control"
-	"fpcc/internal/obs"
+	"fpcc/internal/obs/obscli"
 	"fpcc/internal/stability"
 )
 
@@ -49,7 +49,7 @@ func main() {
 	widthsArg := flag.String("widths", "0.5,1,2,4", "comma-separated signal smoothing widths")
 	musArg := flag.String("mus", "5,10,20", "comma-separated service rates")
 	tau := flag.Float64("tau", 0, "operating delay to classify (0 = skip)")
-	obsCLI := obs.BindFlags(flag.CommandLine)
+	obsCLI := obscli.Bind(flag.CommandLine)
 	flag.Parse()
 	if err := obsCLI.Setup(); err != nil {
 		log.Fatal(err)
@@ -94,18 +94,18 @@ func main() {
 			}
 			lin, err := stability.Linearize(law, mu, 0, qStar*4+10)
 			if err != nil {
-				log.Fatal(err)
+				obsCLI.Fatal("stabmap", err)
 			}
 			tauStar, omega, err := stability.CriticalDelay(lin.A, lin.B)
 			if err != nil {
-				log.Fatal(err)
+				obsCLI.Fatal("stabmap", err)
 			}
 			fmt.Fprintf(w, "%g\t%g\t%.4f\t%.5f\t%.5f\t%.5f\t%.5f",
 				width, mu, lin.QStar, lin.A, lin.B, tauStar, omega)
 			if *tau > 0 {
 				cls, _, err := stability.Classify(lin.A, lin.B, *tau, 1e-9)
 				if err != nil {
-					log.Fatal(err)
+					obsCLI.Fatal("stabmap", err)
 				}
 				fmt.Fprintf(w, "\t%s", cls)
 			}

@@ -62,6 +62,8 @@ import (
 	"fpcc/internal/netmf"
 	"fpcc/internal/netsim"
 	"fpcc/internal/obs"
+	"fpcc/internal/obs/chrometrace"
+	"fpcc/internal/obs/obscli"
 	"fpcc/internal/sde"
 	"fpcc/internal/stability"
 	"fpcc/internal/stats"
@@ -658,11 +660,27 @@ func NewObsJSONL(w io.Writer) *ObsJSONL { return obs.NewJSONL(w) }
 // units — the reference EXPERIMENTS.md documents.
 func ObsProbeCatalog() []obs.ProbeSeries { return obs.Catalog() }
 
+// ObsSummary is the point-in-time aggregate snapshot of a recorder
+// hierarchy: counters, gauges, probe series, log-bucketed histograms
+// and span totals, merged deterministically over the Child tree —
+// the JSON run manifest -obs-summary writes and fpcc-bench/4 embeds.
+type ObsSummary = obs.Summary
+
+// ObsResources are process resource deltas (wall/CPU time, allocs,
+// GC cycles) attached to summary nodes by the suite runner.
+type ObsResources = obs.Resources
+
 // ObsCLI holds the shared observability flags every command binds
-// (-trace, -trace-dt, -pprof, -obs-invariants).
-type ObsCLI = obs.CLI
+// (-trace, -trace-dt, -trace-chrome, -obs-listen, -obs-summary,
+// -flight-recorder, -pprof, -obs-invariants).
+type ObsCLI = obscli.CLI
 
 // BindObsFlags registers the observability flags on fs (pass
 // flag.CommandLine for the process flags). Call Setup after parsing,
-// hand Recorder(scope) to engine configs, and defer Close.
-func BindObsFlags(fs *flag.FlagSet) *ObsCLI { return obs.BindFlags(fs) }
+// hand Recorder(scope) to engine configs, call DumpViolation on the
+// run-error path, and defer Close.
+func BindObsFlags(fs *flag.FlagSet) *ObsCLI { return obscli.Bind(fs) }
+
+// WriteChromeTrace converts a JSONL event trace (the -trace output)
+// into Chrome trace_event JSON, loadable in Perfetto.
+func WriteChromeTrace(r io.Reader, w io.Writer) error { return chrometrace.Convert(r, w) }

@@ -36,24 +36,36 @@ type SuiteConfig struct {
 }
 
 // Report is one executed experiment: its registry entry, the table it
-// produced, the wall-clock time it took, and — when the run was
-// instrumented — the per-phase span totals (seconds by span name,
-// e.g. "setup", "step", "render") its recorder accumulated.
+// produced, the wall-clock time it took, its resource-annotated
+// summary manifest, and — when the run was instrumented — the
+// per-phase span totals (seconds by span name, e.g. "setup", "step",
+// "render") its recorder accumulated.
 type Report struct {
 	Experiment Experiment
 	Table      *Table
 	Elapsed    time.Duration
 	Phases     map[string]float64
+	// Summary is the experiment's obs.Summary node: the recorder
+	// hierarchy's aggregates merged deterministically (empty but for
+	// the scope on uninstrumented runs), annotated with the resource
+	// deltas harvested around the run — wall and CPU seconds, bytes
+	// allocated, mallocs, GC cycles. The process-wide counters
+	// attribute exactly at workers=1 and are upper bounds when other
+	// experiments run concurrently.
+	Summary *obs.Summary
 }
 
 // Suite holds the reports of a completed run in registry order, plus
 // the inner-worker configuration the two-level scheduler used: the
 // base grant each experiment was offered before its Width cap (or the
-// SetInnerWorkers override, when set).
+// SetInnerWorkers override, when set), and the run manifest root.
 type Suite struct {
 	Reports     []Report
 	InnerGrant  int
 	InnerForced bool // true when SetInnerWorkers overrode negotiation
+	// Resources are the whole-run process deltas (the per-experiment
+	// splits live on each Report.Summary).
+	Resources obs.Resources
 }
 
 // Select returns the registry entries matched by filter (nil = all),
@@ -111,12 +123,16 @@ func RunSuite(cfg SuiteConfig) (*Suite, error) {
 		outer = n
 	}
 	suiteRec := cfg.Obs.Recorder("suite")
+	runStart := obs.ReadResources()
 	reports, err := sweep.MapWorker(len(selected), cfg.Workers, func(w, i int) (Report, error) {
 		rec := cfg.Obs.Recorder(selected[i].ID)
 		sp := suiteRec.WorkerSpan("exp."+selected[i].ID, w)
+		before := obs.ReadResources()
 		start := time.Now()
 		tb, err := selected[i].Run(NewCtx(rec, negotiateInner(outer, selected[i].Width)))
 		elapsed := time.Since(start)
+		res := obs.ReadResources().Sub(before)
+		res.WallSeconds = elapsed.Seconds()
 		sp.End()
 		if err != nil {
 			return Report{}, fmt.Errorf("%s: %w", selected[i].ID, err)
@@ -124,7 +140,12 @@ func RunSuite(cfg SuiteConfig) (*Suite, error) {
 		if ferr := rec.Flush(); ferr != nil {
 			return Report{}, fmt.Errorf("%s: flushing trace: %w", selected[i].ID, ferr)
 		}
-		return Report{Experiment: selected[i], Table: tb, Elapsed: elapsed, Phases: rec.SpanSeconds()}, nil
+		sum := rec.Summary()
+		if sum == nil {
+			sum = &obs.Summary{Scope: selected[i].ID}
+		}
+		sum.Resources = &res
+		return Report{Experiment: selected[i], Table: tb, Elapsed: elapsed, Phases: rec.SpanSeconds(), Summary: sum}, nil
 	})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: suite %w", err)
@@ -132,7 +153,7 @@ func RunSuite(cfg SuiteConfig) (*Suite, error) {
 	if ferr := suiteRec.Flush(); ferr != nil {
 		return nil, fmt.Errorf("experiments: flushing suite trace: %w", ferr)
 	}
-	s := &Suite{Reports: reports, InnerGrant: negotiateInner(outer, 0)}
+	s := &Suite{Reports: reports, InnerGrant: negotiateInner(outer, 0), Resources: obs.ReadResources().Sub(runStart)}
 	if forced := InnerWorkersOverride(); forced > 0 {
 		s.InnerGrant, s.InnerForced = forced, true
 	}
@@ -204,23 +225,28 @@ func (s *Suite) WriteJSON(w io.Writer) error {
 // BenchSchema versions the bench JSON artifact. "fpcc-bench/2" added
 // the schema field itself and the optional per-experiment phase
 // breakdowns; "fpcc-bench/3" added inner_workers (the inner grant of
-// the two-level scheduler). Schema-less files are the v1 shape; v1/v2
-// baselines still decode — the added fields are optional — but a
-// pre-v3 baseline cannot be checked for inner-worker mismatch, so
+// the two-level scheduler); "fpcc-bench/4" added per-experiment
+// resources (wall/CPU seconds, allocator traffic, GC cycles) and the
+// run's obs.Summary manifest. Schema-less files are the v1 shape;
+// older baselines still decode — every added field is optional — but
+// a pre-v3 baseline cannot be checked for inner-worker mismatch, so
 // benchreport only warns for those.
-const BenchSchema = "fpcc-bench/3"
+const BenchSchema = "fpcc-bench/4"
 
 // BenchEntry is one experiment's timing in the machine-readable
 // benchmark report. Phases, present when the run was instrumented
 // (benchreport -trace / SuiteConfig.Obs), breaks Seconds down by span
 // name — setup/step/render for the instrumented heavy experiments —
 // so a regression names the phase it lives in, not just the
-// experiment.
+// experiment. Resources (v4) carries the run's process-counter
+// deltas: exact at workers=1, an upper bound when experiments ran
+// concurrently.
 type BenchEntry struct {
-	ID      string             `json:"id"`
-	Title   string             `json:"title"`
-	Seconds float64            `json:"seconds"`
-	Phases  map[string]float64 `json:"phases,omitempty"`
+	ID        string             `json:"id"`
+	Title     string             `json:"title"`
+	Seconds   float64            `json:"seconds"`
+	Phases    map[string]float64 `json:"phases,omitempty"`
+	Resources *obs.Resources     `json:"resources,omitempty"`
 }
 
 // BenchReport is the machine-readable per-experiment timing report
@@ -234,6 +260,11 @@ type BenchReport struct {
 	InnerWorkers int          `json:"inner_workers,omitempty"`
 	TotalSeconds float64      `json:"total_seconds"`
 	Experiments  []BenchEntry `json:"experiments"`
+	// Summary (v4) is the run manifest: a root node carrying the
+	// whole-run resource deltas with one child per experiment — each
+	// the experiment's recorder hierarchy merged deterministically,
+	// annotated with its own resource delta.
+	Summary *obs.Summary `json:"summary,omitempty"`
 }
 
 // Bench summarizes the suite's timings. total is the wall-clock time
@@ -243,6 +274,7 @@ type BenchReport struct {
 // mismatched worker configurations.
 func (s *Suite) Bench(workers int, total time.Duration) *BenchReport {
 	rep := &BenchReport{Schema: BenchSchema, Workers: workers, InnerWorkers: s.InnerGrant, TotalSeconds: total.Seconds()}
+	rep.Summary = s.Summary()
 	for _, r := range s.Reports {
 		entry := BenchEntry{
 			ID:      r.Experiment.ID,
@@ -252,9 +284,28 @@ func (s *Suite) Bench(workers int, total time.Duration) *BenchReport {
 		if len(r.Phases) > 0 {
 			entry.Phases = r.Phases
 		}
+		if r.Summary != nil {
+			entry.Resources = r.Summary.Resources
+		}
 		rep.Experiments = append(rep.Experiments, entry)
 	}
 	return rep
+}
+
+// Summary assembles the run manifest: a root node scoped "suite"
+// carrying the whole-run resource deltas, with one child per report
+// in registry order (the order the suite renders in, which reads
+// better in a manifest than the lexicographic child order recorder
+// trees use).
+func (s *Suite) Summary() *obs.Summary {
+	res := s.Resources
+	root := &obs.Summary{Scope: "suite", Resources: &res}
+	for _, r := range s.Reports {
+		if r.Summary != nil {
+			root.Children = append(root.Children, r.Summary)
+		}
+	}
+	return root
 }
 
 // WriteBenchJSON renders the timing report as indented JSON. Unlike

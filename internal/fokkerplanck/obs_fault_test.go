@@ -131,3 +131,98 @@ func TestInvariantsCleanRun(t *testing.T) {
 		}
 	}
 }
+
+// TestFlightRecorderDump pins the post-mortem path: with the flight
+// recorder on, the mass-corruption violation must carry the probe
+// events of the preceding clean step (sampled at an earlier
+// simulation time), and the sink must receive them as one contiguous
+// "flight" block immediately before the violation line.
+func TestFlightRecorderDump(t *testing.T) {
+	cfg := baseConfig()
+	var buf bytes.Buffer
+	sink := obs.NewJSONL(&buf)
+	rec := (&obs.Config{Sink: sink, Invariants: true, FlightRecorder: 64}).Recorder("fp")
+	cfg.Obs = rec
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetGaussian(5, -2, 1.5, 1); err != nil {
+		t.Fatal(err)
+	}
+	dt := s.MaxStableDt() / 2
+	if err := s.Step(dt); err != nil {
+		t.Fatalf("clean step rejected: %v", err)
+	}
+	for i := range s.f {
+		s.f[i] *= 1.02
+	}
+	err = s.Step(dt)
+	if err == nil {
+		t.Fatal("corrupted mass passed the invariant checker")
+	}
+	var v *obs.Violation
+	if !errors.As(err, &v) {
+		t.Fatalf("error %v is not a *obs.Violation", err)
+	}
+	if len(v.Recent) == 0 {
+		t.Fatal("violation carries no flight-recorder events")
+	}
+	sawEarlierProbe := false
+	for _, ev := range v.Recent {
+		if ev.T > v.T {
+			t.Errorf("flight event %s at t=%g is later than the violation (t=%g)", ev.Name, ev.T, v.T)
+		}
+		if ev.Kind == "probe" && ev.T < v.T {
+			sawEarlierProbe = true
+		}
+	}
+	if !sawEarlierProbe {
+		t.Error("flight dump has no probe sample from before the violating step")
+	}
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	assertFlightBlock(t, buf.Bytes(), len(v.Recent))
+}
+
+// assertFlightBlock scans a JSONL trace for the flight-recorder dump:
+// a "flight" header announcing n events, followed contiguously by n
+// "flight.*" lines, then the "violation" line.
+func assertFlightBlock(t *testing.T, trace []byte, n int) {
+	t.Helper()
+	sc := bufio.NewScanner(bytes.NewReader(trace))
+	var kinds []string
+	headerCount := int64(-1)
+	for sc.Scan() {
+		var e obs.Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("trace line does not decode: %v", err)
+		}
+		if e.Kind == "flight" {
+			headerCount = e.Count
+		}
+		kinds = append(kinds, e.Kind)
+	}
+	if headerCount != int64(n) {
+		t.Fatalf("flight header announces %d events, violation carried %d", headerCount, n)
+	}
+	for i, k := range kinds {
+		if k != "flight" {
+			continue
+		}
+		if i+n+1 > len(kinds)-1+1 {
+			t.Fatalf("flight header at line %d not followed by %d dump lines", i+1, n)
+		}
+		for j := i + 1; j <= i+n; j++ {
+			if len(kinds[j]) < 7 || kinds[j][:7] != "flight." {
+				t.Errorf("line %d inside the flight block has kind %q, want flight.*", j+1, kinds[j])
+			}
+		}
+		if kinds[i+n+1] != "violation" {
+			t.Errorf("line after the flight block has kind %q, want violation", kinds[i+n+1])
+		}
+		return
+	}
+	t.Fatal("no flight header in the trace")
+}

@@ -64,3 +64,43 @@ func TestEngineInvariantsCleanRun(t *testing.T) {
 		t.Fatalf("clean run recorded %d violations", n)
 	}
 }
+
+// TestFlightRecorderDump pins the post-mortem path at the network
+// layer: the NaN-queue violation must carry the preceding probe
+// samples (earlier simulation times) in Violation.Recent.
+func TestFlightRecorderDump(t *testing.T) {
+	cfg := oneNodeConfig(1000)
+	rec := (&obs.Config{Invariants: true, FlightRecorder: 64}).Recorder("netmf")
+	cfg.Obs = rec
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Step(); err != nil {
+		t.Fatalf("clean step rejected: %v", err)
+	}
+	e.q[0] = math.NaN()
+	err = e.Step()
+	if err == nil {
+		t.Fatal("NaN queue passed the invariant checker")
+	}
+	var v *obs.Violation
+	if !errors.As(err, &v) {
+		t.Fatalf("error %v is not a *obs.Violation", err)
+	}
+	if len(v.Recent) == 0 {
+		t.Fatal("violation carries no flight-recorder events (ring must fill with no sink attached too)")
+	}
+	sawEarlierProbe := false
+	for _, ev := range v.Recent {
+		if ev.T > v.T {
+			t.Errorf("flight event %s at t=%g is later than the violation (t=%g)", ev.Name, ev.T, v.T)
+		}
+		if ev.Kind == "probe" && ev.T < v.T {
+			sawEarlierProbe = true
+		}
+	}
+	if !sawEarlierProbe {
+		t.Error("flight dump has no probe sample from before the violating step")
+	}
+}

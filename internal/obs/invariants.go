@@ -17,22 +17,52 @@ type Violation struct {
 	T     float64
 	Field string
 	Msg   string
+	// Recent is the flight-recorder dump: the events (oldest first)
+	// the violating recorder emitted before the violation, captured
+	// when Config.FlightRecorder > 0. It rides on the error so a CLI
+	// can print the post-mortem context without the run having
+	// streamed a full trace.
+	Recent []Event
 }
 
 func (v *Violation) Error() string {
-	return fmt.Sprintf("obs: invariant violated at step %d (t=%g): %s: %s", v.Step, v.T, v.Field, v.Msg)
+	s := fmt.Sprintf("obs: invariant violated at step %d (t=%g): %s: %s", v.Step, v.T, v.Field, v.Msg)
+	if n := len(v.Recent); n > 0 {
+		s += fmt.Sprintf(" (flight recorder: %d preceding events attached)", n)
+	}
+	return s
 }
 
 // Violationf records an invariant violation against the named field
 // at the given step and simulation time, emits a "violation" event,
-// and returns it as an error.
+// and returns it as an error. With the flight recorder enabled, the
+// ring of recent events is attached to the Violation and dumped to
+// the sink as one contiguous block — a "flight" header followed by
+// the buffered events re-tagged "flight.<kind>" — immediately before
+// the violation event.
 func (r *Recorder) Violationf(step int64, t float64, field, format string, args ...any) error {
 	v := &Violation{Step: step, T: t, Field: field, Msg: fmt.Sprintf(format, args...)}
 	if r != nil {
 		v.Scope = r.scope
 		r.mu.Lock()
 		r.violations++
+		if r.cfg.FlightRecorder > 0 {
+			v.Recent = r.ringSnapshot()
+		}
 		r.mu.Unlock()
+		if len(v.Recent) > 0 {
+			batch := make([]Event, 0, len(v.Recent)+1)
+			batch = append(batch, Event{
+				Kind: "flight", Scope: r.scope, Name: field, Step: step, T: t,
+				Count: int64(len(v.Recent)),
+				Msg:   "flight-recorder dump: events preceding the violation below",
+			})
+			for _, ev := range v.Recent {
+				ev.Kind = "flight." + ev.Kind
+				batch = append(batch, ev)
+			}
+			r.cfg.Sink.EmitBatch(batch)
+		}
 		r.emit(Event{Kind: "violation", Name: field, Step: step, T: t, Msg: v.Msg})
 	}
 	return v

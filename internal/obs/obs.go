@@ -42,6 +42,7 @@ import (
 	"io"
 	"math"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 )
@@ -69,23 +70,121 @@ type Event struct {
 	// (0 = unattributed).
 	Worker int    `json:"worker,omitempty"`
 	Msg    string `json:"msg,omitempty"`
+	// Wall is the wall-clock emission time in seconds since process
+	// start, stamped by the JSONL sink. For "span" events it marks the
+	// span's END; the start is Wall − Value. The Chrome trace exporter
+	// (internal/obs/chrometrace) places spans on its timeline with it.
+	Wall float64 `json:"wall,omitempty"`
 }
+
+// eventAlias strips Event's methods so the marshallers below can
+// recurse into the plain struct encoding.
+type eventAlias Event
+
+// MarshalJSON encodes the event, spelling non-finite floats as
+// strings ("NaN", "+Inf", "-Inf"): JSON has no non-finite numbers,
+// and a poisoned probe sample is exactly the evidence a post-mortem
+// trace must not drop. Finite events (the overwhelmingly common case)
+// take the plain struct path, byte-identical to the default encoding.
+func (e Event) MarshalJSON() ([]byte, error) {
+	if isFinite(e.T) && isFinite(e.Value) && isFinite(e.Wall) {
+		return json.Marshal(eventAlias(e))
+	}
+	clean := e
+	clean.T, clean.Value, clean.Wall = 0, 0, 0
+	raw, err := json.Marshal(eventAlias(clean))
+	if err != nil {
+		return nil, err
+	}
+	var m map[string]any
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return nil, err
+	}
+	for _, f := range []struct {
+		key string
+		v   float64
+	}{{"t", e.T}, {"value", e.Value}, {"wall", e.Wall}} {
+		switch {
+		case !isFinite(f.v):
+			m[f.key] = fmt.Sprint(f.v)
+		case f.v != 0:
+			m[f.key] = f.v
+		}
+	}
+	return json.Marshal(m)
+}
+
+// UnmarshalJSON accepts both numeric and stringified non-finite
+// forms of the float fields.
+func (e *Event) UnmarshalJSON(data []byte) error {
+	var wire struct {
+		eventAlias
+		T     json.RawMessage `json:"t"`
+		Value json.RawMessage `json:"value"`
+		Wall  json.RawMessage `json:"wall"`
+	}
+	if err := json.Unmarshal(data, &wire); err != nil {
+		return err
+	}
+	*e = Event(wire.eventAlias)
+	var err error
+	if e.T, err = floatField(wire.T); err != nil {
+		return fmt.Errorf("obs: event field t: %w", err)
+	}
+	if e.Value, err = floatField(wire.Value); err != nil {
+		return fmt.Errorf("obs: event field value: %w", err)
+	}
+	if e.Wall, err = floatField(wire.Wall); err != nil {
+		return fmt.Errorf("obs: event field wall: %w", err)
+	}
+	return nil
+}
+
+// floatField decodes a float that may be spelled as a JSON string
+// ("NaN", "+Inf", "-Inf"). Absent fields decode to 0.
+func floatField(raw json.RawMessage) (float64, error) {
+	if len(raw) == 0 {
+		return 0, nil
+	}
+	var f float64
+	if err := json.Unmarshal(raw, &f); err == nil {
+		return f, nil
+	}
+	var s string
+	if err := json.Unmarshal(raw, &s); err != nil {
+		return 0, err
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+func isFinite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+// epoch anchors Event.Wall: seconds since process start.
+var epoch = time.Now()
+
+// sinceEpoch returns the current wall-clock offset for Event.Wall.
+func sinceEpoch() float64 { return time.Since(epoch).Seconds() }
 
 // JSONL is a concurrency-safe streaming sink writing one Event per
 // line. Create with NewJSONL, share it between any number of
 // Recorders, and Flush (or Close the underlying file) when done.
+//
+// Lines are serialized whole: every event is marshaled OUTSIDE the
+// write lock and appended to the stream in a single locked write, so
+// concurrent writers (per-experiment Child recorders under the
+// two-level scheduler all share one sink) can never tear a line, no
+// matter how event sizes relate to the internal buffer size. Emitted
+// events are stamped with Event.Wall (seconds since process start).
 type JSONL struct {
 	mu     sync.Mutex
 	bw     *bufio.Writer
-	enc    *json.Encoder
 	events int64
 	err    error
 }
 
 // NewJSONL wraps w in a buffered JSONL event sink.
 func NewJSONL(w io.Writer) *JSONL {
-	bw := bufio.NewWriterSize(w, 1<<16)
-	return &JSONL{bw: bw, enc: json.NewEncoder(bw)}
+	return &JSONL{bw: bufio.NewWriterSize(w, 1<<16)}
 }
 
 // Emit writes one event line. Safe on a nil sink (drops the event)
@@ -94,11 +193,59 @@ func (s *JSONL) Emit(ev Event) {
 	if s == nil {
 		return
 	}
+	if ev.Wall == 0 {
+		ev.Wall = sinceEpoch()
+	}
+	line, err := json.Marshal(ev)
 	s.mu.Lock()
-	if err := s.enc.Encode(ev); err != nil && s.err == nil {
-		s.err = err
+	if err != nil {
+		if s.err == nil {
+			s.err = err
+		}
+	} else {
+		line = append(line, '\n')
+		if _, werr := s.bw.Write(line); werr != nil && s.err == nil {
+			s.err = werr
+		}
 	}
 	s.events++
+	s.mu.Unlock()
+}
+
+// EmitBatch writes a sequence of event lines contiguously: the whole
+// batch is marshaled first and appended under one lock acquisition,
+// so no event from another writer can interleave inside it. The
+// flight recorder uses it to keep post-mortem dumps in one block of
+// the trace.
+func (s *JSONL) EmitBatch(evs []Event) {
+	if s == nil || len(evs) == 0 {
+		return
+	}
+	now := sinceEpoch()
+	var block []byte
+	var firstErr error
+	for _, ev := range evs {
+		if ev.Wall == 0 {
+			ev.Wall = now
+		}
+		line, err := json.Marshal(ev)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		block = append(block, line...)
+		block = append(block, '\n')
+	}
+	s.mu.Lock()
+	if firstErr != nil && s.err == nil {
+		s.err = firstErr
+	}
+	if _, werr := s.bw.Write(block); werr != nil && s.err == nil {
+		s.err = werr
+	}
+	s.events += int64(len(evs))
 	s.mu.Unlock()
 }
 
@@ -154,6 +301,20 @@ type Config struct {
 	// MassTol is the relative tolerance of the density mass-budget
 	// checks (0 = DefaultMassTol).
 	MassTol float64
+	// FlightRecorder, when positive, keeps a fixed-size ring buffer of
+	// the most recent events per recorder (probes, spans, violations —
+	// whether or not a sink is attached). When an invariant Violation
+	// fires, the ring is attached to the returned *Violation as Recent
+	// and dumped to the sink as one contiguous "flight.*" block, so a
+	// fault post-mortem does not require re-running with full tracing.
+	FlightRecorder int
+	// OnRecorder, when non-nil, observes every root recorder created
+	// from this config (Child recorders are reached through their
+	// parent's Summary tree). The obscli layer uses it to attach
+	// recorders created deep inside the suite runner to the live
+	// monitoring surface. Must be safe for concurrent calls: parallel
+	// suite workers create recorders concurrently.
+	OnRecorder func(*Recorder)
 }
 
 // Recorder returns a new recorder bound to this config under the
@@ -163,7 +324,11 @@ func (c *Config) Recorder(scope string) *Recorder {
 	if c == nil {
 		return nil
 	}
-	return &Recorder{cfg: *c, scope: scope}
+	r := &Recorder{cfg: *c, scope: scope}
+	if c.OnRecorder != nil {
+		c.OnRecorder(r)
+	}
+	return r
 }
 
 // spanKey identifies a span accumulator: name plus the 0-based worker
@@ -181,6 +346,60 @@ type spanStat struct {
 type histStat struct {
 	count         int64
 	sum, min, max float64
+	// buckets is the sparse log₂ histogram: buckets[e] counts samples
+	// v ∈ (2^(e−1), 2^e]; the upper bound exported to summaries and
+	// the Prometheus exposition is 2^e, so the buckets obey the
+	// "≤ le" convention. Non-positive samples land in bucketZero
+	// (bound 0).
+	buckets map[int]int64
+}
+
+// bucketZero keys the ≤ 0 histogram bucket; bucketMin/bucketMax clamp
+// the Frexp exponent so bucket bounds stay finite and the bucket set
+// bounded (2^-32 ≈ 2.3e-10 … 2^64 ≈ 1.8e19 covers every unit in the
+// probe catalog with saturating extreme buckets beyond).
+const (
+	bucketZero = -1 << 30
+	bucketMin  = -32
+	bucketMax  = 64
+)
+
+// histBucket maps a sample to its log₂ bucket key.
+func histBucket(v float64) int {
+	if !(v > 0) { // ≤ 0 and NaN
+		return bucketZero
+	}
+	frac, e := math.Frexp(v)
+	if frac == 0.5 {
+		// Exact powers of two belong to their own bound: buckets hold
+		// (2^(e−1), 2^e], matching the Prometheus "≤ le" convention.
+		e--
+	}
+	if e < bucketMin {
+		return bucketMin
+	}
+	if e > bucketMax {
+		return bucketMax
+	}
+	return e
+}
+
+// BucketBound returns the upper bound of the log₂ bucket keyed by e
+// (0 for the non-positive bucket).
+func BucketBound(e int) float64 {
+	if e == bucketZero {
+		return 0
+	}
+	return math.Ldexp(1, e)
+}
+
+// probeStat tracks one probe series: its sample count and last
+// (value, simulation-time) pair — the live reading the HTTP metrics
+// surface exports between flushes.
+type probeStat struct {
+	count int64
+	last  float64
+	lastT float64
 }
 
 // Recorder collects metrics for one scope (an experiment, a CLI run,
@@ -189,16 +408,22 @@ type histStat struct {
 // hot paths cheap by gating any feeding work behind Enabled,
 // Invariants, and ProbeDue.
 type Recorder struct {
-	cfg   Config
-	scope string
+	cfg    Config
+	scope  string
+	parent *Recorder
 
 	mu         sync.Mutex
 	counters   map[string]int64
 	gauges     map[string]float64
 	hists      map[string]*histStat
 	spans      map[spanKey]*spanStat
-	probeLast  map[string]float64
+	probes     map[string]*probeStat
 	violations int64
+	children   []*Recorder
+	// ring is the flight recorder (cfg.FlightRecorder > 0): a circular
+	// buffer of the ringN most recent events this recorder emitted.
+	ring      []Event
+	ringStart int
 }
 
 // Enabled reports whether the recorder is live. Engines use it to
@@ -226,19 +451,54 @@ func (r *Recorder) Scope() string {
 }
 
 // Child returns a recorder sharing this recorder's config (sink,
-// invariants, tolerances) under a nested scope — e.g. one per sweep
-// cell, so interleaved probe series from concurrent cells stay
-// distinguishable in the trace. A nil receiver returns nil.
+// invariants, tolerances, flight-recorder size) under a nested
+// scope — e.g. one per sweep cell, so interleaved probe series from
+// concurrent cells stay distinguishable in the trace. The child is
+// registered with its parent, so Summary sees the whole hierarchy
+// and merges it deterministically. A nil receiver returns nil.
 func (r *Recorder) Child(scope string) *Recorder {
 	if r == nil {
 		return nil
 	}
-	return &Recorder{cfg: r.cfg, scope: r.scope + "/" + scope}
+	c := &Recorder{cfg: r.cfg, scope: r.scope + "/" + scope, parent: r}
+	r.mu.Lock()
+	r.children = append(r.children, c)
+	r.mu.Unlock()
+	return c
 }
 
 func (r *Recorder) emit(ev Event) {
 	ev.Scope = r.scope
+	if r.cfg.FlightRecorder > 0 {
+		r.mu.Lock()
+		r.ringAdd(ev)
+		r.mu.Unlock()
+	}
 	r.cfg.Sink.Emit(ev)
+}
+
+// ringAdd appends ev to the flight-recorder ring, overwriting the
+// oldest entry once full. Callers hold r.mu.
+func (r *Recorder) ringAdd(ev Event) {
+	n := r.cfg.FlightRecorder
+	if len(r.ring) < n {
+		r.ring = append(r.ring, ev)
+		return
+	}
+	r.ring[r.ringStart] = ev
+	r.ringStart = (r.ringStart + 1) % n
+}
+
+// ringSnapshot copies the flight ring oldest-first. Callers hold r.mu.
+func (r *Recorder) ringSnapshot() []Event {
+	if len(r.ring) == 0 {
+		return nil
+	}
+	out := make([]Event, 0, len(r.ring))
+	for i := 0; i < len(r.ring); i++ {
+		out = append(out, r.ring[(r.ringStart+i)%len(r.ring)])
+	}
+	return out
 }
 
 // Count adds delta to the named counter.
@@ -279,13 +539,14 @@ func (r *Recorder) Observe(name string, v float64) {
 	}
 	h := r.hists[name]
 	if h == nil {
-		h = &histStat{min: math.Inf(1), max: math.Inf(-1)}
+		h = &histStat{min: math.Inf(1), max: math.Inf(-1), buckets: make(map[int]int64)}
 		r.hists[name] = h
 	}
 	h.count++
 	h.sum += v
 	h.min = math.Min(h.min, v)
 	h.max = math.Max(h.max, v)
+	h.buckets[histBucket(v)]++
 	r.mu.Unlock()
 }
 
@@ -300,8 +561,8 @@ func (r *Recorder) ProbeDue(name string, t float64) bool {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	last, ok := r.probeLast[name]
-	return !ok || t >= last+r.probeDt()
+	p, ok := r.probes[name]
+	return !ok || t >= p.lastT+r.probeDt()
 }
 
 func (r *Recorder) probeDt() float64 {
@@ -312,16 +573,23 @@ func (r *Recorder) probeDt() float64 {
 }
 
 // Probe records one sample of the named series at simulation time t,
-// updating the series' rate-limit clock and emitting a "probe" event.
+// updating the series' rate-limit clock and last value (the live
+// reading obshttp exports) and emitting a "probe" event.
 func (r *Recorder) Probe(name string, t, v float64) {
 	if r == nil {
 		return
 	}
 	r.mu.Lock()
-	if r.probeLast == nil {
-		r.probeLast = make(map[string]float64)
+	if r.probes == nil {
+		r.probes = make(map[string]*probeStat)
 	}
-	r.probeLast[name] = t
+	p := r.probes[name]
+	if p == nil {
+		p = &probeStat{}
+		r.probes[name] = p
+	}
+	p.count++
+	p.last, p.lastT = v, t
 	r.mu.Unlock()
 	r.emit(Event{Kind: "probe", Name: name, T: t, Value: v})
 }
@@ -374,7 +642,11 @@ func (s Span) End() {
 
 // SpanSeconds returns the total seconds accumulated per span name
 // (workers summed) — the per-phase breakdown benchreport embeds in
-// its JSON artifact. Nil and empty recorders return an empty map.
+// its JSON artifact. The per-worker totals are accumulated in sorted
+// (name, worker) order, NOT map-iteration order, so the float sums —
+// and with them the suite's Report.Phases — are identical across
+// runs given identical span durations. Nil and empty recorders
+// return an empty map.
 func (r *Recorder) SpanSeconds() map[string]float64 {
 	out := map[string]float64{}
 	if r == nil {
@@ -382,10 +654,26 @@ func (r *Recorder) SpanSeconds() map[string]float64 {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	for k, st := range r.spans {
-		out[k.name] += st.total.Seconds()
+	for _, k := range sortedSpanKeys(r.spans) {
+		out[k.name] += r.spans[k].total.Seconds()
 	}
 	return out
+}
+
+// sortedSpanKeys orders span accumulators by (name, worker) — the
+// deterministic iteration order for sums and summaries.
+func sortedSpanKeys(m map[spanKey]*spanStat) []spanKey {
+	ks := make([]spanKey, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Slice(ks, func(i, j int) bool {
+		if ks[i].name != ks[j].name {
+			return ks[i].name < ks[j].name
+		}
+		return ks[i].worker < ks[j].worker
+	})
+	return ks
 }
 
 // Violations returns the number of invariant violations recorded.
@@ -410,16 +698,7 @@ func (r *Recorder) Flush() error {
 	counters := sortedKeys(r.counters)
 	gauges := sortedKeys(r.gauges)
 	hists := sortedKeys(r.hists)
-	spanKeys := make([]spanKey, 0, len(r.spans))
-	for k := range r.spans {
-		spanKeys = append(spanKeys, k)
-	}
-	sort.Slice(spanKeys, func(i, j int) bool {
-		if spanKeys[i].name != spanKeys[j].name {
-			return spanKeys[i].name < spanKeys[j].name
-		}
-		return spanKeys[i].worker < spanKeys[j].worker
-	})
+	spanKeys := sortedSpanKeys(r.spans)
 	var evs []Event
 	for _, n := range counters {
 		evs = append(evs, Event{Kind: "counter", Name: n, Count: r.counters[n]})

@@ -1,0 +1,7 @@
+//go:build !unix
+
+package obs
+
+// processCPUSeconds is unavailable off unix; Resources.CPUSeconds
+// reads 0 there and the manifests simply omit CPU attribution.
+func processCPUSeconds() float64 { return 0 }

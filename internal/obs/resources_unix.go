@@ -1,0 +1,20 @@
+//go:build unix
+
+package obs
+
+import "syscall"
+
+// processCPUSeconds returns the process's cumulative user+system CPU
+// time via getrusage — the per-experiment CPU attribution the suite
+// runner's Resources deltas are built on.
+func processCPUSeconds() float64 {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	return tvSeconds(ru.Utime) + tvSeconds(ru.Stime)
+}
+
+func tvSeconds(tv syscall.Timeval) float64 {
+	return float64(tv.Sec) + float64(tv.Usec)/1e6
+}

@@ -1,0 +1,322 @@
+package obs
+
+import (
+	"runtime"
+	"sort"
+)
+
+// This file is the streaming-aggregates half of the package: every
+// Recorder's counters, gauges, probes, log-bucketed histograms and
+// span totals can be snapshotted at any moment — concurrently with
+// the engines feeding them — into a Summary, a JSON-stable run
+// manifest. Summaries form the same tree the Child hierarchy does,
+// children sorted by scope, and merge deterministically (Rollup), so
+// two snapshots of identical recorder state are byte-identical JSON.
+// The suite runner attaches per-experiment Resources (wall/CPU time,
+// allocs, GC) and embeds the tree in the bench artifact
+// (fpcc-bench/4); the obshttp /metrics endpoint exports rolled-up
+// live summaries as Prometheus text.
+
+// HistSummary is the snapshot of one log-bucketed histogram. Le[i]
+// is a bucket's upper bound (2^e; 0 for the non-positive bucket) and
+// Counts[i] the NON-cumulative count of samples in (Le[i]/2, Le[i]],
+// ascending and sparse — only touched buckets appear.
+type HistSummary struct {
+	Count  int64     `json:"count"`
+	Sum    float64   `json:"sum"`
+	Min    float64   `json:"min"`
+	Max    float64   `json:"max"`
+	Le     []float64 `json:"le,omitempty"`
+	Counts []int64   `json:"counts,omitempty"`
+}
+
+// SpanSummary is the snapshot of one span accumulator, workers
+// summed in deterministic (name, worker) order.
+type SpanSummary struct {
+	Count   int64   `json:"count"`
+	Seconds float64 `json:"seconds"`
+}
+
+// ProbeSummary is the snapshot of one probe series: how many samples
+// were taken and the last (value, simulation-time) pair.
+type ProbeSummary struct {
+	Count int64   `json:"count"`
+	Last  float64 `json:"last"`
+	LastT float64 `json:"last_t"`
+}
+
+// Resources are process resource deltas harvested around a region of
+// work: wall and CPU time, allocator traffic, and GC cycles. The
+// counters are process-wide, so under parallel outer workers a
+// per-experiment delta attributes concurrent experiments' traffic
+// too — exact at workers=1, an upper bound otherwise.
+type Resources struct {
+	WallSeconds float64 `json:"wall_seconds"`
+	CPUSeconds  float64 `json:"cpu_seconds"`
+	AllocBytes  uint64  `json:"alloc_bytes"`
+	Mallocs     uint64  `json:"mallocs"`
+	NumGC       uint32  `json:"num_gc"`
+}
+
+// ReadResources samples the process counters Resources is a delta
+// of. WallSeconds is seconds since process start; subtract two reads
+// (Sub) to attribute a region.
+func ReadResources() Resources {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return Resources{
+		WallSeconds: sinceEpoch(),
+		CPUSeconds:  processCPUSeconds(),
+		AllocBytes:  ms.TotalAlloc,
+		Mallocs:     ms.Mallocs,
+		NumGC:       ms.NumGC,
+	}
+}
+
+// Sub returns the delta r − start of two ReadResources samples.
+func (r Resources) Sub(start Resources) Resources {
+	return Resources{
+		WallSeconds: r.WallSeconds - start.WallSeconds,
+		CPUSeconds:  r.CPUSeconds - start.CPUSeconds,
+		AllocBytes:  r.AllocBytes - start.AllocBytes,
+		Mallocs:     r.Mallocs - start.Mallocs,
+		NumGC:       r.NumGC - start.NumGC,
+	}
+}
+
+// Add returns the sum of two resource deltas.
+func (r Resources) Add(o Resources) Resources {
+	return Resources{
+		WallSeconds: r.WallSeconds + o.WallSeconds,
+		CPUSeconds:  r.CPUSeconds + o.CPUSeconds,
+		AllocBytes:  r.AllocBytes + o.AllocBytes,
+		Mallocs:     r.Mallocs + o.Mallocs,
+		NumGC:       r.NumGC + o.NumGC,
+	}
+}
+
+// Summary is the point-in-time aggregate snapshot of one recorder
+// and, recursively, its children (sorted by scope). It marshals to
+// deterministic JSON — maps sort by key, bucket and child orders are
+// fixed — so identical recorder states produce identical manifests.
+type Summary struct {
+	Scope      string                  `json:"scope"`
+	Counters   map[string]int64        `json:"counters,omitempty"`
+	Gauges     map[string]float64      `json:"gauges,omitempty"`
+	Probes     map[string]ProbeSummary `json:"probes,omitempty"`
+	Hists      map[string]HistSummary  `json:"hists,omitempty"`
+	Spans      map[string]SpanSummary  `json:"spans,omitempty"`
+	Violations int64                   `json:"violations,omitempty"`
+	Resources  *Resources              `json:"resources,omitempty"`
+	Children   []*Summary              `json:"children,omitempty"`
+}
+
+// Summary snapshots the recorder and its Child hierarchy. It is safe
+// to call at any time, including while engines are feeding the
+// recorder from other goroutines (each node is captured atomically
+// under its own lock; the tree as a whole is a crossing snapshot).
+// A nil recorder returns nil.
+func (r *Recorder) Summary() *Summary {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	s := &Summary{Scope: r.scope, Violations: r.violations}
+	if len(r.counters) > 0 {
+		s.Counters = make(map[string]int64, len(r.counters))
+		for k, v := range r.counters {
+			s.Counters[k] = v
+		}
+	}
+	if len(r.gauges) > 0 {
+		s.Gauges = make(map[string]float64, len(r.gauges))
+		for k, v := range r.gauges {
+			s.Gauges[k] = v
+		}
+	}
+	if len(r.probes) > 0 {
+		s.Probes = make(map[string]ProbeSummary, len(r.probes))
+		for k, p := range r.probes {
+			s.Probes[k] = ProbeSummary{Count: p.count, Last: p.last, LastT: p.lastT}
+		}
+	}
+	if len(r.hists) > 0 {
+		s.Hists = make(map[string]HistSummary, len(r.hists))
+		for k, h := range r.hists {
+			s.Hists[k] = histSummaryLocked(h)
+		}
+	}
+	if len(r.spans) > 0 {
+		s.Spans = make(map[string]SpanSummary, len(r.spans))
+		for _, k := range sortedSpanKeys(r.spans) {
+			st := r.spans[k]
+			agg := s.Spans[k.name]
+			agg.Count += st.count
+			agg.Seconds += st.total.Seconds()
+			s.Spans[k.name] = agg
+		}
+	}
+	children := make([]*Recorder, len(r.children))
+	copy(children, r.children)
+	r.mu.Unlock()
+	for _, c := range children {
+		s.Children = append(s.Children, c.Summary())
+	}
+	sort.Slice(s.Children, func(i, j int) bool { return s.Children[i].Scope < s.Children[j].Scope })
+	return s
+}
+
+// histSummaryLocked converts a histStat (holder of r.mu) to its
+// summary: sparse buckets sorted by ascending bound.
+func histSummaryLocked(h *histStat) HistSummary {
+	hs := HistSummary{Count: h.count, Sum: h.sum, Min: h.min, Max: h.max}
+	if len(h.buckets) > 0 {
+		keys := make([]int, 0, len(h.buckets))
+		for e := range h.buckets {
+			keys = append(keys, e)
+		}
+		sort.Ints(keys)
+		for _, e := range keys {
+			hs.Le = append(hs.Le, BucketBound(e))
+			hs.Counts = append(hs.Counts, h.buckets[e])
+		}
+	}
+	return hs
+}
+
+// Rollup merges the summary and all its descendants into one flat
+// node (Children nil, the receiver's scope kept): counters, spans,
+// violations and histogram buckets sum; gauges and probes are merged
+// depth-first in sorted child order with a child's entry replacing
+// the running one (for probes only when its LastT is at least as
+// recent), so the result is a pure function of the tree. The obshttp
+// /metrics endpoint exports one rolled-up node per attached
+// recorder, keeping scrape cardinality independent of how many sweep
+// cells a run spawns.
+func (s *Summary) Rollup() *Summary {
+	if s == nil {
+		return nil
+	}
+	out := &Summary{Scope: s.Scope}
+	s.rollInto(out)
+	return out
+}
+
+func (s *Summary) rollInto(out *Summary) {
+	for k, v := range s.Counters {
+		if out.Counters == nil {
+			out.Counters = map[string]int64{}
+		}
+		out.Counters[k] += v
+	}
+	for k, v := range s.Gauges {
+		if out.Gauges == nil {
+			out.Gauges = map[string]float64{}
+		}
+		out.Gauges[k] = v
+	}
+	for k, p := range s.Probes {
+		if out.Probes == nil {
+			out.Probes = map[string]ProbeSummary{}
+		}
+		prev, ok := out.Probes[k]
+		if ok {
+			prev.Count += p.Count
+			if p.LastT >= prev.LastT {
+				prev.Last, prev.LastT = p.Last, p.LastT
+			}
+			out.Probes[k] = prev
+		} else {
+			out.Probes[k] = p
+		}
+	}
+	for k, h := range s.Hists {
+		if out.Hists == nil {
+			out.Hists = map[string]HistSummary{}
+		}
+		out.Hists[k] = mergeHist(out.Hists[k], h)
+	}
+	for k, sp := range s.Spans {
+		if out.Spans == nil {
+			out.Spans = map[string]SpanSummary{}
+		}
+		agg := out.Spans[k]
+		agg.Count += sp.Count
+		agg.Seconds += sp.Seconds
+		out.Spans[k] = agg
+	}
+	out.Violations += s.Violations
+	if s.Resources != nil {
+		sum := s.Resources.Add(deref(out.Resources))
+		out.Resources = &sum
+	}
+	for _, c := range s.Children {
+		c.rollInto(out)
+	}
+}
+
+func deref(r *Resources) Resources {
+	if r == nil {
+		return Resources{}
+	}
+	return *r
+}
+
+// mergeHist merges two histogram summaries (bucket-wise merge-join
+// on ascending bounds). The zero HistSummary is the identity.
+func mergeHist(a, b HistSummary) HistSummary {
+	if a.Count == 0 && len(a.Le) == 0 {
+		return b
+	}
+	out := HistSummary{
+		Count: a.Count + b.Count,
+		Sum:   a.Sum + b.Sum,
+		Min:   minNonEmpty(a, b),
+		Max:   maxNonEmpty(a, b),
+	}
+	i, j := 0, 0
+	for i < len(a.Le) || j < len(b.Le) {
+		switch {
+		case j >= len(b.Le) || (i < len(a.Le) && a.Le[i] < b.Le[j]):
+			out.Le = append(out.Le, a.Le[i])
+			out.Counts = append(out.Counts, a.Counts[i])
+			i++
+		case i >= len(a.Le) || b.Le[j] < a.Le[i]:
+			out.Le = append(out.Le, b.Le[j])
+			out.Counts = append(out.Counts, b.Counts[j])
+			j++
+		default:
+			out.Le = append(out.Le, a.Le[i])
+			out.Counts = append(out.Counts, a.Counts[i]+b.Counts[j])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+func minNonEmpty(a, b HistSummary) float64 {
+	switch {
+	case a.Count == 0:
+		return b.Min
+	case b.Count == 0:
+		return a.Min
+	case a.Min < b.Min:
+		return a.Min
+	default:
+		return b.Min
+	}
+}
+
+func maxNonEmpty(a, b HistSummary) float64 {
+	switch {
+	case a.Count == 0:
+		return b.Max
+	case b.Count == 0:
+		return a.Max
+	case a.Max > b.Max:
+		return a.Max
+	default:
+		return b.Max
+	}
+}

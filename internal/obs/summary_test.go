@@ -1,0 +1,312 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestHistBuckets pins the log₂ bucketing: each sample lands in the
+// bucket whose bound is the smallest power of two ≥ the sample, and
+// non-positive/NaN samples land in the zero bucket.
+func TestHistBuckets(t *testing.T) {
+	cases := []struct {
+		v     float64
+		bound float64
+	}{
+		{0.75, 1}, {1, 1}, {1.5, 2}, {2, 2}, {3, 4}, {1024, 1024},
+		{0.25, 0.25}, {0.3, 0.5},
+		{0, 0}, {-5, 0}, {math.NaN(), 0},
+	}
+	for _, c := range cases {
+		if got := BucketBound(histBucket(c.v)); got != c.bound {
+			t.Errorf("bucket bound of %g = %g, want %g", c.v, got, c.bound)
+		}
+	}
+	// Extreme magnitudes clamp instead of minting unbounded buckets.
+	if b := histBucket(math.MaxFloat64); b > bucketMax {
+		t.Errorf("huge sample bucket %d exceeds clamp %d", b, bucketMax)
+	}
+	if b := histBucket(math.SmallestNonzeroFloat64); b < bucketMin {
+		t.Errorf("tiny sample bucket %d below clamp %d", b, bucketMin)
+	}
+}
+
+// TestSummarySnapshot pins the Summary tree shape: per-recorder
+// aggregates, sparse ascending histogram buckets, worker-summed
+// spans, and children sorted by scope.
+func TestSummarySnapshot(t *testing.T) {
+	r := (&Config{}).Recorder("root")
+	r.Count("events", 3)
+	r.Gauge("level", 0.5)
+	r.Probe("series", 1.0, 42)
+	r.Probe("series", 2.0, 43)
+	r.Observe("lat", 0.75)
+	r.Observe("lat", 3)
+	cb := r.Child("b")
+	ca := r.Child("a")
+	ca.Count("events", 1)
+	cb.Count("events", 2)
+
+	s := r.Summary()
+	if s.Scope != "root" || s.Counters["events"] != 3 {
+		t.Fatalf("bad root snapshot: %+v", s)
+	}
+	p := s.Probes["series"]
+	if p.Count != 2 || p.Last != 43 || p.LastT != 2.0 {
+		t.Errorf("probe summary = %+v, want count 2 last 43 at t=2", p)
+	}
+	h := s.Hists["lat"]
+	if h.Count != 2 || h.Sum != 3.75 || h.Min != 0.75 || h.Max != 3 {
+		t.Errorf("hist summary = %+v", h)
+	}
+	if want := []float64{1, 4}; !reflect.DeepEqual(h.Le, want) {
+		t.Errorf("hist bounds = %v, want %v", h.Le, want)
+	}
+	if want := []int64{1, 1}; !reflect.DeepEqual(h.Counts, want) {
+		t.Errorf("hist counts = %v, want %v", h.Counts, want)
+	}
+	if len(s.Children) != 2 || s.Children[0].Scope != "root/a" || s.Children[1].Scope != "root/b" {
+		t.Fatalf("children not sorted by scope: %+v", s.Children)
+	}
+
+	roll := s.Rollup()
+	if roll.Counters["events"] != 6 {
+		t.Errorf("rolled-up counter = %d, want 6", roll.Counters["events"])
+	}
+	if roll.Children != nil {
+		t.Error("rollup must flatten children")
+	}
+}
+
+// TestSummaryDeterministicJSON requires two identically-fed recorders
+// to marshal byte-identical manifests — the contract that makes
+// summary diffs meaningful.
+func TestSummaryDeterministicJSON(t *testing.T) {
+	build := func(seed int) []byte {
+		r := (&Config{}).Recorder("run")
+		// Insertion order varies with seed; the snapshot must not.
+		names := []string{"a", "b", "c", "d"}
+		for i := range names {
+			n := names[(i+seed)%len(names)]
+			r.Count(n, int64(len(n)))
+			r.Observe("h."+n, float64(strings.IndexByte("abcd", n[0])+1))
+			r.Child(n).Count("inner", 1)
+		}
+		raw, err := json.Marshal(r.Summary())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return raw
+	}
+	if a, b := build(0), b2(build); !bytes.Equal(a, b) {
+		t.Errorf("summaries differ across insertion orders:\n%s\n%s", a, b)
+	}
+}
+
+func b2(build func(int) []byte) []byte { return build(2) }
+
+// TestRollupMergesHistograms pins the bucket-wise merge-join: two
+// children with overlapping and disjoint buckets roll up into one
+// ascending sparse histogram with summed counts.
+func TestRollupMergesHistograms(t *testing.T) {
+	r := (&Config{}).Recorder("run")
+	a, b := r.Child("a"), r.Child("b")
+	a.Observe("h", 1)   // bucket 1
+	a.Observe("h", 3)   // bucket 4
+	b.Observe("h", 2)   // bucket 2
+	b.Observe("h", 3.5) // bucket 4
+	roll := r.Summary().Rollup()
+	h := roll.Hists["h"]
+	if h.Count != 4 || h.Min != 1 || h.Max != 3.5 {
+		t.Fatalf("merged hist = %+v", h)
+	}
+	if want := []float64{1, 2, 4}; !reflect.DeepEqual(h.Le, want) {
+		t.Errorf("merged bounds = %v, want %v", h.Le, want)
+	}
+	if want := []int64{1, 1, 2}; !reflect.DeepEqual(h.Counts, want) {
+		t.Errorf("merged counts = %v, want %v", h.Counts, want)
+	}
+}
+
+// TestFlightRingWraparound fills a small ring past capacity and
+// checks the snapshot keeps exactly the newest events, oldest first.
+func TestFlightRingWraparound(t *testing.T) {
+	r := (&Config{FlightRecorder: 4, Invariants: true}).Recorder("x")
+	for i := 0; i < 10; i++ {
+		r.Probe("p", float64(i), float64(i))
+	}
+	err := r.Violationf(11, 11, "x.f", "boom")
+	v := err.(*Violation)
+	if len(v.Recent) != 4 {
+		t.Fatalf("ring kept %d events, want 4", len(v.Recent))
+	}
+	for i, ev := range v.Recent {
+		if want := float64(6 + i); ev.T != want {
+			t.Errorf("ring[%d].T = %g, want %g (newest 4, oldest first)", i, ev.T, want)
+		}
+	}
+	if !strings.Contains(v.Error(), "4 preceding events") {
+		t.Errorf("violation error does not mention the dump: %v", v)
+	}
+}
+
+// TestSpanSecondsDeterministic pins the satellite fix: Phases maps
+// built from identical span activity are equal however goroutines
+// interleaved, because accumulation iterates keys in sorted order.
+func TestSpanSecondsDeterministic(t *testing.T) {
+	build := func() map[string]float64 {
+		r := (&Config{}).Recorder("x")
+		var wg sync.WaitGroup
+		for w := 0; w < 8; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := 0; i < 50; i++ {
+					r.WorkerSpan("step", w).End()
+					r.WorkerSpan("render", w).End()
+				}
+			}(w)
+		}
+		wg.Wait()
+		return r.SpanSeconds()
+	}
+	a, b := build(), build()
+	if len(a) != 2 || len(b) != 2 {
+		t.Fatalf("span names lost: %v %v", a, b)
+	}
+	for _, m := range []map[string]float64{a, b} {
+		for name, sec := range m {
+			if sec < 0 {
+				t.Errorf("%s accumulated negative time %g", name, sec)
+			}
+		}
+	}
+}
+
+// TestResourcesDelta checks ReadResources moves forward and Sub/Add
+// round-trip.
+func TestResourcesDelta(t *testing.T) {
+	before := ReadResources()
+	waste := make([]byte, 1<<20)
+	_ = waste[len(waste)-1]
+	after := ReadResources()
+	d := after.Sub(before)
+	if d.WallSeconds < 0 || d.CPUSeconds < 0 {
+		t.Errorf("negative time delta: %+v", d)
+	}
+	if d.AllocBytes == 0 || d.Mallocs == 0 {
+		t.Errorf("allocation not attributed: %+v", d)
+	}
+	if rt := before.Add(d); rt != after {
+		t.Errorf("Add(Sub) round-trip: %+v != %+v", rt, after)
+	}
+}
+
+// TestJSONLNoInterleaving is the whole-line serialization regression
+// test: many goroutines — child recorders sharing one sink — emit
+// events whose marshaled size exceeds the sink's 64KB buffer, forcing
+// mid-line flushes; every line of the output must still parse as one
+// event. (Marshal-outside-lock plus a single locked write per line is
+// what guarantees this.)
+func TestJSONLNoInterleaving(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewJSONL(&buf)
+	root := (&Config{Sink: sink}).Recorder("root")
+	big := strings.Repeat("x", 80<<10) // bigger than the 64KB buffer
+	var wg sync.WaitGroup
+	const writers, perWriter = 8, 40
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := root.Child(fmt.Sprintf("w%d", w))
+			for i := 0; i < perWriter; i++ {
+				sink.Emit(Event{Kind: "probe", Scope: c.Scope(), Name: "big", T: float64(i), Msg: big})
+				c.Probe("small", float64(i), float64(w))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lines := 0
+	for sc.Scan() {
+		lines++
+		var ev Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("line %d is torn or malformed: %v", lines, err)
+		}
+		if ev.Wall == 0 {
+			t.Fatalf("line %d missing the sink's wall stamp", lines)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if want := writers * perWriter * 2; lines != want {
+		t.Fatalf("trace has %d lines, want %d", lines, want)
+	}
+}
+
+// TestEmitBatchContiguous interleaves batch dumps with concurrent
+// single emits and requires every batch to appear as a contiguous
+// run of lines.
+func TestEmitBatchContiguous(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewJSONL(&buf)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+				sink.Emit(Event{Kind: "probe", Name: "noise", T: float64(i)})
+			}
+		}
+	}()
+	const batches, batchLen = 20, 5
+	for b := 0; b < batches; b++ {
+		batch := make([]Event, batchLen)
+		for i := range batch {
+			batch[i] = Event{Kind: "flight.probe", Name: fmt.Sprintf("b%d", b), Step: int64(i)}
+		}
+		sink.EmitBatch(batch)
+	}
+	close(stop)
+	wg.Wait()
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	run := 0 // position inside the current batch, 0 = outside
+	name := ""
+	for sc.Scan() {
+		var ev Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatal(err)
+		}
+		if ev.Kind == "flight.probe" {
+			if run > 0 && (ev.Name != name || ev.Step != int64(run)) {
+				t.Fatalf("batch %s interrupted at step %d by %s/%d", name, run, ev.Name, ev.Step)
+			}
+			name = ev.Name
+			run = (run + 1) % batchLen
+		} else if run != 0 {
+			t.Fatalf("noise event inside batch %s at position %d", name, run)
+		}
+	}
+}
