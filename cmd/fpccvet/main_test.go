@@ -1,0 +1,73 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestBadModuleFails runs the standalone driver over a fixture module
+// with a walltime violation: the gate must report it and exit 2.
+func TestBadModuleFails(t *testing.T) {
+	t.Chdir(filepath.Join("testdata", "badmod"))
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"./..."}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit %d on a module with a violation, wanted 2\nstdout: %s\nstderr: %s",
+			code, stdout.String(), stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "walltime: time.Now") {
+		t.Fatalf("missing walltime finding in output:\n%s", stdout.String())
+	}
+}
+
+// TestRepoIsClean runs the standalone driver over this repository:
+// the tree must stay green under its own gate.
+func TestRepoIsClean(t *testing.T) {
+	t.Chdir(filepath.Join("..", ".."))
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"./..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d on the repository, wanted 0\nstdout: %s\nstderr: %s",
+			code, stdout.String(), stderr.String())
+	}
+}
+
+// TestSinglePackageSelection checks directory arguments map to
+// package paths.
+func TestSinglePackageSelection(t *testing.T) {
+	t.Chdir(filepath.Join("testdata", "badmod"))
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"internal/des"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit %d for the violating package, wanted 2\nstderr: %s", code, stderr.String())
+	}
+}
+
+// TestVersionHandshake checks the -V=full output against what
+// cmd/go's toolID parser requires of a vet tool: at least three
+// fields, "version" second, and a buildID= final field for devel
+// versions.
+func TestVersionHandshake(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-V=full"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-V=full exit %d: %s", code, stderr.String())
+	}
+	f := strings.Fields(strings.TrimSpace(stdout.String()))
+	if len(f) < 3 || f[1] != "version" {
+		t.Fatalf("malformed -V=full output: %q", stdout.String())
+	}
+	if f[2] == "devel" && !strings.HasPrefix(f[len(f)-1], "buildID=") {
+		t.Fatalf("devel version without buildID= field: %q", stdout.String())
+	}
+}
+
+// TestFlagsHandshake checks -flags prints a JSON flag list (empty:
+// the suite is knobless).
+func TestFlagsHandshake(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-flags"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-flags exit %d: %s", code, stderr.String())
+	}
+	if got := strings.TrimSpace(stdout.String()); got != "[]" {
+		t.Fatalf("-flags printed %q, wanted []", got)
+	}
+}

@@ -1,0 +1,3 @@
+module fpcc
+
+go 1.24

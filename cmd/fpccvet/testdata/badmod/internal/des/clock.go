@@ -1,0 +1,10 @@
+// Package des is a fixture engine inside a fixture module: the
+// wall-clock read below must fail the gate.
+package des
+
+import "time"
+
+// Step reads the wall clock in engine code.
+func Step() float64 {
+	return float64(time.Now().UnixNano())
+}

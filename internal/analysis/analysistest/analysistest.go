@@ -1,0 +1,127 @@
+// Package analysistest runs an analyzer over fixture packages and
+// checks its findings against expectations embedded in the fixtures,
+// in the style of golang.org/x/tools/go/analysis/analysistest.
+//
+// Fixtures live under testdata/src/<import-path>/ next to the
+// analyzer's test; fixture packages may import one another (including
+// recreations of this module's own paths, so analyzers keyed on
+// package allowlists exercise for real). A line expecting one or more
+// findings carries a comment with the marker `want` followed by
+// quoted regexps:
+//
+//	t0 := time.Now() // want `walltime: time\.Now`
+//
+// Every diagnostic must be matched by a pattern on its line and every
+// pattern must match a diagnostic; the marker may also ride on a
+// non-comment-only line's trailing comment (e.g. after a malformed
+// suppression, which is itself a finding).
+package analysistest
+
+import (
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"fpcc/internal/analysis"
+	"fpcc/internal/analysis/load"
+)
+
+// wantRE extracts the quoted patterns following a `want` marker.
+var wantRE = regexp.MustCompile("\\bwant\\s+((?:(?:`[^`]*`|\"[^\"]*\")\\s*)+)")
+
+// quotedRE extracts the individual quoted patterns.
+var quotedRE = regexp.MustCompile("`[^`]*`|\"[^\"]*\"")
+
+// Run loads each fixture package from testdata/src under the test's
+// working directory, applies the analyzer (through the same
+// suppression-filtering driver fpccvet uses), and checks findings
+// against the fixtures' want comments.
+func Run(t *testing.T, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	RunDir(t, filepath.Join("testdata", "src"), a, pkgPaths...)
+}
+
+// RunDir is Run with an explicit fixture root.
+func RunDir(t *testing.T, root string, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	ld := load.NewFixture(root, "go1.24")
+	for _, path := range pkgPaths {
+		pkg, err := ld.Load(path)
+		if err != nil {
+			t.Fatalf("loading fixture %s: %v", path, err)
+		}
+		diags, err := analysis.RunPackage(pkg, []*analysis.Analyzer{a})
+		if err != nil {
+			t.Fatalf("running %s on %s: %v", a.Name, path, err)
+		}
+		check(t, pkg, path, diags)
+	}
+}
+
+// expectation is one want pattern and whether a diagnostic matched
+// it.
+type expectation struct {
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+func check(t *testing.T, pkg *analysis.Package, path string, diags []analysis.Diagnostic) {
+	t.Helper()
+	wants := make(map[string]map[int][]*expectation) // file -> line -> patterns
+	for _, f := range pkg.Files {
+		fname := pkg.Fset.Position(f.Package).Filename
+		byLine := make(map[int][]*expectation)
+		wants[fname] = byLine
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				line := pkg.Fset.Position(c.Pos()).Line
+				for _, q := range quotedRE.FindAllString(m[1], -1) {
+					raw := q[1 : len(q)-1]
+					re, err := regexp.Compile(raw)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %q: %v", fname, line, raw, err)
+					}
+					byLine[line] = append(byLine[line], &expectation{re: re, raw: raw})
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		var hit *expectation
+		for _, e := range wants[pos.Filename][pos.Line] {
+			if !e.matched && e.re.MatchString(d.Message) {
+				hit = e
+				break
+			}
+		}
+		if hit == nil {
+			t.Errorf("%s: unexpected diagnostic at %s:%d: %s", path, relName(pos.Filename), pos.Line, d.Message)
+			continue
+		}
+		hit.matched = true
+	}
+	for fname, byLine := range wants {
+		for line, es := range byLine {
+			for _, e := range es {
+				if !e.matched {
+					t.Errorf("%s: no diagnostic at %s:%d matching %q", path, relName(fname), line, e.raw)
+				}
+			}
+		}
+	}
+}
+
+// relName trims the testdata prefix for readable failures.
+func relName(fname string) string {
+	if i := strings.Index(fname, "testdata"+string(filepath.Separator)); i >= 0 {
+		return fname[i:]
+	}
+	return fname
+}

@@ -1,0 +1,150 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Unparen strips parentheses from an expression. It deliberately
+// does NOT strip index expressions: `m[k]` must stay an index write,
+// not collapse to `m` (generic instantiation stripping lives in
+// CalleeOf, the only place it belongs).
+func Unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// stripInstance removes parentheses and generic instantiation indices
+// (f[T], f[T1, T2]) so callee resolution sees the underlying
+// identifier or selector.
+func stripInstance(e ast.Expr) ast.Expr {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.IndexListExpr:
+			e = x.X
+		default:
+			return e
+		}
+	}
+}
+
+// CalleeOf resolves a call expression to the function or method
+// object it invokes, or nil (builtins resolve to *types.Builtin,
+// conversions to nil or a type name).
+func CalleeOf(info *types.Info, call *ast.CallExpr) types.Object {
+	switch fun := stripInstance(call.Fun).(type) {
+	case *ast.Ident:
+		return info.Uses[fun]
+	case *ast.SelectorExpr:
+		return info.Uses[fun.Sel]
+	}
+	return nil
+}
+
+// IsPkgFunc reports whether obj is a package-level function of the
+// given package path with one of the given names.
+func IsPkgFunc(obj types.Object, pkgPath string, names map[string]bool) bool {
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != pkgPath {
+		return false
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return false
+	}
+	return names[fn.Name()]
+}
+
+// MethodOf reports whether obj is a method (pointer or value
+// receiver) of the named type in the given package, returning its
+// name.
+func MethodOf(obj types.Object, pkgPath, typeName string) (string, bool) {
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return "", false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return "", false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return "", false
+	}
+	o := named.Obj()
+	if o.Name() != typeName || o.Pkg() == nil || o.Pkg().Path() != pkgPath {
+		return "", false
+	}
+	return fn.Name(), true
+}
+
+// ObjectOf resolves an identifier through Uses then Defs.
+func ObjectOf(info *types.Info, id *ast.Ident) types.Object {
+	if o := info.Uses[id]; o != nil {
+		return o
+	}
+	return info.Defs[id]
+}
+
+// DeclaredOutside reports whether the object's declaration lies
+// outside the given node's source range — i.e. the object is
+// captured by a function literal spanning that range.
+func DeclaredOutside(obj types.Object, n ast.Node) bool {
+	if obj == nil {
+		return false
+	}
+	pos := obj.Pos()
+	if !pos.IsValid() {
+		// No syntax (package-level dot imports, universe): treat as
+		// outside.
+		return true
+	}
+	return pos < n.Pos() || pos > n.End()
+}
+
+// RootIdent returns the leftmost identifier of an expression chain
+// (x, x.f, x[i], x.f[i].g, *x, ...), or nil.
+func RootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// EnclosingFunc returns the innermost function declaration or
+// literal in the ancestor stack, or nil.
+func EnclosingFunc(stack []ast.Node) ast.Node {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			return stack[i]
+		}
+	}
+	return nil
+}

@@ -1,0 +1,251 @@
+// Package load type-checks packages from source with the standard
+// library alone: module-internal imports resolve against the module
+// tree, everything else (the standard library) through go/importer's
+// source importer. It powers cmd/fpccvet's standalone mode and the
+// analysistest harness; the `go vet -vettool` path gets its type
+// information from export data instead (see cmd/fpccvet).
+package load
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"fpcc/internal/analysis"
+)
+
+// Loader loads and caches type-checked packages of one module root.
+// It is not safe for concurrent use.
+type Loader struct {
+	// Root is the directory holding the module (or fixture tree).
+	Root string
+	// Module is the import-path prefix mapped onto Root; "" maps
+	// every non-standard-library path onto Root directly (the
+	// analysistest fixture layout, where testdata/src/<path> IS the
+	// package path — including paths that recreate this module's).
+	Module string
+	// GoVersion is the language version for the type checker (e.g.
+	// "go1.24"); empty uses the checker default.
+	GoVersion string
+
+	fset   *token.FileSet
+	std    types.ImporterFrom
+	pkgs   map[string]*analysis.Package
+	loadin map[string]bool
+}
+
+// New returns a Loader for the module rooted at root. The module path
+// is read from root's go.mod.
+func New(root string) (*Loader, error) {
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, fmt.Errorf("load: reading go.mod: %w", err)
+	}
+	mod, gover := parseGoMod(string(data))
+	if mod == "" {
+		return nil, fmt.Errorf("load: no module directive in %s/go.mod", root)
+	}
+	l := NewFixture(root, gover)
+	l.Module = mod
+	return l, nil
+}
+
+// NewFixture returns a Loader over a bare source tree (no go.mod):
+// package paths map directly onto directories under root. The
+// analysistest harness loads testdata/src trees this way.
+func NewFixture(root, goVersion string) *Loader {
+	// The source importer type-checks standard-library dependencies
+	// from $GOROOT/src. Disable cgo so cgo-using packages (net, ...)
+	// select their pure-Go fallbacks instead of shelling out to cgo.
+	build.Default.CgoEnabled = false
+	fset := token.NewFileSet()
+	return &Loader{
+		Root:      root,
+		GoVersion: goVersion,
+		fset:      fset,
+		std:       importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+		pkgs:      make(map[string]*analysis.Package),
+		loadin:    make(map[string]bool),
+	}
+}
+
+// parseGoMod extracts the module path and go version from go.mod
+// text.
+func parseGoMod(text string) (module, goVersion string) {
+	for _, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			module = strings.Trim(strings.TrimSpace(rest), `"`)
+		} else if rest, ok := strings.CutPrefix(line, "go "); ok {
+			goVersion = "go" + strings.TrimSpace(rest)
+		}
+	}
+	return module, goVersion
+}
+
+// Fset returns the loader's file set.
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// dirFor maps a loadable package path to its directory under Root,
+// or "" if the path is not served by this loader.
+func (l *Loader) dirFor(path string) string {
+	if l.Module == "" {
+		return filepath.Join(l.Root, filepath.FromSlash(path))
+	}
+	if path == l.Module {
+		return l.Root
+	}
+	if rest, ok := strings.CutPrefix(path, l.Module+"/"); ok {
+		return filepath.Join(l.Root, filepath.FromSlash(rest))
+	}
+	return ""
+}
+
+// stdlib reports whether the loader should delegate path to the
+// source importer: fixture loaders (Module == "") serve any path
+// that exists as a directory under Root, module loaders any path
+// under the module prefix.
+func (l *Loader) servesPath(path string) bool {
+	dir := l.dirFor(path)
+	if dir == "" {
+		return false
+	}
+	if l.Module != "" {
+		return true
+	}
+	st, err := os.Stat(dir)
+	return err == nil && st.IsDir()
+}
+
+// Load type-checks the package at the given import path (relative to
+// the loader's root) and returns it. Results are cached; imports of
+// other module packages load recursively.
+func (l *Loader) Load(path string) (*analysis.Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	if l.loadin[path] {
+		return nil, fmt.Errorf("load: import cycle through %q", path)
+	}
+	l.loadin[path] = true
+	defer delete(l.loadin, path)
+
+	dir := l.dirFor(path)
+	if dir == "" {
+		return nil, fmt.Errorf("load: %q is outside the loader root", path)
+	}
+	bp, err := build.Default.ImportDir(dir, 0)
+	if err != nil {
+		if _, ok := err.(*build.NoGoError); ok {
+			return nil, err
+		}
+		return nil, fmt.Errorf("load: %s: %w", dir, err)
+	}
+	var files []*ast.File
+	for _, name := range bp.GoFiles {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("load: %w", err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, &build.NoGoError{Dir: dir}
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer:  (*loaderImporter)(l),
+		GoVersion: l.GoVersion,
+		Error:     func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	tpkg, _ := conf.Check(path, l.fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("load: type-checking %s: %v", path, typeErrs[0])
+	}
+	p := &analysis.Package{Fset: l.fset, Files: files, Types: tpkg, Info: info}
+	l.pkgs[path] = p
+	return p, nil
+}
+
+// loaderImporter adapts Loader to types.Importer, resolving
+// module-internal paths through the loader and everything else
+// through the source importer.
+type loaderImporter Loader
+
+func (li *loaderImporter) Import(path string) (*types.Package, error) {
+	l := (*Loader)(li)
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if l.servesPath(path) {
+		p, err := l.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+// Dirs enumerates the package directories under root, skipping
+// testdata, vendored code, and dot-directories, and returns their
+// import paths relative to the loader (module-prefixed for module
+// loaders). Directories with only test files are skipped: the fpcc
+// contracts govern shipped code.
+func (l *Loader) Dirs() ([]string, error) {
+	var out []string
+	err := filepath.WalkDir(l.Root, func(p string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if p != l.Root && (name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		bp, err := build.Default.ImportDir(p, 0)
+		if err != nil || len(bp.GoFiles) == 0 {
+			return nil
+		}
+		rel, err := filepath.Rel(l.Root, p)
+		if err != nil {
+			return err
+		}
+		switch {
+		case rel == ".":
+			if l.Module != "" {
+				out = append(out, l.Module)
+			}
+		case l.Module != "":
+			out = append(out, l.Module+"/"+filepath.ToSlash(rel))
+		default:
+			out = append(out, filepath.ToSlash(rel))
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(out)
+	return out, nil
+}

@@ -1,0 +1,273 @@
+// Package maprange flags map iteration in the output-rendering
+// packages unless the iteration is order-independent.
+//
+// Go randomizes map iteration order per run. In the packages that
+// render experiment tables, sweep CSV/JSON, obs summaries, traces,
+// and metrics expositions — where the repository guarantees
+// byte-identical output for any worker count and across runs — a
+// bare `for k := range m` is the Recorder.SpanSeconds bug class:
+// output whose bytes (or float accumulation order) change run to
+// run. Two iteration shapes are provably order-independent and
+// allowed without comment:
+//
+//   - collect-then-sort: the loop body only appends keys/values to
+//     slices, and every such slice is passed to a sort.* or slices.*
+//     sort call after the loop, before use;
+//   - map-to-map: the loop body only writes map entries or deletes
+//     keys (building one unordered structure from another).
+//
+// Anything else needs an explicit justification:
+//
+//	for k, v := range m { //fpcc:maprange -- commutative max, order-free
+package maprange
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"fpcc/internal/analysis"
+	"fpcc/internal/analysis/config"
+)
+
+// Analyzer is the maprange check.
+var Analyzer = &analysis.Analyzer{
+	Name: "maprange",
+	Doc:  "flag order-dependent map iteration in output/trace/summary rendering packages",
+	Run:  run,
+}
+
+// sortFuncs are the accepted sorting entry points, by package path.
+var sortFuncs = map[string]map[string]bool{
+	"sort": {
+		"Strings": true, "Ints": true, "Float64s": true,
+		"Slice": true, "SliceStable": true, "Sort": true, "Stable": true,
+	},
+	"slices": {
+		"Sort": true, "SortFunc": true, "SortStableFunc": true,
+	},
+}
+
+func run(pass *analysis.Pass) error {
+	if !config.In(pass.Pkg.Path(), config.EmissionPackages) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f) {
+			continue
+		}
+		analysis.WithStack(f, func(n ast.Node, stack []ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[rng.X]
+			if !ok || tv.Type == nil {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			fn := analysis.EnclosingFunc(append(stack, n))
+			if ok, collected := orderFree(pass, rng); ok {
+				if allSorted(pass, fn, rng, collected) {
+					return true
+				}
+			}
+			pass.Reportf(rng.Pos(),
+				"maprange: map iteration order reaches output in rendering package %s: collect into a slice and sort before emission, or copy map-to-map (//fpcc:maprange -- <why> to suppress)",
+				pass.Pkg.Path())
+			return true
+		})
+	}
+	return nil
+}
+
+// orderFree reports whether every statement of the range body is an
+// order-independent collector or merger — an append into a slice
+// variable (returned in collected, to be checked for a later sort), a
+// map write, a delete, a body-local definition and updates to it
+// (`prev := m[k]; prev.N += v; m[k] = prev`), lazy initialization of
+// a destination map, or a continue — possibly nested under plain if
+// statements.
+func orderFree(pass *analysis.Pass, rng *ast.RangeStmt) (ok bool, collected []types.Object) {
+	// locals are variables defined (:=) inside the body: writes to
+	// them, or to their fields, stay private to one iteration.
+	locals := make(map[types.Object]bool)
+	localTarget := func(e ast.Expr) bool {
+		root := analysis.RootIdent(e)
+		return root != nil && locals[analysis.ObjectOf(pass.TypesInfo, root)]
+	}
+	mapTarget := func(e ast.Expr) bool {
+		tv, ok := pass.TypesInfo.Types[e]
+		if !ok || tv.Type == nil {
+			return false
+		}
+		_, isMap := tv.Type.Underlying().(*types.Map)
+		return isMap
+	}
+	var walk func(stmts []ast.Stmt) bool
+	walk = func(stmts []ast.Stmt) bool {
+		for _, st := range stmts {
+			switch s := st.(type) {
+			case *ast.AssignStmt:
+				if s.Tok == token.DEFINE {
+					for _, lhs := range s.Lhs {
+						if id, ok := lhs.(*ast.Ident); ok {
+							if obj := pass.TypesInfo.Defs[id]; obj != nil {
+								locals[obj] = true
+							}
+						}
+					}
+					continue
+				}
+				for i, lhs := range s.Lhs {
+					switch l := analysis.Unparen(lhs).(type) {
+					case *ast.Ident:
+						if l.Name == "_" || locals[analysis.ObjectOf(pass.TypesInfo, l)] {
+							continue
+						}
+						// Lazy map init (`dst = map[...]{}`) builds the
+						// unordered destination; otherwise only
+						// `x = append(x, ...)` accumulation.
+						if mapTarget(l) {
+							continue
+						}
+						if len(s.Rhs) != len(s.Lhs) {
+							return false
+						}
+						obj := analysis.ObjectOf(pass.TypesInfo, l)
+						if obj == nil || !isAppendTo(pass, s.Rhs[i], obj) {
+							return false
+						}
+						collected = append(collected, obj)
+					case *ast.IndexExpr:
+						// Map writes are unordered-to-unordered; index
+						// writes into anything ordered are not.
+						if !mapTarget(l.X) && !localTarget(l.X) {
+							return false
+						}
+					case *ast.SelectorExpr:
+						// Field updates on a body-local, or lazy init of
+						// a destination map field (`out.Gauges = ...`).
+						if !localTarget(l) && !mapTarget(l) {
+							return false
+						}
+					default:
+						return false
+					}
+				}
+			case *ast.IncDecStmt:
+				switch l := analysis.Unparen(s.X).(type) {
+				case *ast.IndexExpr:
+					if !mapTarget(l.X) && !localTarget(l.X) {
+						return false
+					}
+				default:
+					if !localTarget(s.X) {
+						return false
+					}
+				}
+			case *ast.ExprStmt:
+				call, ok := s.X.(*ast.CallExpr)
+				if !ok {
+					return false
+				}
+				id, ok := analysis.Unparen(call.Fun).(*ast.Ident)
+				if !ok {
+					return false
+				}
+				if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); !ok || b.Name() != "delete" {
+					return false
+				}
+			case *ast.BranchStmt:
+				// continue skips an iteration — order-free; break stops
+				// at a nondeterministic point — not.
+				if s.Tok != token.CONTINUE || s.Label != nil {
+					return false
+				}
+			case *ast.IfStmt:
+				if s.Init != nil {
+					return false
+				}
+				if !walk(s.Body.List) {
+					return false
+				}
+				switch e := s.Else.(type) {
+				case nil:
+				case *ast.BlockStmt:
+					if !walk(e.List) {
+						return false
+					}
+				default:
+					return false
+				}
+			default:
+				return false
+			}
+		}
+		return true
+	}
+	if !walk(rng.Body.List) {
+		return false, nil
+	}
+	return true, collected
+}
+
+// isAppendTo reports whether e is `append(obj, ...)`.
+func isAppendTo(pass *analysis.Pass, e ast.Expr, obj types.Object) bool {
+	call, ok := analysis.Unparen(e).(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return false
+	}
+	id, ok := analysis.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); !ok || b.Name() != "append" {
+		return false
+	}
+	first, ok := analysis.Unparen(call.Args[0]).(*ast.Ident)
+	return ok && analysis.ObjectOf(pass.TypesInfo, first) == obj
+}
+
+// allSorted reports whether each collected slice object is passed to
+// a recognized sort call after the range statement, within the
+// enclosing function.
+func allSorted(pass *analysis.Pass, fn ast.Node, rng *ast.RangeStmt, collected []types.Object) bool {
+	if len(collected) == 0 {
+		return true
+	}
+	if fn == nil {
+		return false
+	}
+	sorted := make(map[types.Object]bool)
+	ast.Inspect(fn, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() {
+			return true
+		}
+		callee := analysis.CalleeOf(pass.TypesInfo, call)
+		if callee == nil || callee.Pkg() == nil {
+			return true
+		}
+		names := sortFuncs[callee.Pkg().Path()]
+		if names == nil || !names[callee.Name()] {
+			return true
+		}
+		for _, arg := range call.Args {
+			if id, ok := analysis.Unparen(arg).(*ast.Ident); ok {
+				if obj := analysis.ObjectOf(pass.TypesInfo, id); obj != nil {
+					sorted[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	for _, obj := range collected {
+		if !sorted[obj] {
+			return false
+		}
+	}
+	return true
+}

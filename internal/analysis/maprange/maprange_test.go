@@ -1,0 +1,15 @@
+package maprange_test
+
+import (
+	"testing"
+
+	"fpcc/internal/analysis/analysistest"
+	"fpcc/internal/analysis/maprange"
+)
+
+func TestMaprange(t *testing.T) {
+	analysistest.Run(t, maprange.Analyzer,
+		"fpcc/internal/obs",  // emission package: findings, escapes, suppression
+		"fpcc/internal/grid", // outside the emission set: clean
+	)
+}

@@ -1,0 +1,14 @@
+// Package grid is a fixture engine package outside the emission set:
+// internal map iteration that never renders output is not maprange's
+// business (determinism of state updates is the race detector's and
+// the goldens' job).
+package grid
+
+// Mass sums cell weights in map order.
+func Mass(cells map[int]float64) float64 {
+	total := 0.0
+	for _, w := range cells {
+		total += w
+	}
+	return total
+}

@@ -1,0 +1,100 @@
+// Package obs is a fixture recreating an emission package path:
+// map iteration order must not reach output here.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Summary is a fixture aggregate.
+type Summary struct {
+	Counters map[string]int64
+	Gauges   map[string]float64
+}
+
+// WriteUnsorted streams entries in map order — the SpanSeconds bug
+// class this analyzer exists for.
+func (s *Summary) WriteUnsorted(w io.Writer) {
+	for k, v := range s.Counters { // want `maprange: map iteration order reaches output`
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}
+
+// WriteSorted collects keys, sorts them, then emits: clean.
+func (s *Summary) WriteSorted(w io.Writer) {
+	keys := make([]string, 0, len(s.Counters))
+	for k := range s.Counters {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s=%d\n", k, s.Counters[k])
+	}
+}
+
+// KeysUnsorted collects but never sorts before returning — the order
+// leak just moves to the caller, so it is still a finding.
+func (s *Summary) KeysUnsorted() []string {
+	var keys []string
+	for k := range s.Counters { // want `maprange: map iteration order reaches output`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// Rollup is the allowed map-to-map merge shape: lazy destination
+// init, body-local staging, commutative accumulation, continue.
+func (s *Summary) Rollup(out *Summary) {
+	for k, v := range s.Counters {
+		if v == 0 {
+			continue
+		}
+		if out.Counters == nil {
+			out.Counters = map[string]int64{}
+		}
+		out.Counters[k] += v
+	}
+	for k, g := range s.Gauges {
+		prev := out.Gauges[k]
+		if g > prev {
+			prev = g
+		}
+		if out.Gauges == nil {
+			out.Gauges = map[string]float64{}
+		}
+		out.Gauges[k] = prev
+	}
+}
+
+// Prune deletes in map order — deletion is order-free.
+func (s *Summary) Prune() {
+	for k, v := range s.Counters {
+		if v == 0 {
+			delete(s.Counters, k)
+		}
+	}
+}
+
+// MaxGauge reduces with a commutative max but through a captured
+// scalar, which the shape check cannot prove — justified in place.
+func (s *Summary) MaxGauge() float64 {
+	best := 0.0
+	for _, g := range s.Gauges { //fpcc:maprange -- fixture: commutative max, order-free by algebra
+		if g > best {
+			best = g
+		}
+	}
+	return best
+}
+
+// SumGauges accumulates floats in map order: accumulation order
+// changes the rounding, so this is a finding.
+func (s *Summary) SumGauges() float64 {
+	total := 0.0
+	for _, g := range s.Gauges { // want `maprange: map iteration order reaches output`
+		total += g
+	}
+	return total
+}

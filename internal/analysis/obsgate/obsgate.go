@@ -1,0 +1,362 @@
+// Package obsgate enforces the zero-overhead observability contract
+// on both sides of the *obs.Recorder API.
+//
+// Provider side (package internal/obs): every exported method on
+// *Recorder must begin with the inlineable nil-receiver guard, so a
+// disabled recorder — a nil pointer — costs exactly one predictable
+// branch and touches no memory. Accepted leading forms:
+//
+//	if r == nil { return ... }          // possibly `r == nil || more`
+//	return r != nil                     // possibly `&& more` / `== nil || more`
+//	return r.Other(...)                 // delegation to a guarded sibling
+//
+// Consumer side (the engine packages): a call to Probe, Gauge, Count,
+// or Observe whose arguments compute anything (contain a non-trivial
+// call — a moment pass, a mass integral) must sit behind an
+// Enabled(), ProbeDue(), or Invariants() gate, either as an enclosing
+// if condition or an early-return guard earlier in the function, so
+// the disabled path never pays for feeding a recorder that isn't
+// there.
+package obsgate
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"fpcc/internal/analysis"
+	"fpcc/internal/analysis/config"
+)
+
+// Analyzer is the obsgate check.
+var Analyzer = &analysis.Analyzer{
+	Name: "obsgate",
+	Doc:  "require nil-receiver guards on *obs.Recorder methods and Enabled/ProbeDue gates at computing call sites",
+	Run:  run,
+}
+
+// feeding are the Recorder methods whose arguments engines compute.
+var feeding = map[string]bool{"Probe": true, "Gauge": true, "Count": true, "Observe": true}
+
+// gates are the Recorder predicates that establish the enabled path.
+var gates = map[string]bool{"Enabled": true, "ProbeDue": true, "Invariants": true}
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg.Path() == config.ObsPackage {
+		checkMethods(pass)
+	}
+	if config.In(pass.Pkg.Path(), config.EnginePackages) {
+		checkCallSites(pass)
+	}
+	return nil
+}
+
+// checkMethods verifies the leading nil-receiver guard on every
+// exported *Recorder method.
+func checkMethods(pass *analysis.Pass) {
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || !fd.Name.IsExported() || fd.Body == nil {
+				continue
+			}
+			if !recvIsPtrRecorder(pass, fd) {
+				continue
+			}
+			recv := recvName(fd)
+			if recv == "" {
+				pass.Reportf(fd.Pos(),
+					"obsgate: exported method (*Recorder).%s has no named receiver to nil-guard", fd.Name.Name)
+				continue
+			}
+			if len(fd.Body.List) == 0 || !guardOK(fd.Body.List[0], recv, len(fd.Body.List) == 1) {
+				pass.Reportf(fd.Pos(),
+					"obsgate: exported method (*Recorder).%s must begin with the inlineable nil-receiver guard (if %s == nil { return ... })",
+					fd.Name.Name, recv)
+			}
+		}
+	}
+}
+
+// recvIsPtrRecorder reports whether fd's receiver is *Recorder of the
+// current (obs) package.
+func recvIsPtrRecorder(pass *analysis.Pass, fd *ast.FuncDecl) bool {
+	if len(fd.Recv.List) != 1 {
+		return false
+	}
+	tv, ok := pass.TypesInfo.Types[fd.Recv.List[0].Type]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	ptr, ok := tv.Type.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	return ok && named.Obj().Name() == "Recorder" && named.Obj().Pkg() == pass.Pkg
+}
+
+func recvName(fd *ast.FuncDecl) string {
+	names := fd.Recv.List[0].Names
+	if len(names) != 1 || names[0].Name == "_" {
+		return ""
+	}
+	return names[0].Name
+}
+
+// guardOK reports whether stmt is an accepted leading guard for the
+// named receiver. sole indicates stmt is the method's only statement
+// (required for the expression and delegation forms, which guard by
+// construction only when nothing follows them).
+func guardOK(stmt ast.Stmt, recv string, sole bool) bool {
+	switch s := stmt.(type) {
+	case *ast.IfStmt:
+		// if recv == nil { ...; return/panic } — possibly `|| more`,
+		// with the nil check leftmost so it short-circuits first.
+		if s.Init != nil || !condLeadsWithNilCheck(s.Cond, recv, token.EQL) {
+			return false
+		}
+		return terminates(s.Body)
+	case *ast.ReturnStmt:
+		if !sole || len(s.Results) != 1 {
+			return false
+		}
+		e := analysis.Unparen(s.Results[0])
+		if exprLeadsWithNilCheck(e, recv) {
+			return true
+		}
+		// Delegation: return recv.Sibling(...).
+		if call, ok := e.(*ast.CallExpr); ok {
+			if sel, ok := analysis.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+				if id, ok := analysis.Unparen(sel.X).(*ast.Ident); ok && id.Name == recv {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	return false
+}
+
+// condLeadsWithNilCheck reports whether the leftmost operand of an
+// ||-chain (or the whole condition) is `recv <op> nil`.
+func condLeadsWithNilCheck(e ast.Expr, recv string, op token.Token) bool {
+	e = analysis.Unparen(e)
+	if bin, ok := e.(*ast.BinaryExpr); ok {
+		if bin.Op == token.LOR {
+			return condLeadsWithNilCheck(bin.X, recv, op)
+		}
+		return bin.Op == op && isRecvIdent(bin.X, recv) && isNil(bin.Y)
+	}
+	return false
+}
+
+// exprLeadsWithNilCheck accepts `recv != nil`, `recv != nil && ...`,
+// and `recv == nil || ...` (leftmost, so the nil test runs first).
+func exprLeadsWithNilCheck(e ast.Expr, recv string) bool {
+	bin, ok := analysis.Unparen(e).(*ast.BinaryExpr)
+	if !ok {
+		return false
+	}
+	switch bin.Op {
+	case token.NEQ:
+		return isRecvIdent(bin.X, recv) && isNil(bin.Y)
+	case token.LAND:
+		return exprLeadsWithNilCheck(bin.X, recv)
+	case token.LOR:
+		return condLeadsWithNilCheck(bin, recv, token.EQL)
+	}
+	return false
+}
+
+func isRecvIdent(e ast.Expr, recv string) bool {
+	id, ok := analysis.Unparen(e).(*ast.Ident)
+	return ok && id.Name == recv
+}
+
+func isNil(e ast.Expr) bool {
+	id, ok := analysis.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// terminates reports whether the block's last statement stops the
+// method (return or panic).
+func terminates(b *ast.BlockStmt) bool {
+	if len(b.List) == 0 {
+		return false
+	}
+	switch last := b.List[len(b.List)-1].(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.ExprStmt:
+		call, ok := last.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		id, ok := analysis.Unparen(call.Fun).(*ast.Ident)
+		return ok && id.Name == "panic"
+	}
+	return false
+}
+
+// checkCallSites flags feeding calls whose arguments compute work
+// without an Enabled/ProbeDue/Invariants gate in scope.
+func checkCallSites(pass *analysis.Pass) {
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f) {
+			continue
+		}
+		analysis.WithStack(f, func(n ast.Node, stack []ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			name, ok := analysis.MethodOf(analysis.CalleeOf(pass.TypesInfo, call), config.ObsPackage, "Recorder")
+			if !ok || !feeding[name] {
+				return true
+			}
+			if !argsCompute(pass, call) {
+				return true
+			}
+			if gatedByAncestor(pass, stack) || gatedByEarlyReturn(pass, stack, call) {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"obsgate: %s argument computes work outside an Enabled()/ProbeDue() gate: the disabled-recorder path must stay one branch (//fpcc:obsgate -- <why> to suppress)",
+				name)
+			return true
+		})
+	}
+}
+
+// argsCompute reports whether any argument contains a non-trivial
+// call (not a conversion, not a cheap builtin).
+func argsCompute(pass *analysis.Pass, call *ast.CallExpr) bool {
+	cheap := map[string]bool{"len": true, "cap": true, "min": true, "max": true, "abs": true}
+	for _, arg := range call.Args {
+		found := false
+		ast.Inspect(arg, func(n ast.Node) bool {
+			inner, ok := n.(*ast.CallExpr)
+			if !ok || found {
+				return !found
+			}
+			fun := analysis.Unparen(inner.Fun)
+			// Type conversions are free.
+			if tv, ok := pass.TypesInfo.Types[fun]; ok && tv.IsType() {
+				return true
+			}
+			if id, ok := fun.(*ast.Ident); ok {
+				if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok && cheap[b.Name()] {
+					return true
+				}
+			}
+			found = true
+			return false
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// gatedByAncestor reports whether any enclosing if (or for) condition
+// within the current function calls a gate predicate on a *Recorder.
+func gatedByAncestor(pass *analysis.Pass, stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch s := stack[i].(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			return false
+		case *ast.IfStmt:
+			if condCallsGate(pass, s.Cond) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// gatedByEarlyReturn reports whether a statement before the call, at
+// any block level of the enclosing function, is an early-return
+// guard: `if <cond touching a gate or nil-check on a Recorder> {
+// return }`.
+func gatedByEarlyReturn(pass *analysis.Pass, stack []ast.Node, call *ast.CallExpr) bool {
+	fn := analysis.EnclosingFunc(stack)
+	if fn == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(fn, func(n ast.Node) bool {
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok || found || ifs.End() > call.Pos() {
+			return !found
+		}
+		if !terminates(ifs.Body) {
+			return true
+		}
+		if condCallsGate(pass, ifs.Cond) || condNilChecksRecorder(pass, ifs.Cond) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// condCallsGate reports whether the expression contains a call to a
+// gate predicate (Enabled/ProbeDue/Invariants) on a *Recorder.
+func condCallsGate(pass *analysis.Pass, cond ast.Expr) bool {
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || found {
+			return !found
+		}
+		if name, ok := analysis.MethodOf(analysis.CalleeOf(pass.TypesInfo, call), config.ObsPackage, "Recorder"); ok && gates[name] {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// condNilChecksRecorder reports whether the expression contains a
+// `x == nil` comparison where x is a *Recorder.
+func condNilChecksRecorder(pass *analysis.Pass, cond ast.Expr) bool {
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		bin, ok := n.(*ast.BinaryExpr)
+		if !ok || found || bin.Op != token.EQL {
+			return !found
+		}
+		for _, side := range []ast.Expr{bin.X, bin.Y} {
+			if !isNil(side) {
+				if tv, ok := pass.TypesInfo.Types[side]; ok && tv.Type != nil && isPtrRecorder(tv.Type) {
+					if isNil(bin.Y) || isNil(bin.X) {
+						found = true
+						return false
+					}
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func isPtrRecorder(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	o := named.Obj()
+	return o.Name() == "Recorder" && o.Pkg() != nil && o.Pkg().Path() == config.ObsPackage
+}

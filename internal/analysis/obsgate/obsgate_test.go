@@ -1,0 +1,15 @@
+package obsgate_test
+
+import (
+	"testing"
+
+	"fpcc/internal/analysis/analysistest"
+	"fpcc/internal/analysis/obsgate"
+)
+
+func TestObsgate(t *testing.T) {
+	analysistest.Run(t, obsgate.Analyzer,
+		"fpcc/internal/obs", // provider side: guard forms on *Recorder methods
+		"fpcc/internal/des", // consumer side: gates at computing call sites
+	)
+}

@@ -1,0 +1,64 @@
+// Package des is a fixture engine package: calls that compute probe
+// arguments must sit behind an Enabled/ProbeDue gate.
+package des
+
+import "fpcc/internal/obs"
+
+// Engine is a fixture simulation with a recorder that may be nil.
+type Engine struct {
+	rec  *obs.Recorder
+	f    []float64
+	step int64
+}
+
+// mass is the expensive reduction engines feed to probes.
+func mass(vals []float64) float64 {
+	total := 0.0
+	for _, v := range vals {
+		total += v
+	}
+	return total
+}
+
+// StepBad feeds a computed argument with no gate: the disabled path
+// pays for the whole reduction before Probe's guard rejects it.
+func (e *Engine) StepBad() {
+	e.rec.Probe("mass", mass(e.f), 1) // want `obsgate: Probe argument computes work outside an Enabled\(\)/ProbeDue\(\) gate`
+}
+
+// StepGated computes behind the enclosing ProbeDue gate.
+func (e *Engine) StepGated() {
+	if e.rec.ProbeDue(e.step) {
+		e.rec.Probe("mass", mass(e.f), 1)
+	}
+}
+
+// StepEarlyReturn computes behind an early-return Enabled gate.
+func (e *Engine) StepEarlyReturn() {
+	if !e.rec.Enabled() {
+		return
+	}
+	e.rec.Gauge("mass", mass(e.f))
+}
+
+// StepNilChecked computes behind an explicit nil check.
+func (e *Engine) StepNilChecked() {
+	if e.rec == nil {
+		return
+	}
+	e.rec.Gauge("mass", mass(e.f))
+}
+
+// StepTrivial feeds only conversions and cheap builtins: the nil
+// guard inside Count is gate enough.
+func (e *Engine) StepTrivial() {
+	e.rec.Count("cells", int64(len(e.f)))
+}
+
+// StepJustified carries a suppression for a call the analyzer cannot
+// see is cheap.
+func (e *Engine) StepJustified() {
+	e.rec.Gauge("cached", e.cachedMass()) //fpcc:obsgate -- fixture: cachedMass is a field read behind a sync.Once
+}
+
+func (e *Engine) cachedMass() float64 { return e.f[0] }

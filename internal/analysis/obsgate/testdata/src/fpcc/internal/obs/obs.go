@@ -1,0 +1,101 @@
+// Package obs is a fixture recreating the telemetry package: every
+// exported *Recorder method must lead with the nil-receiver guard.
+package obs
+
+// Recorder is the fixture telemetry hub; nil means disabled.
+type Recorder struct {
+	enabled bool
+	every   int64
+	n       int64
+	last    float64
+}
+
+// Enabled uses the expression guard form `r != nil && ...`.
+func (r *Recorder) Enabled() bool { return r != nil && r.enabled }
+
+// ProbeDue uses the same form with more clauses.
+func (r *Recorder) ProbeDue(step int64) bool {
+	return r != nil && r.enabled && r.every > 0 && step%r.every == 0
+}
+
+// Invariants uses the bare expression form `r != nil`.
+func (r *Recorder) Invariants() bool { return r != nil }
+
+// Probe uses the statement guard form.
+func (r *Recorder) Probe(name string, v float64, w int) {
+	if r == nil {
+		return
+	}
+	r.n++
+	r.last = v
+	_ = name
+	_ = w
+}
+
+// Gauge guards with an ||-extended condition, nil check leftmost.
+func (r *Recorder) Gauge(name string, v float64) {
+	if r == nil || !r.enabled {
+		return
+	}
+	r.n++
+	r.last = v
+	_ = name
+}
+
+// Count guards then panics on misuse — panic terminates too.
+func (r *Recorder) Count(name string, n int64) {
+	if r == nil {
+		return
+	}
+	if n < 0 {
+		panic("obs: negative count")
+	}
+	r.n += n
+	_ = name
+}
+
+// Observe delegates to a guarded sibling as its sole statement.
+func (r *Recorder) Observe(name string, v float64) int64 {
+	return r.ObserveWorker(name, v, -1)
+}
+
+// ObserveWorker carries the guard Observe delegates to.
+func (r *Recorder) ObserveWorker(name string, v float64, w int) int64 {
+	if r == nil {
+		return 0
+	}
+	r.n++
+	r.last = v
+	_ = name
+	_ = w
+	return r.n
+}
+
+// Violations has no guard at all.
+func (r *Recorder) Violations() int64 { // want `must begin with the inlineable nil-receiver guard`
+	return r.n
+}
+
+// Snapshot allocates before guarding — the SpanSeconds bug shape: a
+// nil recorder pays for a map allocation.
+func (r *Recorder) Snapshot() map[string]float64 { // want `must begin with the inlineable nil-receiver guard`
+	out := map[string]float64{}
+	if r == nil {
+		return out
+	}
+	out["last"] = r.last
+	return out
+}
+
+// reset is unexported: internal helpers run behind guarded exported
+// entry points and are not checked.
+func (r *Recorder) reset() {
+	r.n = 0
+	r.last = 0
+}
+
+// Config is not a Recorder; its methods are not checked.
+type Config struct{ Every int64 }
+
+// Validate needs no nil-receiver guard (value receiver, other type).
+func (c Config) Validate() bool { return c.Every >= 0 }

@@ -1,0 +1,59 @@
+// Package seedflow forbids randomness sources other than
+// internal/rng anywhere in the module.
+//
+// Reproducibility here hangs on one discipline: every stream derives
+// from an explicit integer seed through rng.New, and every sub-stream
+// (per sweep cell, per particle chunk, per worker) through rng.Mix —
+// so the whole 31-experiment suite is a pure function of its seeds at
+// any worker split. math/rand (v1 or v2) breaks that three ways: its
+// global functions are process-seeded, its generators are a second
+// uncontrolled stream family, and its algorithms differ across Go
+// releases, silently moving goldens. crypto/rand is nondeterministic
+// by construction. Both are flagged at the import, outside
+// internal/rng (which owns the generator).
+package seedflow
+
+import (
+	"strconv"
+
+	"fpcc/internal/analysis"
+	"fpcc/internal/analysis/config"
+)
+
+// forbiddenImports are the randomness packages engine code must not
+// touch.
+var forbiddenImports = map[string]string{
+	"math/rand":    "use internal/rng (rng.New, per-stream rng.Mix sub-seeds)",
+	"math/rand/v2": "use internal/rng (rng.New, per-stream rng.Mix sub-seeds)",
+	"crypto/rand":  "nondeterministic by construction; experiments must derive from explicit seeds",
+}
+
+// Analyzer is the seedflow check.
+var Analyzer = &analysis.Analyzer{
+	Name: "seedflow",
+	Doc:  "forbid math/rand and crypto/rand outside internal/rng; streams must derive via rng.Mix",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !config.UnderModule(pass.Pkg.Path()) || config.In(pass.Pkg.Path(), config.SeedflowExempt) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f) {
+			continue
+		}
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if why, bad := forbiddenImports[path]; bad {
+				pass.Reportf(imp.Pos(),
+					"seedflow: import of %s outside internal/rng: %s (//fpcc:seedflow -- <why> to suppress)",
+					path, why)
+			}
+		}
+	}
+	return nil
+}

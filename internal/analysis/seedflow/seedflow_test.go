@@ -1,0 +1,17 @@
+package seedflow_test
+
+import (
+	"testing"
+
+	"fpcc/internal/analysis/analysistest"
+	"fpcc/internal/analysis/seedflow"
+)
+
+func TestSeedflow(t *testing.T) {
+	analysistest.Run(t, seedflow.Analyzer,
+		"fpcc/internal/sde",    // engine package: both forbidden imports flagged
+		"fpcc/internal/netsim", // justified suppression: clean
+		"fpcc/internal/rng",    // the exempt generator owner: clean
+		"example.com/ext",      // outside the module: clean
+	)
+}

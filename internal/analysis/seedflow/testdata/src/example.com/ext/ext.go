@@ -1,0 +1,7 @@
+// Package ext is outside the fpcc module: seedflow does not apply.
+package ext
+
+import "math/rand"
+
+// Roll uses the global stream; foreign code is not ours to lint.
+func Roll() int { return rand.Intn(6) }

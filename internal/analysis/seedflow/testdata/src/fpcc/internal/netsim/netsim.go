@@ -1,0 +1,10 @@
+// Package netsim is a fixture engine carrying a justified suppression
+// for a deliberate, gated use.
+package netsim
+
+import (
+	"math/rand/v2" //fpcc:seedflow -- fixture: jitter source for a non-golden smoke mode, gated off in experiments
+)
+
+// Jitter is only reachable in the suppressed smoke mode.
+func Jitter() float64 { return rand.Float64() }

@@ -1,0 +1,16 @@
+// Package sde is a fixture engine package: randomness must come from
+// internal/rng, so both forbidden imports are flagged at the import.
+package sde
+
+import (
+	crand "crypto/rand" // want `seedflow: import of crypto/rand outside internal/rng`
+	"math/rand"         // want `seedflow: import of math/rand outside internal/rng`
+)
+
+// Noise draws from the process-seeded global stream — the import
+// above is the finding; the calls just use it.
+func Noise() float64 {
+	var b [1]byte
+	_, _ = crand.Read(b[:])
+	return rand.Float64() + float64(b[0])
+}

@@ -1,0 +1,15 @@
+package sharedwrite_test
+
+import (
+	"testing"
+
+	"fpcc/internal/analysis/analysistest"
+	"fpcc/internal/analysis/sharedwrite"
+)
+
+func TestSharedwrite(t *testing.T) {
+	analysistest.Run(t, sharedwrite.Analyzer,
+		"fpcc/internal/fokkerplanck", // engine closures: every target class plus the allowed patterns
+		"fpcc/internal/parallel",     // the framework itself is exempt
+	)
+}

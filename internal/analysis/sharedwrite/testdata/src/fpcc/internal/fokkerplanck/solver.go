@@ -1,0 +1,108 @@
+// Package fokkerplanck is a fixture engine exercising every
+// sharedwrite target class inside fork-join closures.
+package fokkerplanck
+
+import (
+	"fpcc/internal/parallel"
+	"fpcc/internal/sweep"
+)
+
+// Solver is a fixture engine.
+type Solver struct {
+	f       []float64
+	workers int
+	maxStep float64
+}
+
+// StepRacy accumulates into captured state five racy ways.
+func (s *Solver) StepRacy(scale float64) float64 {
+	sum := 0.0
+	hits := 0
+	seen := map[int]bool{}
+	ptr := &sum
+	parallel.For(len(s.f), s.workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			sum += s.f[i]         // want `sharedwrite: assignment to captured variable "sum" inside a parallel.For closure`
+			hits++                // want `sharedwrite: assignment to captured variable "hits"`
+			seen[i] = true        // want `sharedwrite: write to captured map "seen"`
+			s.maxStep = s.f[i]    // want `sharedwrite: field write on captured "s"`
+			*ptr = s.f[i] * scale // want `sharedwrite: write through captured pointer "ptr"`
+		}
+	})
+	return sum + float64(hits)
+}
+
+// StepChunked writes only chunk-indexed slots and closure locals:
+// the deterministic patterns, no findings.
+func (s *Solver) StepChunked(out []float64) {
+	parallel.For(len(s.f), s.workers, func(lo, hi int) {
+		local := 0.0
+		for i := lo; i < hi; i++ {
+			local += s.f[i]
+			out[i] = s.f[i] * 2
+		}
+		_ = local
+	})
+}
+
+// StepScratch uses per-worker scratch slots: worker-indexed state is
+// written through the slice element, not a captured scalar.
+func (s *Solver) StepScratch() float64 {
+	partial := make([]float64, s.workers)
+	parallel.ForWorker(len(s.f), s.workers, func(w, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			partial[w] += s.f[i]
+		}
+	})
+	total := 0.0
+	for _, p := range partial {
+		total += p
+	}
+	return total
+}
+
+// StepReduce uses the framework's deterministic reduction instead of
+// a captured accumulator.
+func (s *Solver) StepReduce() float64 {
+	return parallel.ReduceSum(len(s.f), s.workers, func(lo, hi int) float64 {
+		block := 0.0
+		for i := lo; i < hi; i++ {
+			block += s.f[i]
+		}
+		return block
+	})
+}
+
+// MapCells shows the same contract on sweep closures.
+func (s *Solver) MapCells() ([]float64, error) {
+	last := 0.0
+	out, err := sweep.MapWorker(len(s.f), s.workers, func(w, i int) (float64, error) {
+		last = s.f[i] // want `sharedwrite: assignment to captured variable "last" inside a sweep.MapWorker closure`
+		return s.f[i], nil
+	})
+	_ = last
+	return out, err
+}
+
+// SerialJustified writes captured state under a justified suppression
+// (the call runs with one worker on this path).
+func (s *Solver) SerialJustified() float64 {
+	sum := 0.0
+	parallel.For(len(s.f), 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			sum += s.f[i] //fpcc:sharedwrite -- fixture: workers pinned to 1 on this path, serial by construction
+		}
+	})
+	return sum
+}
+
+// plainClosure writes captured state outside any fork-join call:
+// ordinary closures are not sharedwrite's business.
+func (s *Solver) plainClosure() float64 {
+	sum := 0.0
+	add := func(v float64) { sum += v }
+	for _, v := range s.f {
+		add(v)
+	}
+	return sum
+}

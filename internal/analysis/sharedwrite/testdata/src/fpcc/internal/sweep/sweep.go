@@ -1,0 +1,21 @@
+// Package sweep is a fixture recreating the cell-mapping package:
+// Map and MapWorker closures run concurrently.
+package sweep
+
+// Map runs fn over [0,n) and collects results.
+func Map[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	for i := 0; i < n; i++ {
+		v, err := fn(i)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// MapWorker is Map with the worker index.
+func MapWorker[T any](n, workers int, fn func(worker, i int) (T, error)) ([]T, error) {
+	return Map(n, workers, func(i int) (T, error) { return fn(0, i) })
+}

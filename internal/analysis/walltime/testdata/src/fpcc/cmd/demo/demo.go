@@ -1,0 +1,15 @@
+// Package demo is a fixture CLI package: it is outside the engine
+// allowlist, so wall-clock reads are legitimate and unflagged.
+package demo
+
+import "time"
+
+// Uptime measures real elapsed time, as CLIs do.
+func Uptime(start time.Time) time.Duration {
+	return time.Since(start)
+}
+
+// Stamp reads the wall clock.
+func Stamp() int64 {
+	return time.Now().UnixNano()
+}

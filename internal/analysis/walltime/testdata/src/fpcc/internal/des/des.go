@@ -1,0 +1,46 @@
+// Package des is a fixture recreating an engine package path, so the
+// walltime contract applies to it.
+package des
+
+import "time"
+
+// Sim is a fixture engine with a simulation clock.
+type Sim struct{ t float64 }
+
+// Step reads the wall clock three forbidden ways.
+func (s *Sim) Step() {
+	t0 := time.Now()                     // want `walltime: time\.Now in deterministic package fpcc/internal/des`
+	s.t += time.Since(t0).Seconds()      // want `walltime: time\.Since in deterministic package`
+	time.Sleep(0)                        // want `walltime: time\.Sleep in deterministic package`
+	if time.Until(time.Unix(0, 0)) > 0 { // want `walltime: time\.Until in deterministic package`
+		s.t = 0
+	}
+}
+
+// PureValues exercises the allowed time-package surface: duration
+// arithmetic and construction never touch the wall clock.
+func (s *Sim) PureValues() time.Duration {
+	d := 3 * time.Second
+	_ = time.Unix(42, 0)
+	return d
+}
+
+// Timed carries the justified suppression form: no findings.
+func (s *Sim) Timed() float64 {
+	start := time.Now()                //fpcc:wallclock -- fixture: bench accounting only, never enters simulation state
+	return time.Since(start).Seconds() //fpcc:wallclock -- fixture: bench accounting only, never enters simulation state
+}
+
+// CoveredAbove is suppressed by a comment on the line above the call.
+func (s *Sim) CoveredAbove() {
+	//fpcc:wallclock -- fixture: suppression on the preceding line covers the next one
+	s.t = float64(time.Now().UnixNano())
+}
+
+// Bare shows that a justification-free suppression suppresses nothing
+// and is itself a finding.
+func (s *Sim) Bare() {
+	_ = time.Now() //fpcc:wallclock // want `suppression requires a justification` `walltime: time\.Now`
+}
+
+//fpcc:turbomode // want `unknown fpcc suppression token "turbomode"`

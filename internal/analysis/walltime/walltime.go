@@ -1,0 +1,75 @@
+// Package walltime forbids wall-clock reads in the deterministic
+// engine and experiment packages.
+//
+// Every engine in this repository advances a simulation clock; its
+// observables are pure functions of (config, seed). A time.Now or
+// time.Since inside engine code is either dead determinism risk or an
+// accident waiting to flow into a table — the golden byte-identity
+// tests catch it only after it corrupts output, this analyzer at the
+// call site. Telemetry packages (internal/obs and its subpackages)
+// and the CLIs legitimately measure wall time and are outside the
+// checked package set; a deliberate wall-clock measurement inside an
+// engine package (e.g. the suite runner timing experiment runs) is
+// suppressed in place:
+//
+//	start := time.Now() //fpcc:wallclock -- wall timing for the bench report; never enters tables
+package walltime
+
+import (
+	"go/ast"
+
+	"fpcc/internal/analysis"
+	"fpcc/internal/analysis/config"
+)
+
+// forbidden are the time-package functions that read or schedule
+// against the wall clock. Pure-value functions (time.Duration
+// arithmetic, time.Unix construction, time.Date) stay allowed.
+var forbidden = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+// Analyzer is the walltime check. Its suppression token is
+// "wallclock".
+var Analyzer = &analysis.Analyzer{
+	Name:     "walltime",
+	Suppress: "wallclock",
+	Doc:      "forbid wall-clock reads (time.Now, time.Since, ...) in deterministic engine packages",
+	Run:      run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !config.In(pass.Pkg.Path(), config.EnginePackages) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := pass.TypesInfo.Uses[sel.Sel]
+			if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "time" {
+				return true
+			}
+			if forbidden[obj.Name()] {
+				pass.Reportf(sel.Pos(),
+					"walltime: time.%s in deterministic package %s: sim-clock code must not read the wall clock (//fpcc:wallclock -- <why> to suppress)",
+					obj.Name(), pass.Pkg.Path())
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,15 @@
+package walltime_test
+
+import (
+	"testing"
+
+	"fpcc/internal/analysis/analysistest"
+	"fpcc/internal/analysis/walltime"
+)
+
+func TestWalltime(t *testing.T) {
+	analysistest.Run(t, walltime.Analyzer,
+		"fpcc/internal/des", // engine package: findings, suppressions, malformed/unknown tokens
+		"fpcc/cmd/demo",     // CLI package outside the allowlist: clean
+	)
+}

@@ -128,9 +128,9 @@ func RunSuite(cfg SuiteConfig) (*Suite, error) {
 		rec := cfg.Obs.Recorder(selected[i].ID)
 		sp := suiteRec.WorkerSpan("exp."+selected[i].ID, w)
 		before := obs.ReadResources()
-		start := time.Now()
+		start := time.Now() //fpcc:wallclock -- resource accounting for Report.WallSeconds; never feeds simulation state
 		tb, err := selected[i].Run(NewCtx(rec, negotiateInner(outer, selected[i].Width)))
-		elapsed := time.Since(start)
+		elapsed := time.Since(start) //fpcc:wallclock -- resource accounting for Report.WallSeconds; never feeds simulation state
 		res := obs.ReadResources().Sub(before)
 		res.WallSeconds = elapsed.Seconds()
 		sp.End()

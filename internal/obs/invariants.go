@@ -41,30 +41,30 @@ func (v *Violation) Error() string {
 // the buffered events re-tagged "flight.<kind>" — immediately before
 // the violation event.
 func (r *Recorder) Violationf(step int64, t float64, field, format string, args ...any) error {
-	v := &Violation{Step: step, T: t, Field: field, Msg: fmt.Sprintf(format, args...)}
-	if r != nil {
-		v.Scope = r.scope
-		r.mu.Lock()
-		r.violations++
-		if r.cfg.FlightRecorder > 0 {
-			v.Recent = r.ringSnapshot()
-		}
-		r.mu.Unlock()
-		if len(v.Recent) > 0 {
-			batch := make([]Event, 0, len(v.Recent)+1)
-			batch = append(batch, Event{
-				Kind: "flight", Scope: r.scope, Name: field, Step: step, T: t,
-				Count: int64(len(v.Recent)),
-				Msg:   "flight-recorder dump: events preceding the violation below",
-			})
-			for _, ev := range v.Recent {
-				ev.Kind = "flight." + ev.Kind
-				batch = append(batch, ev)
-			}
-			r.cfg.Sink.EmitBatch(batch)
-		}
-		r.emit(Event{Kind: "violation", Name: field, Step: step, T: t, Msg: v.Msg})
+	if r == nil {
+		return &Violation{Step: step, T: t, Field: field, Msg: fmt.Sprintf(format, args...)}
 	}
+	v := &Violation{Scope: r.scope, Step: step, T: t, Field: field, Msg: fmt.Sprintf(format, args...)}
+	r.mu.Lock()
+	r.violations++
+	if r.cfg.FlightRecorder > 0 {
+		v.Recent = r.ringSnapshot()
+	}
+	r.mu.Unlock()
+	if len(v.Recent) > 0 {
+		batch := make([]Event, 0, len(v.Recent)+1)
+		batch = append(batch, Event{
+			Kind: "flight", Scope: r.scope, Name: field, Step: step, T: t,
+			Count: int64(len(v.Recent)),
+			Msg:   "flight-recorder dump: events preceding the violation below",
+		})
+		for _, ev := range v.Recent {
+			ev.Kind = "flight." + ev.Kind
+			batch = append(batch, ev)
+		}
+		r.cfg.Sink.EmitBatch(batch)
+	}
+	r.emit(Event{Kind: "violation", Name: field, Step: step, T: t, Msg: v.Msg})
 	return v
 }
 
@@ -72,6 +72,8 @@ func (r *Recorder) Violationf(step int64, t float64, field, format string, args 
 // reporting the first offending index. Density fields and queue
 // vectors must satisfy it after every step (undershoot clipping runs
 // before the check).
+//
+//fpcc:obsgate -- standalone pure-math check, must run on nil recorder (TestInvariantHelpers); Violationf is nil-safe
 func (r *Recorder) CheckNonNegative(step int64, t float64, field string, vals []float64) error {
 	for i, v := range vals {
 		if math.IsNaN(v) || math.IsInf(v, 0) {
@@ -86,6 +88,8 @@ func (r *Recorder) CheckNonNegative(step int64, t float64, field string, vals []
 
 // CheckFinite verifies a scalar is finite and non-negative (queue
 // lengths, rates).
+//
+//fpcc:obsgate -- standalone pure-math check, must run on nil recorder (TestInvariantHelpers); Violationf is nil-safe
 func (r *Recorder) CheckFinite(step int64, t float64, field string, v float64) error {
 	if !(v >= 0) || math.IsInf(v, 0) {
 		return r.Violationf(step, t, field, "value %g outside [0, ∞)", v)
@@ -97,6 +101,8 @@ func (r *Recorder) CheckFinite(step int64, t float64, field string, v float64) e
 // The conservative transport sweeps guarantee ∫f = initial + clipped −
 // outflow to rounding, so a violation means corrupted state, not
 // discretization error.
+//
+//fpcc:obsgate -- standalone pure-math check, must run on nil recorder (TestInvariantHelpers); Violationf is nil-safe
 func (r *Recorder) CheckMass(step int64, t float64, field string, got, want, tol float64) error {
 	if math.IsNaN(got) || math.Abs(got-want) > tol*math.Max(1, math.Abs(want)) {
 		return r.Violationf(step, t, field, "mass %.12g outside budget %.12g ± %g", got, want, tol)
@@ -107,6 +113,8 @@ func (r *Recorder) CheckMass(step int64, t float64, field string, got, want, tol
 // CheckCourant verifies an advection Courant number is within the
 // stability limit (the engines check this themselves before stepping;
 // the invariant re-verifies the margin on the state actually stepped).
+//
+//fpcc:obsgate -- standalone pure-math check, must run on nil recorder (TestInvariantHelpers); Violationf is nil-safe
 func (r *Recorder) CheckCourant(step int64, t float64, field string, courant, limit float64) error {
 	if math.IsNaN(courant) || courant > limit {
 		return r.Violationf(step, t, field, "Courant number %.6g exceeds %.6g", courant, limit)
@@ -118,6 +126,8 @@ func (r *Recorder) CheckCourant(step int64, t float64, field string, courant, li
 // series are non-decreasing — the O(1) per-step form of the
 // queue-history monotonicity invariant (each step appends once, so
 // checking the tail every step covers the whole series).
+//
+//fpcc:obsgate -- standalone pure-math check, must run on nil recorder (TestInvariantHelpers); Violationf is nil-safe
 func (r *Recorder) CheckMonotoneTail(step int64, field string, times []float64) error {
 	if n := len(times); n >= 2 && times[n-1] < times[n-2] {
 		return r.Violationf(step, times[n-1], field,

@@ -648,10 +648,10 @@ func (s Span) End() {
 // runs given identical span durations. Nil and empty recorders
 // return an empty map.
 func (r *Recorder) SpanSeconds() map[string]float64 {
-	out := map[string]float64{}
 	if r == nil {
-		return out
+		return map[string]float64{}
 	}
+	out := map[string]float64{}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	for _, k := range sortedSpanKeys(r.spans) {
