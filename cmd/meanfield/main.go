@@ -8,9 +8,20 @@
 //
 // Examples:
 //
+// With -churn-mean > 0 the scenario becomes an open system: sessions
+// of every compliant class are born at the Little's-law rate N/mean
+// and live exponential (or, with -churn-pareto, heavy-tailed Pareto)
+// lifetimes, evolved as birth–death source terms at unchanged
+// O(classes × bins) cost. With -attack-frac > 0 an unresponsive CBR
+// class blasting that fraction of μ joins the mix (density mode only,
+// like churn).
+//
+// Examples:
+//
 //	meanfield -n 1000000 -slow-frac 0.5 -rtt-ratio 4
 //	meanfield -mode particle -n 10000 -seed 7 -workers 8
 //	meanfield -n 1000000 -csv trace.csv -every 0.1
+//	meanfield -n 1000000 -churn-mean 4 -churn-pareto -attack-frac 0.3
 package main
 
 import (
@@ -46,6 +57,10 @@ func main() {
 		workers  = flag.Int("workers", 0, "particle chunk workers (0 = GOMAXPROCS); never affects results")
 		csvPath  = flag.String("csv", "", "write a trace CSV here ('-' = stdout)")
 		every    = flag.Float64("every", 0.5, "trace sample period (s)")
+
+		churnMean   = flag.Float64("churn-mean", 0, "mean session lifetime (s); > 0 opens the compliant classes with Little's-law arrivals N/mean (density mode only)")
+		churnPareto = flag.Bool("churn-pareto", false, "heavy-tailed Pareto(α=1.5) lifetimes instead of exponential")
+		attackFrac  = flag.Float64("attack-frac", 0, "offered load of an unresponsive CBR attacker class, as a fraction of μ (0 = honest only; density mode only)")
 	)
 	obsCLI := fpcc.BindObsFlags(flag.CommandLine)
 	flag.Parse()
@@ -54,8 +69,11 @@ func main() {
 	}
 	defer obsCLI.Close()
 
+	if *mode == "particle" && (*churnMean > 0 || *attackFrac > 0) {
+		log.Fatalf("meanfield: -churn-mean/-attack-frac are density-mode only (the particle backend is a closed, compliant population)")
+	}
 	cfg, err := buildConfig(*n, *slowFrac, *rttRatio, *delay, *c0, *c1, *qhat0, *share,
-		*sigma, *lmax, *bins, *dt, !*firstOrd)
+		*sigma, *lmax, *bins, *dt, !*firstOrd, *churnMean, *churnPareto, *attackFrac)
 	if err != nil {
 		log.Fatalf("meanfield: %v", err)
 	}
@@ -135,9 +153,12 @@ func main() {
 	}
 }
 
-// buildConfig assembles the one- or two-class scenario.
+// buildConfig assembles the one- or two-class scenario, optionally
+// opened by session churn and joined by an unresponsive attacker
+// class.
 func buildConfig(n int, slowFrac, rttRatio, delay, c0, c1, qhat0, share, sigma, lmax float64,
-	bins int, dt float64, secondOrder bool) (fpcc.MeanFieldConfig, error) {
+	bins int, dt float64, secondOrder bool,
+	churnMean float64, churnPareto bool, attackFrac float64) (fpcc.MeanFieldConfig, error) {
 	if slowFrac < 0 || slowFrac >= 1 {
 		return fpcc.MeanFieldConfig{}, fmt.Errorf("slow-frac %v outside [0, 1)", slowFrac)
 	}
@@ -163,6 +184,47 @@ func buildConfig(n int, slowFrac, rttRatio, delay, c0, c1, qhat0, share, sigma, 
 		classes = append(classes, fpcc.MeanFieldClass{
 			Name: "slow", Law: slowLaw, N: nSlow, Delay: delay * rttRatio,
 			Lambda0: share, InitStd: 0.3 * share, SigmaL: sigma * share,
+		})
+	}
+	if churnMean > 0 {
+		var lt fpcc.ChurnLifetime
+		if churnPareto {
+			p, err := fpcc.NewChurnPareto(1.5, churnMean/3)
+			if err != nil {
+				return fpcc.MeanFieldConfig{}, err
+			}
+			lt = p
+		} else {
+			e, err := fpcc.NewChurnExponential(churnMean)
+			if err != nil {
+				return fpcc.MeanFieldConfig{}, err
+			}
+			lt = e
+		}
+		for k := range classes {
+			classes[k].Churn = &fpcc.ChurnFlow{
+				Arrival:  float64(classes[k].N) / churnMean,
+				Lifetime: lt,
+				Lambda0:  share, InitStd: 0.3 * share,
+			}
+		}
+	}
+	if attackFrac > 0 {
+		// A fifth of the population blasts attackFrac·μ between them;
+		// the per-source rate must fit the λ-grid.
+		nAtt := n / 5
+		if nAtt < 1 {
+			nAtt = 1
+		}
+		lamA := attackFrac * share * float64(n) / float64(nAtt)
+		if lamA > lmax*share {
+			return fpcc.MeanFieldConfig{}, fmt.Errorf(
+				"attack-frac %v needs per-source rate %.3g beyond the λ-domain %.3g; raise -lmax",
+				attackFrac, lamA, lmax*share)
+		}
+		classes = append(classes, fpcc.MeanFieldClass{
+			Name: "attack", Law: fpcc.UnresponsiveLaw{}, N: nAtt,
+			Lambda0: lamA, InitStd: 0.1 * share, SigmaL: 0.05 * share,
 		})
 	}
 	return fpcc.MeanFieldConfig{

@@ -7,9 +7,18 @@
 //
 // Examples:
 //
+// With -churn-mean > 0 the multi-hop (long) class becomes an open
+// session population: Little's-law Poisson arrivals, exponential (or,
+// with -churn-pareto, heavy-tailed Pareto) lifetimes, evolved as
+// birth–death source terms — the E34 turnover-vs-starvation scenario
+// at any N.
+//
+// Examples:
+//
 //	netmf -scenario parking-lot -hops 3 -n 1000000
 //	netmf -scenario parking-lot -hops 5 -rtt-stretch 4 -csv trace.csv
 //	netmf -scenario cross-chain -cross-frac 0.4 -n 1000000
+//	netmf -scenario parking-lot -hops 2 -churn-mean 4 -churn-pareto
 package main
 
 import (
@@ -40,6 +49,9 @@ func main() {
 		firstOrd   = flag.Bool("first-order", false, "use first-order upwind transport instead of MUSCL")
 		csvPath    = flag.String("csv", "", "write a per-node queue trace CSV here ('-' = stdout)")
 		every      = flag.Float64("every", 0.5, "trace sample period (s)")
+
+		churnMean   = flag.Float64("churn-mean", 0, "mean session lifetime (s); > 0 opens the multi-hop class with Little's-law arrivals N/mean")
+		churnPareto = flag.Bool("churn-pareto", false, "heavy-tailed Pareto(α=1.5) lifetimes instead of exponential")
 	)
 	obsCLI := fpcc.BindObsFlags(flag.CommandLine)
 	flag.Parse()
@@ -70,6 +82,31 @@ func main() {
 		log.Fatalf("netmf: %v", err)
 	}
 	cfg.SecondOrder = !*firstOrd
+	if *churnMean > 0 {
+		// Both canned scenarios put the multi-hop adaptive class
+		// first; turnover opens that class, the cross traffic stays
+		// closed.
+		var lt fpcc.ChurnLifetime
+		if *churnPareto {
+			p, perr := fpcc.NewChurnPareto(1.5, *churnMean/3)
+			if perr != nil {
+				log.Fatalf("netmf: %v", perr)
+			}
+			lt = p
+		} else {
+			e, eerr := fpcc.NewChurnExponential(*churnMean)
+			if eerr != nil {
+				log.Fatalf("netmf: %v", eerr)
+			}
+			lt = e
+		}
+		long := &cfg.Classes[0]
+		long.Churn = &fpcc.ChurnFlow{
+			Arrival:  float64(long.N) / *churnMean,
+			Lifetime: lt,
+			Lambda0:  long.Lambda0, InitStd: long.InitStd,
+		}
+	}
 	rec := obsCLI.Recorder("netmf")
 	cfg.Obs = rec
 
@@ -138,5 +175,9 @@ func main() {
 	for k := range cfg.Classes {
 		fmt.Printf("  %-6s mean rate  %.4f (N=%d, %d hops)\n",
 			cfg.ClassName(k), rates[k], cfg.Classes[k].N, len(cfg.Classes[k].Route))
+	}
+	if *churnMean > 0 {
+		fmt.Printf("  %-6s live population  %.0f (Little's law %.0f)\n",
+			cfg.ClassName(0), eng.ClassPopulation(0), cfg.Classes[0].Churn.MeanPopulation())
 	}
 }

@@ -16,6 +16,14 @@
 //	netsim -topology cross-chain -mu 40 -mu2 60 -cross 30
 //	netsim -topology cross-chain -sweep 'cross=0,10,20,30,40' -csv -
 //	netsim -sweep 'c0=2,4,8;delay=0.01,0.02,0.04' -json out.json -workers 8
+//
+// With -churn-mean > 0 a single run (not a sweep) is opened: an extra
+// session class cloning the long flow's template arrives as a Poisson
+// process at -churn-arrival flows/s, lives exponential (or, with
+// -churn-pareto, heavy-tailed Pareto) lifetimes, and is reported as a
+// per-class aggregate under the per-flow table:
+//
+//	netsim -topology parking-lot -churn-mean 40 -churn-arrival 0.2 -churn-n0 8
 package main
 
 import (
@@ -177,6 +185,10 @@ func main() {
 	workers := flag.Int("workers", 0, "sweep worker count (0 = GOMAXPROCS)")
 	csvPath := flag.String("csv", "", "sweep: write CSV here ('-' = stdout)")
 	jsonPath := flag.String("json", "", "sweep: write JSON here ('-' = stdout)")
+	churnMean := flag.Float64("churn-mean", 0, "single run: mean session lifetime (s); > 0 adds an open session class cloning the long flow")
+	churnArrival := flag.Float64("churn-arrival", 0, "single run: Poisson session arrival rate (flows/s)")
+	churnN0 := flag.Int("churn-n0", 0, "single run: sessions alive at t=0 (default ceil(arrival*mean))")
+	churnPareto := flag.Bool("churn-pareto", false, "heavy-tailed Pareto(α=1.5) lifetimes instead of exponential")
 	obsCLI := fpcc.BindObsFlags(flag.CommandLine)
 	flag.Parse()
 	if err := obsCLI.Setup(); err != nil {
@@ -191,14 +203,22 @@ func main() {
 		buffer: *buffer, lambda0: *lambda0, minRate: 0.5,
 	}
 
+	ch, err := buildChurn(*churnMean, *churnArrival, *churnN0, *churnPareto)
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	if *sweepSpec == "" {
 		if *csvPath != "" || *jsonPath != "" {
 			log.Fatal("-csv and -json apply to sweeps; add -sweep or drop them")
 		}
 		sp := rec.Span("run")
-		runSingle(obsCLI, *topology, base, *seed, *horizon, *warmup)
+		runSingle(obsCLI, *topology, base, ch, *seed, *horizon, *warmup)
 		sp.End()
 		return
+	}
+	if ch != nil {
+		log.Fatal("-churn-* flags apply to single runs; drop -sweep")
 	}
 
 	axes, err := parseSweep(*sweepSpec)
@@ -263,11 +283,60 @@ func main() {
 	log.Printf("swept %d cells over %d parameters", len(res.Cells), len(res.Params))
 }
 
+// churnSpec is the optional open-system class of a single run.
+type churnSpec struct {
+	arrival  float64
+	lifetime fpcc.ChurnLifetime
+	n0       int
+}
+
+// buildChurn validates the churn flags into a spec (nil = closed run).
+func buildChurn(mean, arrival float64, n0 int, pareto bool) (*churnSpec, error) {
+	if mean <= 0 {
+		if arrival > 0 || n0 > 0 {
+			return nil, fmt.Errorf("-churn-arrival/-churn-n0 need -churn-mean > 0")
+		}
+		return nil, nil
+	}
+	if arrival <= 0 && n0 <= 0 {
+		return nil, fmt.Errorf("-churn-mean needs -churn-arrival or -churn-n0")
+	}
+	var lt fpcc.ChurnLifetime
+	if pareto {
+		p, err := fpcc.NewChurnPareto(1.5, mean/3)
+		if err != nil {
+			return nil, err
+		}
+		lt = p
+	} else {
+		e, err := fpcc.NewChurnExponential(mean)
+		if err != nil {
+			return nil, err
+		}
+		lt = e
+	}
+	if n0 <= 0 {
+		n0 = int(arrival*mean + 0.999)
+	}
+	return &churnSpec{arrival: arrival, lifetime: lt, n0: n0}, nil
+}
+
 // runSingle executes one simulation and prints the report tables.
-func runSingle(obsCLI *fpcc.ObsCLI, topology string, p params, seed uint64, horizon, warmup float64) {
+func runSingle(obsCLI *fpcc.ObsCLI, topology string, p params, ch *churnSpec, seed uint64, horizon, warmup float64) {
 	cfg, err := buildConfig(topology, p, seed)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if ch != nil {
+		// The open class runs the long flow's template: same law,
+		// route and pacing, sessions instead of a permanent sender.
+		cfg.Churn = append(cfg.Churn, fpcc.NetChurnClass{
+			Name:     "session",
+			Template: cfg.Flows[0],
+			Arrival:  ch.arrival,
+			Lifetime: ch.lifetime,
+			N0:       ch.n0,
+		})
 	}
 	sim, err := fpcc.NewNetSim(cfg)
 	if err != nil {
@@ -298,6 +367,17 @@ func runSingle(obsCLI *fpcc.ObsCLI, topology string, p params, seed uint64, hori
 			cfg.FlowName(i), strings.Join(route, ">"), res.FlowRTT[i], tp, share, res.Dropped[i])
 	}
 	fmt.Printf("Jain fairness %.4f\n\n", fpcc.JainIndex(res.Throughput))
+	if len(cfg.Churn) > 0 {
+		fmt.Printf("%-8s %-8s %-8s %-10s %-12s %-12s %-8s\n",
+			"class", "born", "died", "live(avg)", "live(end)", "throughput", "dropped")
+		for j := range cfg.Churn {
+			fmt.Printf("%-8s %-8d %-8d %-10.2f %-12d %-12.3f %-8d\n",
+				cfg.ChurnName(j), res.ChurnBorn[j], res.ChurnDied[j],
+				res.ChurnLive[j].Mean(), res.ChurnLiveEnd[j],
+				res.ChurnThroughput[j], res.ChurnDropped[j])
+		}
+		fmt.Println()
+	}
 	fmt.Printf("%-8s %-8s %-12s %-12s %-8s\n", "node", "mu", "mean queue", "std queue", "dropped")
 	for h := range cfg.Nodes {
 		fmt.Printf("%-8s %-8.1f %-12.3f %-12.3f %-8d\n",

@@ -53,6 +53,7 @@ import (
 	"io"
 
 	"fpcc/internal/characteristics"
+	"fpcc/internal/churn"
 	"fpcc/internal/control"
 	"fpcc/internal/des"
 	"fpcc/internal/fluid"
@@ -472,6 +473,76 @@ type NetMeanFieldCrossChainConfig = netmf.CrossChainConfig
 func NewNetMeanFieldCrossChain(cc NetMeanFieldCrossChainConfig) (NetMeanFieldConfig, error) {
 	return netmf.CrossChain(cc)
 }
+
+// Open systems and adversarial traffic (internal/churn + misbehaving
+// laws in internal/control): birth–death session dynamics — Poisson
+// arrivals, exponential or heavy-tailed Pareto lifetimes — threaded
+// through the kinetic engines as O(classes × bins) source/sink terms
+// (MeanFieldClass.Churn, NetMeanFieldClass.Churn) and through the
+// packet simulator as per-session birth/death events
+// (NetConfig.Churn), plus the non-cooperating source laws the
+// honest-vs-adversarial experiments E32–E34 are built on.
+
+// ChurnLifetime is a session-lifetime distribution: a sampler for the
+// packet engines and a hyperexponential phase mixture for the kinetic
+// ones, so both views of the same open system agree.
+type ChurnLifetime = churn.Lifetime
+
+// ChurnPhase is one exponential phase of a lifetime's
+// hyperexponential representation.
+type ChurnPhase = churn.Phase
+
+// ChurnExponential is the memoryless session lifetime.
+type ChurnExponential = churn.Exponential
+
+// ChurnPareto is the heavy-tailed (Pareto) session lifetime, fitted
+// as a hyperexponential phase mixture for the density engines.
+type ChurnPareto = churn.Pareto
+
+// ChurnFlow opens one engine class: Poisson session arrivals, a
+// lifetime distribution, and the newborn rate profile. Assign it to
+// MeanFieldClass.Churn or NetMeanFieldClass.Churn.
+type ChurnFlow = churn.Flow
+
+// ChurnPulse is the synchronized on/off duty-cycle envelope of a
+// blaster population in the density engines (the mean-field twin of a
+// traffic.SquareWave-modulated packet source).
+type ChurnPulse = churn.Pulse
+
+// NetChurnClass is an open session class of the packet simulator:
+// Poisson arrivals, sampled lifetimes, explicit per-session
+// birth/death events (NetConfig.Churn).
+type NetChurnClass = netsim.ChurnClass
+
+// NewChurnExponential returns an exponential session lifetime with
+// the given mean.
+func NewChurnExponential(mean float64) (ChurnExponential, error) {
+	return churn.NewExponential(mean)
+}
+
+// NewChurnPareto returns a Pareto session lifetime with tail index
+// alpha (> 1) and scale xm.
+func NewChurnPareto(alpha, xm float64) (ChurnPareto, error) { return churn.NewPareto(alpha, xm) }
+
+// NewChurnPulse returns a duty-cycle envelope: factor hi for durHi
+// seconds, lo for durLo, repeating from t = 0.
+func NewChurnPulse(hi, lo, durHi, durLo float64) (*ChurnPulse, error) {
+	return churn.NewPulse(hi, lo, durHi, durLo)
+}
+
+// UnresponsiveLaw is the open-loop blaster: zero drift, so a source
+// holds its rate regardless of congestion feedback (a CBR flow, or an
+// on/off blaster when combined with a Burst modulator or ChurnPulse).
+type UnresponsiveLaw = control.Unresponsive
+
+// GreedyLaw is the defecting law: it follows the additive-increase
+// branch everywhere and ignores every decrease signal, probing up to
+// its rate cap.
+type GreedyLaw = control.Greedy
+
+// NewGreedyLaw validates and returns a greedy law with probe gain c0
+// and rate cap cap.
+func NewGreedyLaw(c0, cap float64) (GreedyLaw, error) { return control.NewGreedy(c0, cap) }
 
 // EnsembleConfig configures an SDE particle ensemble of the Eq. 14
 // diffusion (the Monte-Carlo ground truth for the PDE). Its Workers

@@ -11,5 +11,6 @@ func TestSharedwrite(t *testing.T) {
 	analysistest.Run(t, sharedwrite.Analyzer,
 		"fpcc/internal/fokkerplanck", // engine closures: every target class plus the allowed patterns
 		"fpcc/internal/parallel",     // the framework itself is exempt
+		"fpcc/internal/churn",        // open-system mass ledger: captured-accumulator folds vs chunk-indexed slots
 	)
 }

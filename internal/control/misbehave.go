@@ -1,0 +1,72 @@
+package control
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file holds the misbehaving-source laws of the adversarial
+// experiments (E32–E34): sources that receive the same congestion
+// feedback as everyone else but refuse to cooperate. Both are
+// legitimate Law implementations, so every engine — packet-level,
+// mean-field, networked mean-field — can mix them into a compliant
+// population unchanged.
+
+// Unresponsive is the CBR (constant-bit-rate) source: drift is
+// identically zero, so the source sends at its initial rate forever,
+// ignoring feedback entirely. It is the open-loop blaster of the
+// adversarial experiments; combine it with a traffic modulator (e.g.
+// a SquareWave burst or a churn.Pulse envelope) for the on/off
+// variant. Target is irrelevant (the law never reads the signal) and
+// returns 0.
+type Unresponsive struct{}
+
+// Drift implements Law.
+func (Unresponsive) Drift(q, lambda float64) float64 { return 0 }
+
+// Name implements Law.
+func (Unresponsive) Name() string { return "cbr" }
+
+// Target implements Law.
+func (Unresponsive) Target() float64 { return 0 }
+
+// Greedy is the defecting law: it runs the cooperative laws' additive
+// increase (+C0) but ignores every decrease signal, ramping until its
+// rate cap. A greedy source looks compliant while the network is
+// uncongested and simply never backs off — the classic
+// misbehaving-source model the gateway-protection experiments probe.
+// Cap bounds the rate (the kinetic engines additionally cap at LMax,
+// their rate-domain edge; the packet engines rely on Cap to keep the
+// event rate finite).
+type Greedy struct {
+	C0  float64 // additive increase rate (packets/s²)
+	Cap float64 // rate ceiling (packets/s)
+}
+
+// NewGreedy validates and returns a Greedy law.
+func NewGreedy(c0, cap float64) (Greedy, error) {
+	switch {
+	case !(c0 > 0) || math.IsInf(c0, 1):
+		return Greedy{}, fmt.Errorf("control: greedy requires C0 > 0, got %v", c0)
+	case !(cap > 0) || math.IsInf(cap, 1):
+		return Greedy{}, fmt.Errorf("control: greedy requires a finite positive rate cap, got %v", cap)
+	}
+	return Greedy{C0: c0, Cap: cap}, nil
+}
+
+// Drift implements Law: +C0 below the cap, 0 at or above it, whatever
+// the congestion signal says.
+func (l Greedy) Drift(q, lambda float64) float64 {
+	if lambda >= l.Cap {
+		return 0
+	}
+	return l.C0
+}
+
+// Name implements Law.
+func (l Greedy) Name() string { return "greedy" }
+
+// Target implements Law: a greedy source has no decrease branch, so
+// there is no queue threshold; 0 keeps gateway Observe calls
+// well-defined (the drift ignores the observation anyway).
+func (l Greedy) Target() float64 { return 0 }

@@ -1,0 +1,57 @@
+package control
+
+import (
+	"math"
+	"testing"
+)
+
+// TestUnresponsiveIgnoresFeedback pins the CBR law: zero drift at any
+// queue, any rate.
+func TestUnresponsiveIgnoresFeedback(t *testing.T) {
+	var l Unresponsive
+	for _, q := range []float64{0, 10, 1e9, math.Inf(1)} {
+		if g := l.Drift(q, 3); g != 0 {
+			t.Errorf("Drift(%v, 3) = %v, want 0", q, g)
+		}
+	}
+	if l.Name() != "cbr" {
+		t.Errorf("name = %q", l.Name())
+	}
+}
+
+// TestGreedyNeverDecreases pins the defector: +C0 below the cap
+// regardless of congestion, 0 at the cap, never negative.
+func TestGreedyNeverDecreases(t *testing.T) {
+	l, err := NewGreedy(0.5, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range []float64{0, 100, 1e12} {
+		if g := l.Drift(q, 2); g != 0.5 {
+			t.Errorf("Drift(%v, 2) = %v, want +C0", q, g)
+		}
+		if g := l.Drift(q, 6); g != 0 {
+			t.Errorf("Drift(%v, 6) = %v, want 0 at the cap", q, g)
+		}
+		if g := l.Drift(q, 7); g != 0 {
+			t.Errorf("Drift(%v, 7) = %v, want 0 above the cap", q, g)
+		}
+	}
+	if l.Name() != "greedy" {
+		t.Errorf("name = %q", l.Name())
+	}
+}
+
+// TestGreedyValidation rejects parameterizations that would unbound
+// the packet engines' event rate.
+func TestGreedyValidation(t *testing.T) {
+	if _, err := NewGreedy(0, 1); err == nil {
+		t.Error("zero C0 accepted")
+	}
+	if _, err := NewGreedy(1, 0); err == nil {
+		t.Error("zero cap accepted")
+	}
+	if _, err := NewGreedy(1, math.Inf(1)); err == nil {
+		t.Error("infinite cap accepted")
+	}
+}

@@ -1,0 +1,47 @@
+package experiments
+
+import "testing"
+
+// TestChurnTablesDeterministicAcrossWorkers pins the sweep worker
+// bound under the adversarial/churn experiments E32–E34 at 1 and at 8
+// and requires byte-identical text, CSV and JSON. E32 and E34 run
+// deterministic density engines (no random numbers at all); E33 runs
+// packet simulations whose randomness is fully determined by the
+// per-cell sweep seeds — so for all three, any divergence would be an
+// aggregation-order bug in the sweep runner, not stochastic noise.
+func TestChurnTablesDeterministicAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs E32 (9 cells at N=10⁶), E33 (9 packet cells) and E34 (6 cells at N=10⁶) twice each")
+	}
+	for _, tc := range []struct {
+		id  string
+		run func(rc *Recorder, workers int) (*Table, error)
+	}{
+		{"E32", e32Table},
+		{"E33", e33Table},
+		{"E34", e34Table},
+	} {
+		serial, err := tc.run(nil, 1)
+		if err != nil {
+			t.Fatalf("%s workers=1: %v", tc.id, err)
+		}
+		parallel, err := tc.run(nil, 8)
+		if err != nil {
+			t.Fatalf("%s workers=8: %v", tc.id, err)
+		}
+		st, sc, sj := renderTable(t, serial)
+		pt, pc, pj := renderTable(t, parallel)
+		if st != pt {
+			t.Errorf("%s text differs between 1 and 8 workers:\n--- workers=1\n%s\n--- workers=8\n%s", tc.id, st, pt)
+		}
+		if sc != pc {
+			t.Errorf("%s CSV differs between 1 and 8 workers", tc.id)
+		}
+		if sj != pj {
+			t.Errorf("%s JSON differs between 1 and 8 workers", tc.id)
+		}
+		if alarm := serial.Alarm(); alarm != "" {
+			t.Errorf("%s alarmed: %s", tc.id, alarm)
+		}
+	}
+}

@@ -146,8 +146,8 @@ func TestE16(t *testing.T) {
 
 func TestAllRegistryComplete(t *testing.T) {
 	all := All()
-	if len(all) != 31 {
-		t.Fatalf("registry has %d experiments, want 31", len(all))
+	if len(all) != 34 {
+		t.Fatalf("registry has %d experiments, want 34", len(all))
 	}
 	doc, err := os.ReadFile("../../EXPERIMENTS.md")
 	if err != nil {

@@ -75,16 +75,16 @@ func TestSuiteDeterministicCheap(t *testing.T) {
 // TestSuiteSelect: filters match on id, title and tag; empty
 // selections are an error from RunSuite.
 func TestSuiteSelect(t *testing.T) {
-	if got := Select(nil); len(got) != 31 {
-		t.Fatalf("nil filter selects %d, want 31", len(got))
+	if got := Select(nil); len(got) != 34 {
+		t.Fatalf("nil filter selects %d, want 34", len(got))
 	}
 	byID := Select(regexp.MustCompile(`^E19$`))
 	if len(byID) != 1 || byID[0].ID != "E19" {
 		t.Fatalf("id filter selected %+v", byID)
 	}
 	byTag := Select(regexp.MustCompile(`^netsim$`))
-	if len(byTag) != 2 {
-		t.Fatalf("netsim tag selects %d experiments, want 2", len(byTag))
+	if len(byTag) != 3 {
+		t.Fatalf("netsim tag selects %d experiments, want 3", len(byTag))
 	}
 	byTitle := Select(regexp.MustCompile(`Tahoe`))
 	if len(byTitle) != 1 || byTitle[0].ID != "E21" {

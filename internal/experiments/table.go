@@ -1,6 +1,6 @@
 // Package experiments regenerates every table and figure of the
 // paper's evaluation, plus the extensions layered on it: each
-// experiment E1..E31 is a function returning a Table of labelled rows
+// experiment E1..E34 is a function returning a Table of labelled rows
 // that a CLI (cmd/benchreport) or a benchmark (bench_test.go at the
 // repository root) can print and time. EXPERIMENTS.md records the
 // paper's claim next to the measured outcome for each.
@@ -217,7 +217,7 @@ type Runner = Experiment
 
 // All returns every experiment in order; EXPERIMENTS.md is the
 // companion index of claims and measured outcomes. Tags: "core"
-// (E1–E15, the paper's own analysis) vs "extension" (E16–E31), plus
+// (E1–E15, the paper's own analysis) vs "extension" (E16–E34), plus
 // the engines exercised and "sweep" for grid-shaped workloads.
 func All() []Experiment {
 	return []Experiment{
@@ -252,5 +252,8 @@ func All() []Experiment {
 		{"E29", "heterogeneous RTT mix at N=10⁶ (mean-field sweep)", []string{"extension", "meanfield", "fairness", "sweep"}, E29HeterogeneousRTTMix, 8},
 		{"E30", "parking-lot fairness in the large-N limit (netmf sweep)", []string{"extension", "netmf", "multihop", "fairness", "sweep"}, E30ParkingLotLargeN, 6},
 		{"E31", "bottleneck migration under a class-mix ramp (netmf sweep)", []string{"extension", "netmf", "sweep"}, E31BottleneckMigrationLargeN, 6},
+		{"E32", "misbehaving sources vs 10⁶ compliant sources (mean-field sweep)", []string{"extension", "meanfield", "adversarial", "sweep"}, E32AdversarialDegradation, 9},
+		{"E33", "gateway protection under an unresponsive blaster (netsim sweep)", []string{"extension", "netsim", "gateway", "adversarial", "sweep"}, E33GatewayProtection, 9},
+		{"E34", "session churn vs kinetic starvation on a two-hop path (netmf sweep)", []string{"extension", "netmf", "churn", "sweep"}, E34ChurnTurnover, 6},
 	}
 }

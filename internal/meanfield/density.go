@@ -34,10 +34,10 @@ import (
 // networked engine (internal/netmf) couples the same kernel to a
 // topology of link queues instead of this single bottleneck.
 type Density struct {
-	cfg  Config
-	dens []*RateDensity
-	t    float64
-	q    float64
+	cfg   Config
+	kerns []*ClassKernel
+	t     float64
+	q     float64
 
 	hist     History
 	maxDelay float64
@@ -45,7 +45,9 @@ type Density struct {
 }
 
 // NewDensity builds the kinetic engine with every class initialized
-// to its (grid-discretized, renormalized) Gaussian blob.
+// to its (grid-discretized, renormalized) Gaussian blob. Open classes
+// (Class.Churn) get one phase kernel per lifetime phase, each
+// starting with the phase's share of the blob.
 func NewDensity(cfg Config) (*Density, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -56,11 +58,11 @@ func NewDensity(cfg Config) (*Density, error) {
 		maxDelay: cfg.maxDelay(),
 	}
 	for k, cl := range cfg.Classes {
-		rd, err := NewRateDensity(cfg.LMax, cfg.Bins, cl.Lambda0, cl.InitStd, cfg.SecondOrder)
+		kern, err := NewClassKernel(cfg.LMax, cfg.Bins, cl.Lambda0, cl.InitStd, cfg.SecondOrder, cl.N, cl.Churn)
 		if err != nil {
 			return nil, fmt.Errorf("meanfield: class %d: %w", k, err)
 		}
-		d.dens = append(d.dens, rd)
+		d.kerns = append(d.kerns, kern)
 	}
 	d.hist.Record(0, d.q, 0)
 	return d, nil
@@ -73,44 +75,61 @@ func (d *Density) Time() float64 { return d.t }
 func (d *Density) Queue() float64 { return d.q }
 
 // NumClasses returns the number of classes.
-func (d *Density) NumClasses() int { return len(d.dens) }
+func (d *Density) NumClasses() int { return len(d.kerns) }
 
 // ClippedMass returns the total probability mass ADDED by zeroing
 // negative undershoots, summed over classes (so the exact budget is
-// ∫f_k summed = classes + ClippedMass) — a discretization audit, not
-// a physical gain.
+// ∫f_k summed = classes + ClippedMass + born − died) — a
+// discretization audit, not a physical gain.
 func (d *Density) ClippedMass() float64 {
 	var c float64
-	for _, rd := range d.dens {
-		c += rd.ClippedMass()
+	for _, kern := range d.kerns {
+		c += kern.ClippedMass()
 	}
 	return c
 }
 
 // Marginal returns a copy of class k's rate density (length Bins,
-// cell-centered on [0, LMax]).
-func (d *Density) Marginal(k int) []float64 { return d.dens[k].Marginal() }
+// cell-centered on [0, LMax]; phase kernels summed for open classes).
+func (d *Density) Marginal(k int) []float64 { return d.kerns[k].Marginal() }
 
 // RateGrid returns the λ-axis the densities live on.
-func (d *Density) RateGrid() grid.Uniform1D { return d.dens[0].Grid() }
+func (d *Density) RateGrid() grid.Uniform1D { return d.kerns[0].Grid() }
 
 // ClassMoments returns the mean and variance of class k's rate
 // density, normalized by its current mass.
 func (d *Density) ClassMoments(k int) (mean, variance float64) {
-	return d.dens[k].Moments()
+	return d.kerns[k].Moments()
 }
 
 // ClassMeanRate returns ⟨λ⟩_k, the mean per-source rate of class k.
 // Unlike ClassMoments it makes a single pass (no variance), so the
 // per-step coupling stays one O(bins) sweep per class.
-func (d *Density) ClassMeanRate(k int) float64 { return d.dens[k].MeanRate() }
+func (d *Density) ClassMeanRate(k int) float64 { return d.kerns[k].MeanRate() }
 
-// AggregateRate returns the total arrival rate Λ = Σ_k w_k N_k ⟨λ⟩_k
-// currently offered to the bottleneck.
+// ClassPopulation returns class k's live population N_k·LiveMass_k —
+// exactly N_k for closed classes, the birth–death ledger's value for
+// open ones.
+func (d *Density) ClassPopulation(k int) float64 {
+	return float64(d.cfg.Classes[k].N) * d.kerns[k].LiveMass()
+}
+
+// AggregateRate returns the total arrival rate
+// Λ = Σ_k w_k N_k ⟨λ⟩_k · live_k · env_k(t) currently offered to the
+// bottleneck: the classic coupling scaled by each open class's live
+// mass and each pulsed class's envelope factor (both factors exactly
+// 1, and skipped, for classic classes).
 func (d *Density) AggregateRate() float64 {
 	var agg float64
-	for k := range d.dens {
-		agg += d.cfg.weight(k) * float64(d.cfg.Classes[k].N) * d.ClassMeanRate(k)
+	for k := range d.kerns {
+		rate := d.cfg.weight(k) * float64(d.cfg.Classes[k].N) * d.ClassMeanRate(k)
+		if d.cfg.Classes[k].Churn != nil {
+			rate *= d.kerns[k].LiveMass()
+		}
+		if p := d.cfg.Classes[k].Pulse; p != nil {
+			rate *= p.FactorAt(d.t)
+		}
+		agg += rate
 	}
 	return agg
 }
@@ -132,22 +151,24 @@ func (d *Density) observedQueue(k int) float64 {
 func (d *Density) Step() error {
 	agg := d.AggregateRate()
 	dt := d.cfg.Dt
-	for k, rd := range d.dens {
+	for k, kern := range d.kerns {
 		qObs := d.observedQueue(k)
-		if err := rd.SetDrift(d.cfg.Classes[k].Law, qObs, dt); err != nil {
+		if err := kern.SetDrift(d.cfg.Classes[k].Law, qObs, dt); err != nil {
 			return fmt.Errorf("meanfield: class %d %v", k, err)
 		}
 	}
-	// Each class's transport/diffusion kernel touches only its own
-	// density, so the sweeps shard across the worker pool; the
-	// coupling (AggregateRate above) already ran in class order.
-	parallel.Each(len(d.dens), d.cfg.Workers, func(k int) {
-		rd := d.dens[k]
-		rd.Advect(dt)
+	// Each class's transport/diffusion kernel (and its birth–death
+	// ledger) touches only its own densities, so the sweeps shard
+	// across the worker pool; the coupling (AggregateRate above)
+	// already ran in class order.
+	parallel.Each(len(d.kerns), d.cfg.Workers, func(k int) {
+		kern := d.kerns[k]
+		kern.Advect(dt)
 		if sigma := d.cfg.Classes[k].SigmaL; sigma > 0 {
-			rd.Diffuse(sigma, dt)
+			kern.Diffuse(sigma, dt)
 		}
-		rd.ClampNegative()
+		kern.ClampNegative()
+		kern.StepChurn(dt)
 	})
 	d.q = math.Max(d.q+(agg-d.cfg.Mu)*dt, 0)
 	d.t += dt
@@ -169,18 +190,23 @@ func (d *Density) observe(rec *obs.Recorder, agg float64) error {
 		rec.Probe("mf.queue", d.t, d.q)
 		rec.Probe("mf.lambda", d.t, agg)
 		rec.Probe("mf.clipped", d.t, d.ClippedMass())
-		for k, rd := range d.dens {
-			mean, variance := rd.Moments()
+		for k, kern := range d.kerns {
+			mean, variance := kern.Moments()
 			name := "mf." + d.cfg.ClassName(k)
 			rec.Probe(name+".mean", d.t, mean)
 			rec.Probe(name+".var", d.t, variance)
+			if kern.Open() {
+				rec.Probe(name+".pop", d.t, d.ClassPopulation(k))
+				rec.Probe(name+".born", d.t, float64(d.cfg.Classes[k].N)*kern.Born())
+				rec.Probe(name+".died", d.t, float64(d.cfg.Classes[k].N)*kern.Died())
+			}
 		}
 	}
 	if !rec.Invariants() {
 		return nil
 	}
-	for k, rd := range d.dens {
-		if err := rd.CheckInvariants(rec, d.step, d.t, "mf."+d.cfg.ClassName(k)); err != nil {
+	for k, kern := range d.kerns {
+		if err := kern.CheckInvariants(rec, d.step, d.t, "mf."+d.cfg.ClassName(k)); err != nil {
 			return err
 		}
 	}

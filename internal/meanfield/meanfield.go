@@ -45,6 +45,7 @@ import (
 	"fmt"
 	"math"
 
+	"fpcc/internal/churn"
 	"fpcc/internal/control"
 	"fpcc/internal/obs"
 )
@@ -76,6 +77,19 @@ type Class struct {
 	// Brownian rate noise in the particle backend, the matching
 	// (σ_k²/2)·f_λλ diffusion in the density backend.
 	SigmaL float64
+	// Churn, when non-nil, opens the class: sessions are born at
+	// Churn.Arrival flows/s (Poisson in the finite-N picture, a
+	// deterministic mass source in the kinetic limit) and die after
+	// Churn.Lifetime. N is then the population at t = 0 and the live
+	// population is N·(1 + born − died). Density backend only; the
+	// particle backend rejects open classes.
+	Churn *churn.Flow
+	// Pulse, when non-nil, scales the class's offered-rate
+	// contribution by the deterministic duty-cycle envelope — the
+	// synchronized on/off blaster of the adversarial experiments. It
+	// multiplies only the queue coupling (the per-source densities
+	// are unchanged). Density backend only.
+	Pulse *churn.Pulse
 }
 
 // Config describes a mean-field problem: the class mix, the shared
@@ -158,8 +172,24 @@ func (c *Config) Validate() error {
 		case !(cl.SigmaL >= 0):
 			return fmt.Errorf("meanfield: class %d has invalid sigma %v", k, cl.SigmaL)
 		}
+		if cl.Churn != nil {
+			if err := cl.Churn.Validate(c.LMax); err != nil {
+				return fmt.Errorf("meanfield: class %d: %w", k, err)
+			}
+		}
 	}
 	return nil
+}
+
+// open reports whether any class carries churn or pulse dynamics (the
+// configurations the particle backend rejects).
+func (c *Config) open() bool {
+	for k := range c.Classes {
+		if c.Classes[k].Churn != nil || c.Classes[k].Pulse != nil {
+			return true
+		}
+	}
+	return false
 }
 
 // TotalSources returns Σ_k N_k.

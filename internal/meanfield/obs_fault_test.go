@@ -28,8 +28,8 @@ func TestDensityInvariantCorruptMass(t *testing.T) {
 	}
 	// Scale the class density: advection conserves the corruption, so
 	// the class mass budget ∫f = 1 + clipped breaks immediately.
-	for i := range d.dens[0].f {
-		d.dens[0].f[i] *= 1.02
+	for i := range d.kerns[0].ph[0].f {
+		d.kerns[0].ph[0].f[i] *= 1.02
 	}
 	err = d.Step()
 	if err == nil {
@@ -116,8 +116,8 @@ func TestFlightRecorderDump(t *testing.T) {
 	if err := d.Step(); err != nil {
 		t.Fatalf("clean step rejected: %v", err)
 	}
-	for i := range d.dens[0].f {
-		d.dens[0].f[i] *= 1.02
+	for i := range d.kerns[0].ph[0].f {
+		d.kerns[0].ph[0].f[i] *= 1.02
 	}
 	err = d.Step()
 	if err == nil {

@@ -63,6 +63,9 @@ func NewParticles(cfg Config, seed uint64, workers int) (*Particles, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	if cfg.open() {
+		return nil, fmt.Errorf("meanfield: particle backend does not support open-system classes (Churn/Pulse); use the density backend, or netsim for finite-N churn")
+	}
 	p := &Particles{
 		cfg:      cfg,
 		workers:  workers,

@@ -48,6 +48,14 @@ type RateDensity struct {
 	col     []float64
 	clipped float64
 
+	// Open-system (birth–death) ledger. base is the initial mass (1
+	// for a closed kernel, the phase weight for a churn phase kernel);
+	// born and died accumulate the mass Deposit injected and Decay
+	// removed, so the auditable budget generalizes to
+	// ∫f = base + clipped + born − died. All three stay untouched on
+	// closed kernels, reducing the budget to the classic 1 + clipped.
+	base, born, died float64
+
 	// Float32 lane (NewRateDensity32): f32 is the authoritative
 	// density and f its lazily-synced float64 widening — every reader
 	// calls syncF64 first. The transport and diffusion sweeps run
@@ -75,24 +83,38 @@ func NewRateDensity(lMax float64, bins int, lambda0, initStd float64, secondOrde
 		drift:       make([]float64, bins),
 		secondOrder: secondOrder,
 		col:         make([]float64, bins),
+		base:        1,
 	}
+	blob, err := blobProfile(ax, r.lc, lambda0, initStd)
+	if err != nil {
+		return nil, err
+	}
+	copy(r.f, blob)
+	return r, nil
+}
+
+// blobProfile builds the grid-discretized, renormalized Gaussian blob
+// at lambda0 with spread initStd (a point mass when initStd is 0) as
+// a unit-mass density (∫ = 1) on the axis.
+func blobProfile(ax grid.Uniform1D, lc []float64, lambda0, initStd float64) ([]float64, error) {
+	f := make([]float64, ax.N)
 	if initStd > 0 {
-		for i, l := range r.lc {
+		for i, l := range lc {
 			z := (l - lambda0) / initStd
-			r.f[i] = math.Exp(-0.5 * z * z)
+			f[i] = math.Exp(-0.5 * z * z)
 		}
 	} else {
-		r.f[ax.CellOf(lambda0)] = 1
+		f[ax.CellOf(lambda0)] = 1
 	}
 	mass := 0.0
-	for _, v := range r.f {
+	for _, v := range f {
 		mass += v
 	}
 	if !(mass > 0) {
-		return nil, fmt.Errorf("blob at %v±%v has no mass on [0, %v]", lambda0, initStd, lMax)
+		return nil, fmt.Errorf("blob at %v±%v has no mass on [0, %v]", lambda0, initStd, ax.Max)
 	}
-	linalg.Scale(1/(mass*ax.Dx), r.f)
-	return r, nil
+	linalg.Scale(1/(mass*ax.Dx), f)
+	return f, nil
 }
 
 // NewRateDensity32 is NewRateDensity with single-precision density
@@ -137,9 +159,22 @@ func (r *RateDensity) Marginal() []float64 {
 // gain; see ClampNegative).
 func (r *RateDensity) ClippedMass() float64 { return r.clipped }
 
+// Budget returns the kernel's live mass base + born − died: the
+// physical population mass (in units of the class's initial
+// population), excluding the clipped-undershoot audit. 1 exactly for
+// a closed kernel.
+func (r *RateDensity) Budget() float64 { return r.base + r.born - r.died }
+
+// Born returns the cumulative mass Deposit injected.
+func (r *RateDensity) Born() float64 { return r.born }
+
+// Died returns the cumulative mass Decay removed.
+func (r *RateDensity) Died() float64 { return r.died }
+
 // Mass returns the current total probability mass ∫f dλ. The sweeps
 // are conservative with zero-flux ends, so the exact budget is
-// Mass = 1 + ClippedMass to rounding.
+// Mass = base + ClippedMass + Born − Died to rounding (base is 1, and
+// the ledger zero, outside the open-system configurations).
 func (r *RateDensity) Mass() float64 {
 	r.syncF64()
 	var m float64
@@ -155,12 +190,13 @@ func (r *RateDensity) Courant() float64 { return r.courant }
 
 // CheckInvariants verifies the kernel's conservation laws against the
 // attached recorder at the given step: the mass budget
-// ∫f = 1 + clipped, density non-negativity (including NaN), and the
+// ∫f = base + clipped + born − died (the classic 1 + clipped on
+// closed kernels), density non-negativity (including NaN), and the
 // cached Courant margin. Field names are prefixed with field (e.g.
 // "mf.class0" → "mf.class0.mass").
 func (r *RateDensity) CheckInvariants(rec *obs.Recorder, step int64, t float64, field string) error {
 	r.syncF64()
-	if err := rec.CheckMass(step, t, field+".mass", r.Mass(), 1+r.clipped, rec.MassTol()); err != nil {
+	if err := rec.CheckMass(step, t, field+".mass", r.Mass(), r.base+r.clipped+r.born-r.died, rec.MassTol()); err != nil {
 		return err
 	}
 	if err := rec.CheckNonNegative(step, t, field+".density", r.f); err != nil {
@@ -300,6 +336,61 @@ func (r *RateDensity) ClampNegative() {
 		return
 	}
 	r.clipped += -linalg.ClampNonNegative(r.f) * r.ax.Dx
+}
+
+// ScaleInit scales the freshly built initial condition (and the base
+// of the mass budget) by w — the constructor for phase kernels, whose
+// initial mass is the phase's weight rather than 1. Call it before
+// stepping; it is not meaningful mid-run.
+func (r *RateDensity) ScaleInit(w float64) {
+	linalg.Scale(w, r.f)
+	r.base = w
+	if r.f32 != nil {
+		linalg.Narrow(r.f32, r.f)
+		r.f32Dirty = true
+	}
+}
+
+// BlobProfile returns the unit-mass (∫ = 1) grid discretization of
+// the Gaussian blob at lambda0 with spread initStd on this kernel's
+// axis — the newborn rate profile Deposit injects.
+func (r *RateDensity) BlobProfile(lambda0, initStd float64) ([]float64, error) {
+	return blobProfile(r.ax, r.lc, lambda0, initStd)
+}
+
+// Deposit injects mass·profile into the density (profile a unit-mass
+// density as returned by BlobProfile), crediting the born ledger: the
+// birth half of the open-system source term.
+func (r *RateDensity) Deposit(profile []float64, mass float64) {
+	r.syncF64()
+	for i := range r.f {
+		r.f[i] += mass * profile[i]
+	}
+	r.born += mass
+	if r.f32 != nil {
+		linalg.Narrow(r.f32, r.f)
+		r.f32Dirty = true
+	}
+}
+
+// Decay removes the fraction frac of the current mass uniformly
+// across the density — the death half of the open-system source term,
+// exact for a constant per-flow hazard because departures are
+// rate-independent. The removed mass (frac times the current ∫f,
+// whatever its clipped bias) is debited to the died ledger, keeping
+// the budget ∫f = base + clipped + born − died exact to rounding.
+func (r *RateDensity) Decay(frac float64) {
+	if frac == 0 {
+		return
+	}
+	r.syncF64()
+	removed := frac * r.Mass()
+	linalg.Scale(1-frac, r.f)
+	r.died += removed
+	if r.f32 != nil {
+		linalg.Narrow(r.f32, r.f)
+		r.f32Dirty = true
+	}
 }
 
 // advect32 is the float32 first-order upwind transport sweep: same

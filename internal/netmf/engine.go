@@ -10,9 +10,10 @@ import (
 	"fpcc/internal/parallel"
 )
 
-// Engine is the networked kinetic solver: one meanfield.RateDensity
-// per class, one fluid queue (with an interpolated history for
-// delayed observation) per node.
+// Engine is the networked kinetic solver: one meanfield.ClassKernel
+// per class (a single RateDensity for closed classes, one per
+// lifetime phase for open ones), one fluid queue (with an
+// interpolated history for delayed observation) per node.
 //
 // Scheme, per step (operator splitting, the netmf generalization of
 // meanfield.Density.Step — on a one-node topology the two produce
@@ -33,12 +34,12 @@ import (
 // Steps cost O(links + classes × bins + Σ_k |route_k|), independent
 // of every population size N_k.
 type Engine struct {
-	cfg  Config
-	dens []*meanfield.RateDensity
-	q    []float64
-	arr  []float64 // per-node arrival rate of the current step
-	hist []meanfield.History
-	t    float64
+	cfg   Config
+	kerns []*meanfield.ClassKernel
+	q     []float64
+	arr   []float64 // per-node arrival rate of the current step
+	hist  []meanfield.History
+	t     float64
 
 	maxDelay float64
 	step     int64 // completed steps, stamping probes and violations
@@ -60,11 +61,11 @@ func New(cfg Config) (*Engine, error) {
 	}
 	copy(e.q, cfg.Q0)
 	for k, cl := range cfg.Classes {
-		rd, err := meanfield.NewRateDensity(cfg.LMax, cfg.Bins, cl.Lambda0, cl.InitStd, cfg.SecondOrder)
+		kern, err := meanfield.NewClassKernel(cfg.LMax, cfg.Bins, cl.Lambda0, cl.InitStd, cfg.SecondOrder, cl.N, cl.Churn)
 		if err != nil {
 			return nil, fmt.Errorf("netmf: class %d: %w", k, err)
 		}
-		e.dens = append(e.dens, rd)
+		e.kerns = append(e.kerns, kern)
 	}
 	for j := range e.hist {
 		e.hist[j].Record(0, e.q[j], 0)
@@ -96,39 +97,56 @@ func (e *Engine) TotalQueue() float64 {
 }
 
 // NumClasses returns the number of classes.
-func (e *Engine) NumClasses() int { return len(e.dens) }
+func (e *Engine) NumClasses() int { return len(e.kerns) }
 
 // ClassMeanRate returns ⟨λ⟩_k, the mean per-source rate of class k.
-func (e *Engine) ClassMeanRate(k int) float64 { return e.dens[k].MeanRate() }
+func (e *Engine) ClassMeanRate(k int) float64 { return e.kerns[k].MeanRate() }
 
 // ClassMoments returns the mean and variance of class k's rate
 // density, normalized by its current mass.
 func (e *Engine) ClassMoments(k int) (mean, variance float64) {
-	return e.dens[k].Moments()
+	return e.kerns[k].Moments()
 }
 
 // Marginal returns a copy of class k's rate density (length Bins,
-// cell-centered on [0, LMax]).
-func (e *Engine) Marginal(k int) []float64 { return e.dens[k].Marginal() }
+// cell-centered on [0, LMax]; phase kernels summed for open classes).
+func (e *Engine) Marginal(k int) []float64 { return e.kerns[k].Marginal() }
 
 // RateGrid returns the λ-axis the densities live on.
-func (e *Engine) RateGrid() grid.Uniform1D { return e.dens[0].Grid() }
+func (e *Engine) RateGrid() grid.Uniform1D { return e.kerns[0].Grid() }
 
 // ClippedMass returns the total probability mass added by zeroing
 // negative transport undershoots, summed over classes — the same
 // discretization audit as meanfield.Density.ClippedMass.
 func (e *Engine) ClippedMass() float64 {
 	var c float64
-	for _, rd := range e.dens {
-		c += rd.ClippedMass()
+	for _, kern := range e.kerns {
+		c += kern.ClippedMass()
 	}
 	return c
 }
 
-// ClassOfferedRate returns Λ_k = w_k N_k ⟨λ⟩_k, the rate class k
-// currently offers to every hop of its route.
+// ClassPopulation returns class k's live population N_k·LiveMass_k —
+// exactly N_k for closed classes, the birth–death ledger's value for
+// open ones.
+func (e *Engine) ClassPopulation(k int) float64 {
+	return float64(e.cfg.Classes[k].N) * e.kerns[k].LiveMass()
+}
+
+// ClassOfferedRate returns Λ_k = w_k N_k ⟨λ⟩_k · live_k · env_k(t),
+// the rate class k currently offers to every hop of its route: the
+// classic coupling scaled by an open class's live mass and a pulsed
+// class's envelope factor (both factors exactly 1, and skipped, for
+// classic classes).
 func (e *Engine) ClassOfferedRate(k int) float64 {
-	return e.cfg.weight(k) * float64(e.cfg.Classes[k].N) * e.dens[k].MeanRate()
+	rate := e.cfg.weight(k) * float64(e.cfg.Classes[k].N) * e.kerns[k].MeanRate()
+	if e.cfg.Classes[k].Churn != nil {
+		rate *= e.kerns[k].LiveMass()
+	}
+	if p := e.cfg.Classes[k].Pulse; p != nil {
+		rate *= p.FactorAt(e.t)
+	}
+	return rate
 }
 
 // NodeArrival returns node j's total arrival rate at the current
@@ -184,20 +202,22 @@ func (e *Engine) Step() error {
 	}
 	// 2. Delayed path backlogs and CFL-checked drifts, before any
 	// mutation.
-	for k, rd := range e.dens {
-		if err := rd.SetDrift(e.cfg.Classes[k].Law, e.PathBacklog(k), dt); err != nil {
+	for k, kern := range e.kerns {
+		if err := kern.SetDrift(e.cfg.Classes[k].Law, e.PathBacklog(k), dt); err != nil {
 			return fmt.Errorf("netmf: class %d %v", k, err)
 		}
 	}
-	// 3. Transport and diffusion sweeps — per-class kernels touch
-	// only their own density, so they shard across the worker pool.
-	parallel.Each(len(e.dens), e.cfg.Workers, func(k int) {
-		rd := e.dens[k]
-		rd.Advect(dt)
+	// 3. Transport and diffusion sweeps (and the birth–death ledgers)
+	// — per-class kernels touch only their own densities, so they
+	// shard across the worker pool.
+	parallel.Each(len(e.kerns), e.cfg.Workers, func(k int) {
+		kern := e.kerns[k]
+		kern.Advect(dt)
 		if sigma := e.cfg.Classes[k].SigmaL; sigma > 0 {
-			rd.Diffuse(sigma, dt)
+			kern.Diffuse(sigma, dt)
 		}
-		rd.ClampNegative()
+		kern.ClampNegative()
+		kern.StepChurn(dt)
 	})
 	// 4. Fluid queue ODEs and their histories.
 	e.t += dt
@@ -227,17 +247,22 @@ func (e *Engine) observe(rec *obs.Recorder) error {
 			rec.Probe("netmf."+e.cfg.Topology.NodeName(j)+".q", e.t, e.q[j])
 		}
 		rec.Probe("netmf.clipped", e.t, e.ClippedMass())
-		for k := range e.dens {
+		for k, kern := range e.kerns {
 			name := "netmf." + e.cfg.ClassName(k)
 			rec.Probe(name+".lambda", e.t, e.ClassOfferedRate(k))
-			rec.Probe(name+".mean", e.t, e.dens[k].MeanRate())
+			rec.Probe(name+".mean", e.t, kern.MeanRate())
+			if kern.Open() {
+				rec.Probe(name+".pop", e.t, e.ClassPopulation(k))
+				rec.Probe(name+".born", e.t, float64(e.cfg.Classes[k].N)*kern.Born())
+				rec.Probe(name+".died", e.t, float64(e.cfg.Classes[k].N)*kern.Died())
+			}
 		}
 	}
 	if !rec.Invariants() {
 		return nil
 	}
-	for k, rd := range e.dens {
-		if err := rd.CheckInvariants(rec, e.step, e.t, "netmf."+e.cfg.ClassName(k)); err != nil {
+	for k, kern := range e.kerns {
+		if err := kern.CheckInvariants(rec, e.step, e.t, "netmf."+e.cfg.ClassName(k)); err != nil {
 			return err
 		}
 	}

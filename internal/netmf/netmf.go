@@ -44,6 +44,7 @@ import (
 	"fmt"
 	"math"
 
+	"fpcc/internal/churn"
 	"fpcc/internal/control"
 	"fpcc/internal/netsim"
 	"fpcc/internal/obs"
@@ -80,6 +81,16 @@ type Class struct {
 	// SigmaL is the intrinsic rate variability σ_k, entering as the
 	// (σ_k²/2)·f_λλ diffusion.
 	SigmaL float64
+	// Churn, when non-nil, opens the class: sessions are born at
+	// Churn.Arrival flows/s and die after Churn.Lifetime, evolved as
+	// birth–death source terms on the class's phase kernels (see
+	// meanfield.ClassKernel). N is then the population at t = 0 and
+	// the live population is N·(1 + born − died).
+	Churn *churn.Flow
+	// Pulse, when non-nil, scales the class's offered rate on every
+	// hop by the deterministic duty-cycle envelope — the synchronized
+	// on/off blaster of the adversarial experiments.
+	Pulse *churn.Pulse
 }
 
 // Config describes a networked mean-field problem: the node/link
@@ -170,6 +181,11 @@ func (c *Config) Validate() error {
 		}
 		if err := c.Topology.ValidateRoute(cl.Route); err != nil {
 			return fmt.Errorf("netmf: class %d: %w", k, err)
+		}
+		if cl.Churn != nil {
+			if err := cl.Churn.Validate(c.LMax); err != nil {
+				return fmt.Errorf("netmf: class %d: %w", k, err)
+			}
 		}
 	}
 	return nil

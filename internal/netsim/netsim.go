@@ -31,8 +31,10 @@ import (
 	"fmt"
 	"math"
 
+	"fpcc/internal/churn"
 	"fpcc/internal/control"
 	"fpcc/internal/des"
+	"fpcc/internal/traffic"
 )
 
 // Node is one store-and-forward queue in the topology.
@@ -91,6 +93,39 @@ type Flow struct {
 	Lambda0 float64
 	// MinRate is the rate floor (> 0 keeps a silenced flow probing).
 	MinRate float64
+	// Burst, when non-nil, modulates the flow's instantaneous
+	// emission rate by a piecewise-constant envelope factor
+	// (λ_eff = λ·factor) without touching the control law's λ — the
+	// same per-source modulation as des.SourceConfig.Burst, and the
+	// packet twin of the mean-field pulse envelope. Modulators are
+	// stateless here (per-flow state lives in the simulator), but a
+	// stochastic modulator draws from the flow's own rng stream, so
+	// instances must not be shared between concurrently running
+	// simulators.
+	Burst traffic.Modulator
+}
+
+// ChurnClass opens the simulation: a population of identical sessions
+// that arrive as a Poisson process, live for a sampled lifetime, and
+// disappear — the finite-N counterpart of the mean-field birth–death
+// source terms (meanfield.Class.Churn). Every session instantiates
+// Template with its own rng sub-stream; a dying session stops
+// emitting and controlling but its in-flight packets drain normally.
+type ChurnClass struct {
+	// Name labels the class in reports (defaults to its index).
+	Name string
+	// Template is the flow every session of the class runs.
+	Template Flow
+	// Arrival is the Poisson session arrival rate in flows/s (0 means
+	// no births — the initial N0 population only drains).
+	Arrival float64
+	// Lifetime samples session durations (one draw per session, from
+	// the session's own rng stream).
+	Lifetime churn.Lifetime
+	// N0 is the number of sessions alive at t = 0; each samples a
+	// full lifetime then (a "fresh" initial population, matching the
+	// mean-field kernels' t = 0 phase composition).
+	N0 int
 }
 
 // Config describes a netsim run.
@@ -98,6 +133,12 @@ type Config struct {
 	Nodes []Node
 	Links []Link
 	Flows []Flow
+	// Churn, when non-empty, adds open-system session classes on top
+	// of the static Flows (which may then be empty): sessions are
+	// born, live and die during the run, and are reported as
+	// per-class aggregates (Result.Churn*) rather than per-flow
+	// arrays.
+	Churn []ChurnClass
 	Seed  uint64
 	// SampleEvery records every node's queue length each SampleEvery
 	// seconds into Result.TraceQ (0 disables tracing).
@@ -145,42 +186,74 @@ func (c *Config) Validate() error {
 	if err != nil {
 		return fmt.Errorf("netsim: %w", err)
 	}
-	if len(c.Flows) == 0 {
+	if len(c.Flows) == 0 && len(c.Churn) == 0 {
 		return fmt.Errorf("netsim: no flows")
 	}
-	for i, f := range c.Flows {
+	validateFlow := func(who string, f *Flow) error {
 		switch {
 		case f.Law == nil:
-			return fmt.Errorf("netsim: flow %d has nil law", i)
+			return fmt.Errorf("netsim: %s has nil law", who)
 		case len(f.Route) == 0:
-			return fmt.Errorf("netsim: flow %d has empty route", i)
+			return fmt.Errorf("netsim: %s has empty route", who)
 		case !(f.IngressDelay >= 0) || !(f.ReturnDelay >= 0):
-			return fmt.Errorf("netsim: flow %d has negative access delay", i)
+			return fmt.Errorf("netsim: %s has negative access delay", who)
 		case !(f.FeedbackDelay >= 0):
-			return fmt.Errorf("netsim: flow %d has negative feedback delay %v", i, f.FeedbackDelay)
+			return fmt.Errorf("netsim: %s has negative feedback delay %v", who, f.FeedbackDelay)
 		case !(f.Interval >= 0) || math.IsInf(f.Interval, 1):
-			return fmt.Errorf("netsim: flow %d has invalid control interval %v", i, f.Interval)
+			return fmt.Errorf("netsim: %s has invalid control interval %v", who, f.Interval)
 		case !(f.Lambda0 >= 0) || math.IsInf(f.Lambda0, 1):
-			return fmt.Errorf("netsim: flow %d has invalid initial rate %v", i, f.Lambda0)
+			return fmt.Errorf("netsim: %s has invalid initial rate %v", who, f.Lambda0)
 		case !(f.MinRate >= 0) || math.IsInf(f.MinRate, 1):
-			return fmt.Errorf("netsim: flow %d has invalid rate floor %v", i, f.MinRate)
+			return fmt.Errorf("netsim: %s has invalid rate floor %v", who, f.MinRate)
 		}
 		if err := tp.validateRouteIn(tab, f.Route); err != nil {
-			return fmt.Errorf("netsim: flow %d: %w", i, err)
+			return fmt.Errorf("netsim: %s: %w", who, err)
 		}
 		path, err := pathDelayIn(tab, f.Route)
 		if err != nil {
-			return fmt.Errorf("netsim: flow %d: %w", i, err)
+			return fmt.Errorf("netsim: %s: %w", who, err)
 		}
 		rtt := f.IngressDelay + path + f.ReturnDelay
 		if f.Interval == 0 && !(rtt > 0) {
-			return fmt.Errorf("netsim: flow %d has zero control interval and zero RTT; set Interval", i)
+			return fmt.Errorf("netsim: %s has zero control interval and zero RTT; set Interval", who)
+		}
+		return nil
+	}
+	for i := range c.Flows {
+		if err := validateFlow(fmt.Sprintf("flow %d", i), &c.Flows[i]); err != nil {
+			return err
+		}
+	}
+	for j := range c.Churn {
+		cc := &c.Churn[j]
+		switch {
+		case !(cc.Arrival >= 0) || math.IsInf(cc.Arrival, 1):
+			return fmt.Errorf("netsim: churn class %d has invalid arrival rate %v", j, cc.Arrival)
+		case cc.Lifetime == nil:
+			return fmt.Errorf("netsim: churn class %d has nil lifetime", j)
+		case !(cc.Lifetime.Mean() > 0) || math.IsInf(cc.Lifetime.Mean(), 1):
+			return fmt.Errorf("netsim: churn class %d has invalid lifetime mean %v", j, cc.Lifetime.Mean())
+		case cc.N0 < 0:
+			return fmt.Errorf("netsim: churn class %d has negative initial population %d", j, cc.N0)
+		case cc.N0 == 0 && cc.Arrival == 0:
+			return fmt.Errorf("netsim: churn class %d is forever empty (N0 = 0, Arrival = 0)", j)
+		}
+		if err := validateFlow(fmt.Sprintf("churn class %d template", j), &cc.Template); err != nil {
+			return err
 		}
 	}
 	if c.SampleEvery < 0 {
 		return fmt.Errorf("netsim: negative sample period %v", c.SampleEvery)
 	}
 	return nil
+}
+
+// ChurnName returns the display name of churn class j.
+func (c *Config) ChurnName(j int) string {
+	if j >= 0 && j < len(c.Churn) && c.Churn[j].Name != "" {
+		return c.Churn[j].Name
+	}
+	return fmt.Sprintf("C%d", j)
 }
 
 // NodeName returns the display name of node h.

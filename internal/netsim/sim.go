@@ -14,17 +14,20 @@ import (
 type eventKind int
 
 const (
-	evSend    eventKind = iota // a flow emits a packet
-	evArrive                   // a packet reaches a node's queue
-	evDepart                   // a node's server finishes a packet
-	evControl                  // a flow applies its control law
+	evSend      eventKind = iota // a flow emits a packet
+	evArrive                     // a packet reaches a node's queue
+	evDepart                     // a node's server finishes a packet
+	evControl                    // a flow applies its control law
+	evModSwitch                  // a flow's burst modulator changes state
+	evBirth                      // a churn class spawns a session (flow = class index)
+	evDeath                      // a churn session's lifetime expires
 )
 
 // event is one scheduled occurrence.
 type event struct {
 	t    float64
 	kind eventKind
-	flow int
+	flow int // flow index (churn class index for evBirth)
 	node int // for evArrive/evDepart
 	leg  int // index into the packet's route for evArrive
 	seq  uint64
@@ -88,6 +91,21 @@ type flowState struct {
 	nextAt   float64 // next scheduled emission (superseded sends detected against it)
 	rtt      float64
 	interval float64 // resolved control period (cfg.Interval or RTT)
+	class    int     // owning churn class, -1 for static flows
+	alive    bool    // false after evDeath: no sends, no control
+	// Burst-modulation state (factor = 1 when cfg.Burst is nil).
+	modState int
+	factor   float64
+}
+
+// classState is the runtime state of one churn class.
+type classState struct {
+	cfg        ChurnClass
+	rng        *rng.Source // birth gaps and per-session stream splits
+	rtt        float64     // template's base RTT (shared by every session)
+	live       int
+	born, died int64
+	lastChange float64 // when live last changed (for time-weighted stats)
 }
 
 // Result summarizes a netsim run.
@@ -101,10 +119,25 @@ type Result struct {
 	RateL [][]float64
 	// Delivered[i] counts flow i's packets that exited the network
 	// after warmup; Dropped[i] its post-warmup drop-tail losses.
+	// (Static flows only; churn sessions aggregate per class below.)
 	Delivered []int64
 	Dropped   []int64
 	// Throughput[i] is Delivered[i] / measurement window (packets/s).
 	Throughput []float64
+	// Per-churn-class aggregates (one entry per Config.Churn class;
+	// all nil without churn). Born/Died count sessions over the whole
+	// run (N0 sessions are initial population, not births); LiveEnd
+	// is the population when the run ended; Live aggregates the
+	// time-weighted live population after warmup. Delivered/Dropped/
+	// Throughput sum the class's sessions post-warmup, the aggregate
+	// counterparts of the per-flow arrays.
+	ChurnBorn       []int64
+	ChurnDied       []int64
+	ChurnLiveEnd    []int64
+	ChurnLive       []stats.WeightedMoments
+	ChurnDelivered  []int64
+	ChurnDropped    []int64
+	ChurnThroughput []float64
 	// NodeDropped[h] counts post-warmup losses at node h.
 	NodeDropped []int64
 	// NodeQueue[h] aggregates the time-weighted queue length at node
@@ -131,6 +164,7 @@ type Sim struct {
 	links   map[linkKey]float64
 	nodes   []*nodeState
 	flows   []*flowState
+	classes []*classState
 	events  eventq.Q[event]
 	seq     uint64
 	t       float64
@@ -169,7 +203,10 @@ func New(cfg Config) (*Sim, error) {
 		if err != nil {
 			return nil, err
 		}
-		fs := &flowState{cfg: fc, lambda: fc.Lambda0, rng: root.Split(), rtt: rtt}
+		fs := &flowState{
+			cfg: fc, lambda: fc.Lambda0, rng: root.Split(), rtt: rtt,
+			class: -1, alive: true, factor: 1,
+		}
 		fs.interval = fc.Interval
 		if fs.interval == 0 {
 			fs.interval = rtt
@@ -178,13 +215,77 @@ func New(cfg Config) (*Sim, error) {
 			s.maxLook = fc.FeedbackDelay
 		}
 		s.flows = append(s.flows, fs)
+		if fc.Burst != nil {
+			fs.modState = fc.Burst.InitState(fs.rng)
+			fs.factor = fc.Burst.Factor(fs.modState)
+			s.push(event{t: fc.Burst.Sojourn(fs.modState, fs.rng), kind: evModSwitch, flow: i})
+		}
 		// First control update staggered by flow index to avoid
 		// artificial lock-step (same discipline as des.Engine).
 		stagger := fs.interval * (1 + float64(i)/float64(len(cfg.Flows)))
 		s.push(event{t: stagger, kind: evControl, flow: i})
 		s.scheduleSend(i)
 	}
+	// Churn classes split their streams after every node and static
+	// flow, so adding a class never perturbs a static flow's draws.
+	tp := cfg.Topo()
+	for j := range cfg.Churn {
+		cc := &cfg.Churn[j]
+		path, err := tp.PathDelay(cc.Template.Route)
+		if err != nil {
+			return nil, fmt.Errorf("netsim: churn class %d: %w", j, err)
+		}
+		cs := &classState{
+			cfg: *cc, rng: root.Split(),
+			rtt: cc.Template.IngressDelay + path + cc.Template.ReturnDelay,
+		}
+		if cc.Template.FeedbackDelay > s.maxLook {
+			s.maxLook = cc.Template.FeedbackDelay
+		}
+		s.classes = append(s.classes, cs)
+		for n := 0; n < cc.N0; n++ {
+			s.spawn(j, false)
+		}
+		if cc.Arrival > 0 {
+			s.push(event{t: cs.rng.Exp(cc.Arrival), kind: evBirth, flow: j})
+		}
+	}
 	return s, nil
+}
+
+// spawn instantiates one session of churn class j at the current
+// time: its own rng sub-stream (split from the class stream, so
+// session identity is deterministic in birth order), a sampled
+// lifetime, a control schedule staggered by a uniform draw, and its
+// first emission. born counts arrivals only, not the initial N0.
+func (s *Sim) spawn(j int, born bool) {
+	cs := s.classes[j]
+	fc := cs.cfg.Template
+	i := len(s.flows)
+	fs := &flowState{
+		cfg: fc, lambda: fc.Lambda0, rng: cs.rng.Split(), rtt: cs.rtt,
+		class: j, alive: true, factor: 1,
+	}
+	fs.interval = fc.Interval
+	if fs.interval == 0 {
+		fs.interval = cs.rtt
+	}
+	s.flows = append(s.flows, fs)
+	s.push(event{t: s.t + cs.cfg.Lifetime.Sample(fs.rng), kind: evDeath, flow: i})
+	if fc.Burst != nil {
+		fs.modState = fc.Burst.InitState(fs.rng)
+		fs.factor = fc.Burst.Factor(fs.modState)
+		s.push(event{t: s.t + fc.Burst.Sojourn(fs.modState, fs.rng), kind: evModSwitch, flow: i})
+	}
+	// Sessions are born at arbitrary times, so a uniform stagger in
+	// [1, 2) control periods replaces the static flows' index-based
+	// one.
+	s.push(event{t: s.t + fs.interval*(1+fs.rng.Float64()), kind: evControl, flow: i})
+	s.scheduleSend(i)
+	cs.live++
+	if born {
+		cs.born++
+	}
 }
 
 func (s *Sim) push(e event) {
@@ -222,15 +323,17 @@ func (s *Sim) observePath(i int, obsT float64) float64 {
 }
 
 // scheduleSend draws the next emission for flow i at its current
-// rate. A zero-rate flow gets no emission scheduled; the next control
-// update reschedules when the rate rises.
+// effective rate λ·factor. A zero-rate flow gets no emission
+// scheduled; the next control (or modulator) update reschedules when
+// the rate rises.
 func (s *Sim) scheduleSend(i int) {
 	fs := s.flows[i]
-	if fs.lambda <= 0 {
+	rate := fs.lambda * fs.factor
+	if rate <= 0 {
 		fs.nextAt = math.Inf(1)
 		return
 	}
-	fs.nextAt = s.t + fs.rng.Exp(fs.lambda)
+	fs.nextAt = s.t + fs.rng.Exp(rate)
 	s.push(event{t: fs.nextAt, kind: evSend, flow: i})
 }
 
@@ -251,19 +354,32 @@ func (s *Sim) Run(horizon, warmup float64) (*Result, error) {
 	if !(horizon > 0) || warmup < 0 || warmup >= horizon {
 		return nil, fmt.Errorf("netsim: invalid horizon %v / warmup %v", horizon, warmup)
 	}
+	// Per-flow arrays cover the static flows; churn sessions (flow
+	// indices beyond nStatic, appearing and dying at runtime) report
+	// through the per-class aggregates instead.
+	nStatic := len(s.cfg.Flows)
 	res := &Result{
-		Delivered:   make([]int64, len(s.flows)),
-		Dropped:     make([]int64, len(s.flows)),
-		Throughput:  make([]float64, len(s.flows)),
-		RateT:       make([][]float64, len(s.flows)),
-		RateL:       make([][]float64, len(s.flows)),
+		Delivered:   make([]int64, nStatic),
+		Dropped:     make([]int64, nStatic),
+		Throughput:  make([]float64, nStatic),
+		RateT:       make([][]float64, nStatic),
+		RateL:       make([][]float64, nStatic),
 		NodeDropped: make([]int64, len(s.nodes)),
 		NodeQueue:   make([]stats.WeightedMoments, len(s.nodes)),
-		FlowRTT:     make([]float64, len(s.flows)),
+		FlowRTT:     make([]float64, nStatic),
 		WarmupT:     warmup,
 	}
-	for i, fs := range s.flows {
-		res.FlowRTT[i] = fs.rtt
+	for i := 0; i < nStatic; i++ {
+		res.FlowRTT[i] = s.flows[i].rtt
+	}
+	if len(s.classes) > 0 {
+		res.ChurnBorn = make([]int64, len(s.classes))
+		res.ChurnDied = make([]int64, len(s.classes))
+		res.ChurnLiveEnd = make([]int64, len(s.classes))
+		res.ChurnLive = make([]stats.WeightedMoments, len(s.classes))
+		res.ChurnDelivered = make([]int64, len(s.classes))
+		res.ChurnDropped = make([]int64, len(s.classes))
+		res.ChurnThroughput = make([]float64, len(s.classes))
 	}
 	if s.cfg.SampleEvery > 0 {
 		res.TraceQ = make([][]float64, len(s.nodes))
@@ -281,6 +397,19 @@ func (s *Sim) Run(horizon, warmup float64) (*Result, error) {
 			}
 		}
 		ns.lastChange = now
+	}
+	// accrueClass is the live-population analogue of accrue: the
+	// time-weighted session count of class j over the constant stretch
+	// since its population last changed.
+	accrueClass := func(j int, now float64) {
+		cs := s.classes[j]
+		if now > warmup {
+			from := math.Max(cs.lastChange, warmup)
+			if w := now - from; w > 0 {
+				res.ChurnLive[j].Add(float64(cs.live), w)
+			}
+		}
+		cs.lastChange = now
 	}
 	nextSample := 0.0
 	for s.events.Len() > 0 {
@@ -311,7 +440,7 @@ func (s *Sim) Run(horizon, warmup float64) (*Result, error) {
 		}
 		s.t = bt
 
-		s.processBatch(res, warmup, accrue)
+		s.processBatch(res, warmup, accrue, accrueClass)
 	}
 	res.FinalT = math.Min(s.t, horizon)
 	// Flush each node's final constant stretch up to the last
@@ -328,12 +457,19 @@ func (s *Sim) Run(horizon, warmup float64) (*Result, error) {
 	for h, ns := range s.nodes {
 		res.NodeDropped[h] = ns.drops
 	}
+	for j, cs := range s.classes {
+		accrueClass(j, res.FinalT)
+		res.ChurnBorn[j] = cs.born
+		res.ChurnDied[j] = cs.died
+		res.ChurnLiveEnd[j] = int64(cs.live)
+		res.ChurnThroughput[j] = float64(res.ChurnDelivered[j]) / window
+	}
 	return res, nil
 }
 
 // processBatch applies every event of the drained burst in (time,
 // sequence) order — exactly the order the scalar loop processed them.
-func (s *Sim) processBatch(res *Result, warmup float64, accrue func(h int, now float64)) {
+func (s *Sim) processBatch(res *Result, warmup float64, accrue, accrueClass func(int, float64)) {
 	for _, e := range s.batch {
 		switch e.kind {
 		case evSend:
@@ -352,7 +488,11 @@ func (s *Sim) processBatch(res *Result, warmup float64, accrue func(h int, now f
 			if ns.cfg.Buffer > 0 && ns.qLen() >= ns.cfg.Buffer {
 				// Drop-tail loss at the finite buffer.
 				if e.t > warmup {
-					res.Dropped[e.flow]++
+					if c := s.flows[e.flow].class; c >= 0 {
+						res.ChurnDropped[c]++
+					} else {
+						res.Dropped[e.flow]++
+					}
 					ns.drops++
 				}
 				break
@@ -380,22 +520,61 @@ func (s *Sim) processBatch(res *Result, warmup float64, accrue func(h int, now f
 					flow: pkt.flow, leg: pkt.leg + 1, node: next,
 				})
 			} else if s.t > warmup {
-				res.Delivered[pkt.flow]++
+				if c := s.flows[pkt.flow].class; c >= 0 {
+					res.ChurnDelivered[c]++
+				} else {
+					res.Delivered[pkt.flow]++
+				}
 			}
 
 		case evControl:
 			fs := s.flows[e.flow]
+			if !fs.alive {
+				break // the session died; its control loop dies with it
+			}
 			qObs := s.observePath(e.flow, s.t-fs.cfg.FeedbackDelay)
 			fs.lambda += fs.cfg.Law.Drift(qObs, fs.lambda) * fs.interval
 			if fs.lambda < fs.cfg.MinRate {
 				fs.lambda = fs.cfg.MinRate
 			}
-			res.RateT[e.flow] = append(res.RateT[e.flow], s.t)
-			res.RateL[e.flow] = append(res.RateL[e.flow], fs.lambda)
+			if fs.class < 0 {
+				// Rate traces are per static flow; churn sessions are
+				// unbounded in number and report class aggregates.
+				res.RateT[e.flow] = append(res.RateT[e.flow], s.t)
+				res.RateL[e.flow] = append(res.RateL[e.flow], fs.lambda)
+			}
 			// Reschedule this flow's emissions at the new rate
 			// (memorylessness makes the fresh draw unbiased).
 			s.scheduleSend(e.flow)
 			s.push(event{t: s.t + fs.interval, kind: evControl, flow: e.flow})
+
+		case evModSwitch:
+			fs := s.flows[e.flow]
+			if !fs.alive {
+				break
+			}
+			fs.modState = fs.cfg.Burst.Next(fs.modState, fs.rng)
+			fs.factor = fs.cfg.Burst.Factor(fs.modState)
+			s.push(event{t: s.t + fs.cfg.Burst.Sojourn(fs.modState, fs.rng), kind: evModSwitch, flow: e.flow})
+			s.scheduleSend(e.flow)
+
+		case evBirth:
+			accrueClass(e.flow, s.t)
+			s.spawn(e.flow, true)
+			cs := s.classes[e.flow]
+			s.push(event{t: s.t + cs.rng.Exp(cs.cfg.Arrival), kind: evBirth, flow: e.flow})
+
+		case evDeath:
+			fs := s.flows[e.flow]
+			accrueClass(fs.class, s.t)
+			cs := s.classes[fs.class]
+			// The session stops emitting and controlling; packets
+			// already in flight drain (and are counted) normally.
+			fs.alive = false
+			fs.lambda = 0
+			fs.nextAt = math.Inf(1)
+			cs.live--
+			cs.died++
 		}
 	}
 }

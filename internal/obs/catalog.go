@@ -30,11 +30,17 @@ func Catalog() []ProbeSeries {
 		{"meanfield", "mf.clipped", "1", "cumulative clipped density mass, summed over classes"},
 		{"meanfield", "mf.<class>.mean", "packets/s", "class mean per-source rate ⟨λ⟩_k"},
 		{"meanfield", "mf.<class>.var", "(packets/s)²", "class per-source rate variance"},
+		{"meanfield", "mf.<class>.pop", "sources", "open-class live population N_k·LiveMass_k"},
+		{"meanfield", "mf.<class>.born", "sources", "open-class cumulative sessions born N_k·born_k"},
+		{"meanfield", "mf.<class>.died", "sources", "open-class cumulative sessions died N_k·died_k"},
 		{"meanfield", "mfp.queue", "packets", "particle-backend fluid queue length"},
 		{"meanfield", "mfp.lambda", "packets/s", "particle-backend aggregate arrival rate"},
 		{"netmf", "netmf.<node>.q", "packets", "per-node fluid queue length Q_j"},
 		{"netmf", "netmf.<class>.lambda", "packets/s", "class offered rate Λ_k = w_k N_k ⟨λ⟩_k"},
 		{"netmf", "netmf.<class>.mean", "packets/s", "class mean per-source rate ⟨λ⟩_k"},
+		{"netmf", "netmf.<class>.pop", "sources", "open-class live population N_k·LiveMass_k"},
+		{"netmf", "netmf.<class>.born", "sources", "open-class cumulative sessions born N_k·born_k"},
+		{"netmf", "netmf.<class>.died", "sources", "open-class cumulative sessions died N_k·died_k"},
 		{"netmf", "netmf.clipped", "1", "cumulative clipped density mass, summed over classes"},
 		{"des", "des.q", "packets", "packet queue length (packets in system)"},
 	}
